@@ -1,0 +1,102 @@
+//===- bench_ablation.cpp - What each analysis ingredient buys --*- C++ -*-===//
+//
+// Ablation study over the design choices DESIGN.md calls out. The paper
+// motivates each ingredient qualitatively (Section 1: implicit creation,
+// hierarchical structure, id tracking, listener association); this bench
+// quantifies them by disabling one ingredient at a time and re-measuring
+// the Table 2 precision metrics, and by running the plain-Java baseline
+// ("existing reference analyses cannot be applied directly to Android").
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GuiAnalysis.h"
+#include "baseline/Baseline.h"
+#include "corpus/Corpus.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::baseline;
+using namespace gator::corpus;
+
+namespace {
+
+const AppSpec *findSpec(const char *Name) {
+  for (const AppSpec &Spec : paperCorpus())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+void runVariant(const char *AppName, const char *Label,
+                const AnalysisOptions &Options) {
+  GeneratedApp App = generateApp(*findSpec(AppName));
+  auto Result =
+      GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
+                       App.Bundle->Android, Options, App.Bundle->Diags);
+  if (!Result) {
+    std::cerr << "analysis failed\n";
+    std::exit(1);
+  }
+  auto M = Result->metrics();
+  std::printf("  %-28s receivers=%-8.2f results=%-8.2f listeners=%-6.2f\n",
+              Label, M.AvgReceivers, M.AvgResults.value_or(0.0),
+              M.AvgListeners.value_or(0.0));
+}
+
+void runBaselineVariant(const char *AppName, PlatformCallTreatment Treatment,
+                        const char *Label) {
+  GeneratedApp App = generateApp(*findSpec(AppName));
+  BaselineOptions Options;
+  Options.Treatment = Treatment;
+  BaselineResult R = runBaseline(App.Bundle->Program, App.Bundle->Android,
+                                 Options, App.Bundle->Diags);
+  std::printf("  %-28s findView resolved-to-layout-views %u/%u, "
+              "handlers reached %u/%u\n",
+              Label, R.FindViewSitesResolvedToLayoutViews, R.FindViewSites,
+              R.HandlersReached, R.HandlersTotal);
+}
+
+void runApp(const char *AppName) {
+  std::printf("%s:\n", AppName);
+
+  AnalysisOptions Full;
+  runVariant(AppName, "full analysis", Full);
+
+  AnalysisOptions NoIds;
+  NoIds.TrackViewIds = false;
+  runVariant(AppName, "- without id tracking", NoIds);
+
+  AnalysisOptions NoHier;
+  NoHier.TrackHierarchy = false;
+  runVariant(AppName, "- without hierarchy", NoHier);
+
+  AnalysisOptions NoChildOnly;
+  NoChildOnly.FindView3ChildOnly = false;
+  runVariant(AppName, "- without child-only FindView3", NoChildOnly);
+
+  AnalysisOptions TypeFilter;
+  TypeFilter.DeclaredTypeFilter = true;
+  runVariant(AppName, "+ declared-type filtering", TypeFilter);
+
+  runBaselineVariant(AppName, PlatformCallTreatment::Unmodeled,
+                     "plain-Java baseline");
+  runBaselineVariant(AppName, PlatformCallTreatment::SummaryObjects,
+                     "baseline + opaque summaries");
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: contribution of each analysis ingredient\n");
+  std::printf("(higher receivers/results = less precise; the baseline "
+              "resolves no find-view\n to layout views and reaches no "
+              "event handlers at all)\n\n");
+  runApp("ConnectBot");
+  runApp("K9");
+  runApp("XBMC");
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench_casestudy.cpp - Section 5 case study ---------------*- C++ -*-===//
+//
+// Reproduces the paper's Section 5 case study:
+//
+//  1. APV, BarcodeScanner, and SuperGenPass: comparing the computed
+//     solution against ground truth. The paper reports perfect precision
+//     for APV and BarcodeScanner; SuperGenPass routes lookups through a
+//     shared helper, and the paper's discussion attributes all observed
+//     imprecision to calling-context insensitivity.
+//  2. XBMC: the outlier (receivers 8.81 in the paper; "the
+//     perfectly-precise measurements would be 3.59 for receivers, 1.63
+//     for results"), whose imprecision "is due to the calling-context-
+//     insensitive nature of the analysis; applying existing techniques
+//     for context sensitivity would lead to an even more precise
+//     solution". We run XBMC twice — stock, and with the call-site
+//     cloning refinement — showing the metric collapsing back toward the
+//     ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextRefinement.h"
+#include "analysis/GuiAnalysis.h"
+#include "corpus/Corpus.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::graph;
+
+namespace {
+
+const AppSpec *findSpec(const char *Name) {
+  for (const AppSpec &Spec : paperCorpus())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+/// Checks every ground-truth find-view expectation against the solution.
+/// Returns {exactly-matched, sound-but-larger, unsound} counts.
+struct TruthCheck {
+  unsigned Exact = 0;
+  unsigned Superset = 0;
+  unsigned Unsound = 0;
+};
+
+TruthCheck checkTruth(const GeneratedApp &App, const AnalysisResult &Result) {
+  TruthCheck Check;
+  for (const FindViewExpectation &E : App.Finds) {
+    const ir::ClassDecl *C = App.Bundle->Program.findClass(E.ClassName);
+    const ir::MethodDecl *M = C ? C->findOwnMethod(E.MethodName, 0) : nullptr;
+    ir::VarId V = M ? M->findVar(E.OutVar) : ir::InvalidVar;
+    if (V == ir::InvalidVar) {
+      ++Check.Unsound;
+      continue;
+    }
+    NodeId Node = Result.Graph->getVarNode(M, V);
+    bool FoundExpected = false;
+    size_t ViewCount = 0;
+    for (NodeId Val : Result.Sol->viewsAt(Node)) {
+      ++ViewCount;
+      const graph::Node &N = Result.Graph->node(Val);
+      if (N.Kind == NodeKind::ViewInfl && N.LNode &&
+          N.LNode->viewIdName() == E.ViewIdName)
+        FoundExpected = true;
+    }
+    if (!FoundExpected)
+      ++Check.Unsound;
+    else if (ViewCount == E.ExpectedMatches)
+      ++Check.Exact;
+    else
+      ++Check.Superset;
+  }
+  return Check;
+}
+
+void runApp(const char *Name, bool WithRefinement) {
+  const AppSpec *Spec = findSpec(Name);
+  if (!Spec) {
+    std::cerr << "unknown app " << Name << "\n";
+    std::exit(1);
+  }
+  GeneratedApp App = generateApp(*Spec);
+
+  AnalysisOptions Options;
+  ContextRefinementStats RefStats;
+  if (WithRefinement)
+    RefStats = applyContextRefinement(App.Bundle->Program, App.Bundle->Android,
+                                      Options.ContextHelperMaxStmts,
+                                      App.Bundle->Diags);
+
+  auto Result =
+      GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
+                       App.Bundle->Android, Options, App.Bundle->Diags);
+  if (!Result) {
+    std::cerr << "analysis failed for " << Name << "\n";
+    std::exit(1);
+  }
+
+  auto M = Result->metrics();
+  TruthCheck Check = checkTruth(App, *Result);
+  std::printf("%-14s%-22s receivers=%-6.2f results=%-6.2f "
+              "truth: exact=%u superset=%u unsound=%u",
+              Name, WithRefinement ? " (context-refined)" : " (stock)",
+              M.AvgReceivers, M.AvgResults.value_or(0.0), Check.Exact,
+              Check.Superset, Check.Unsound);
+  if (WithRefinement)
+    std::printf("  [cloned %u helpers, %u call sites]",
+                RefStats.HelpersCloned, RefStats.CallSitesRewritten);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 5 case study\n");
+  std::printf("--------------------\n");
+  std::printf("paper: perfect precision for APV and BarcodeScanner; all\n");
+  std::printf("observed imprecision caused by context insensitivity, cured\n");
+  std::printf("by context-sensitive techniques (demonstrated below via\n");
+  std::printf("call-site cloning of view-returning helpers).\n\n");
+
+  runApp("APV", false);
+  runApp("BarcodeScanner", false);
+  runApp("SuperGenPass", false);
+  runApp("SuperGenPass", true);
+  std::printf("\nXBMC outlier (paper: receivers 8.81 measured vs 3.59 "
+              "perfectly-precise):\n");
+  runApp("XBMC", false);
+  runApp("XBMC", true);
+  return 0;
+}

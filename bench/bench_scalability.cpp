@@ -1,0 +1,129 @@
+//===- bench_scalability.cpp - Cost scaling ---------------------*- C++ -*-===//
+//
+// Google-benchmark suite measuring how analysis cost scales with
+// application size, supporting the paper's claim that "even for the
+// larger programs, the analysis time is very practical" (Section 5).
+// Sweeps the number of activities (each adding a layout, find-view,
+// listener, and programmatic-view traffic) and the filler-code volume,
+// and times the pipeline phases separately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GuiAnalysis.h"
+#include "analysis/PhasedSolver.h"
+#include "corpus/ConnectBot.h"
+#include "corpus/Corpus.h"
+#include "parser/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+
+namespace {
+
+AppSpec sweepSpec(unsigned Activities, unsigned FillerClasses) {
+  AppSpec Spec;
+  Spec.Name = "Sweep";
+  Spec.Seed = 7;
+  Spec.Activities = Activities;
+  Spec.FillerClasses = FillerClasses;
+  Spec.MethodsPerFillerClass = 5;
+  Spec.ViewsPerLayout = 12;
+  Spec.IdsPerLayout = 7;
+  Spec.DirectFindsPerActivity = 3;
+  Spec.ListenersPerActivity = 2;
+  Spec.ProgViewsPerActivity = 1;
+  Spec.InflateItemsPerActivity = 1;
+  return Spec;
+}
+
+/// Full pipeline (generation excluded) vs. number of activities.
+void BM_AnalyzeByActivities(benchmark::State &State) {
+  unsigned Activities = static_cast<unsigned>(State.range(0));
+  GeneratedApp App = generateApp(sweepSpec(Activities, 50));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Result =
+        GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
+                         App.Bundle->Android, AnalysisOptions(), Diags);
+    benchmark::DoNotOptimize(Result);
+  }
+  State.SetComplexityN(Activities);
+}
+BENCHMARK(BM_AnalyzeByActivities)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+/// Full pipeline vs. non-GUI code volume (the analysis should be barely
+/// sensitive to it: op-free code only contributes propagation edges).
+void BM_AnalyzeByFillerClasses(benchmark::State &State) {
+  unsigned Fillers = static_cast<unsigned>(State.range(0));
+  GeneratedApp App = generateApp(sweepSpec(6, Fillers));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Result =
+        GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
+                         App.Bundle->Android, AnalysisOptions(), Diags);
+    benchmark::DoNotOptimize(Result);
+  }
+  State.SetComplexityN(Fillers);
+}
+BENCHMARK(BM_AnalyzeByFillerClasses)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+/// App generation cost (corpus infrastructure, not the analysis).
+void BM_GenerateApp(benchmark::State &State) {
+  AppSpec Spec = sweepSpec(static_cast<unsigned>(State.range(0)), 100);
+  for (auto _ : State) {
+    GeneratedApp App = generateApp(Spec);
+    benchmark::DoNotOptimize(App.Bundle);
+  }
+}
+BENCHMARK(BM_GenerateApp)->Arg(4)->Arg(16);
+
+/// Fused worklist solver vs. the literal phased pipeline — same solution
+/// (differential tests prove it), different engines.
+void BM_FusedSolver(benchmark::State &State) {
+  GeneratedApp App = generateApp(sweepSpec(16, 200));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Result =
+        GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
+                         App.Bundle->Android, AnalysisOptions(), Diags);
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_FusedSolver);
+
+void BM_PhasedSolver(benchmark::State &State) {
+  GeneratedApp App = generateApp(sweepSpec(16, 200));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Result = runPhasedAnalysis(App.Bundle->Program,
+                                    *App.Bundle->Layouts,
+                                    App.Bundle->Android, AnalysisOptions(),
+                                    Diags);
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_PhasedSolver);
+
+/// Frontend micro-benchmark: lex+parse+lower the ConnectBot example.
+void BM_ParseConnectBot(benchmark::State &State) {
+  const char *Source = connectBotAliteSource();
+  for (auto _ : State) {
+    ir::Program P;
+    DiagnosticEngine Diags;
+    android::AndroidModel AM;
+    AM.install(P);
+    bool Ok = parser::parseAlite(Source, "connectbot.alite", P, Diags);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_ParseConnectBot);
+
+} // namespace
+
+BENCHMARK_MAIN();

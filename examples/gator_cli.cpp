@@ -1,0 +1,283 @@
+//===- gator_cli.cpp - Command-line analysis driver -------------*- C++ -*-===//
+//
+// A real tool over the library: analyze an application given as files on
+// disk. Every `*.alite` file in the input directory is parsed as ALite
+// source; every `*.dexlite` file as DexLite bytecode; every `*.xml` file
+// is registered as a layout under its base name (so `res/act_console.xml`
+// defines `@layout/act_console`).
+//
+// Usage:
+//   gator_cli <dir> [--dot <file>] [--tuples] [--hierarchy] [--atg]
+//             [--solution] [--sequences <ActivityClass>] [--reach] [--json <file>] [--lint]
+//
+// Prints Table 2-style precision metrics by default; the flags add the
+// Section 6 client outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GuiAnalysis.h"
+#include "android/Manifest.h"
+#include "corpus/AppBundle.h"
+#include "dex/DexLite.h"
+#include "guimodel/GuiModel.h"
+#include "guimodel/JsonExport.h"
+#include "guimodel/Lint.h"
+#include "layout/Layout.h"
+#include "parser/Parser.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gator;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool readFile(const fs::path &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: gator_cli <dir> [--dot <file>] [--tuples] "
+               "[--hierarchy] [--atg] [--solution] "
+               "[--sequences <ActivityClass>] [--reach] [--json <file>] [--lint]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string InputDir;
+  std::string DotFile;
+  bool WantTuples = false, WantHierarchy = false, WantAtg = false;
+  bool WantSolution = false;
+  bool WantReach = false;
+  std::string SequencesFrom;
+  std::string JsonFile;
+  bool WantLint = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dot") {
+      if (++I >= argc)
+        return usage();
+      DotFile = argv[I];
+    } else if (Arg == "--tuples") {
+      WantTuples = true;
+    } else if (Arg == "--hierarchy") {
+      WantHierarchy = true;
+    } else if (Arg == "--atg") {
+      WantAtg = true;
+    } else if (Arg == "--solution") {
+      WantSolution = true;
+    } else if (Arg == "--sequences") {
+      if (++I >= argc)
+        return usage();
+      SequencesFrom = argv[I];
+    } else if (Arg == "--reach") {
+      WantReach = true;
+    } else if (Arg == "--json") {
+      if (++I >= argc)
+        return usage();
+      JsonFile = argv[I];
+    } else if (Arg == "--lint") {
+      WantLint = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      InputDir = Arg;
+    }
+  }
+  if (InputDir.empty())
+    return usage();
+
+  corpus::AppBundle App;
+  App.Android.install(App.Program);
+
+  // Gather inputs in sorted order for deterministic diagnostics.
+  std::vector<fs::path> AliteFiles, DexFiles, XmlFiles;
+  fs::path ManifestFile;
+  std::error_code EC;
+  for (const auto &Entry : fs::recursive_directory_iterator(InputDir, EC)) {
+    if (!Entry.is_regular_file())
+      continue;
+    if (Entry.path().extension() == ".alite")
+      AliteFiles.push_back(Entry.path());
+    else if (Entry.path().extension() == ".dexlite")
+      DexFiles.push_back(Entry.path());
+    else if (Entry.path().filename() == "AndroidManifest.xml")
+      ManifestFile = Entry.path();
+    else if (Entry.path().extension() == ".xml")
+      XmlFiles.push_back(Entry.path());
+  }
+  if (EC) {
+    std::cerr << "error: cannot read directory '" << InputDir
+              << "': " << EC.message() << "\n";
+    return 1;
+  }
+  std::sort(AliteFiles.begin(), AliteFiles.end());
+  std::sort(DexFiles.begin(), DexFiles.end());
+  std::sort(XmlFiles.begin(), XmlFiles.end());
+  if (AliteFiles.empty() && DexFiles.empty()) {
+    std::cerr << "error: no .alite or .dexlite files under '" << InputDir
+              << "'\n";
+    return 1;
+  }
+
+  bool Ok = true;
+  for (const fs::path &Path : AliteFiles) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::cerr << "error: cannot read " << Path << "\n";
+      return 1;
+    }
+    Ok &= parser::parseAlite(Text, Path.string(), App.Program, App.Diags);
+  }
+  for (const fs::path &Path : DexFiles) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::cerr << "error: cannot read " << Path << "\n";
+      return 1;
+    }
+    Ok &= dex::parseDexLite(Text, Path.string(), App.Program, App.Diags);
+  }
+  for (const fs::path &Path : XmlFiles) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::cerr << "error: cannot read " << Path << "\n";
+      return 1;
+    }
+    Ok &= layout::readLayoutXml(*App.Layouts, Path.stem().string(), Text,
+                                App.Diags) != nullptr;
+  }
+  Ok &= App.finalize();
+
+  // Manifest (optional): validates declared activities and provides the
+  // default start point for --sequences.
+  std::optional<android::Manifest> Manifest;
+  if (!ManifestFile.empty()) {
+    std::string Text;
+    if (!readFile(ManifestFile, Text)) {
+      std::cerr << "error: cannot read " << ManifestFile << "\n";
+      return 1;
+    }
+    Manifest = android::parseManifest(Text, ManifestFile.string(), App.Diags);
+    if (Manifest)
+      for (const android::ManifestActivity &A : Manifest->Activities)
+        if (!App.Program.findClass(A.ClassName))
+          App.Diags.warning("manifest declares unknown activity '" +
+                            A.ClassName + "'");
+  }
+
+  App.Diags.print(std::cerr);
+  if (!Ok || App.Diags.hasErrors())
+    return 1;
+
+  auto Result = analysis::GuiAnalysis::run(
+      App.Program, *App.Layouts, App.Android, analysis::AnalysisOptions(),
+      App.Diags);
+  if (!Result) {
+    App.Diags.print(std::cerr);
+    return 1;
+  }
+
+  std::cout << "classes: " << App.Program.appClassCount()
+            << "  methods: " << App.Program.appMethodCount()
+            << "  layouts: " << App.Resources.layoutCount()
+            << "  view ids: " << App.Resources.viewIdCount() << "\n";
+  Result->Graph->dumpStats(std::cout);
+  auto M = Result->metrics();
+  std::cout << "precision: receivers=" << M.AvgReceivers;
+  if (M.AvgParameters)
+    std::cout << " parameters=" << *M.AvgParameters;
+  if (M.AvgResults)
+    std::cout << " results=" << *M.AvgResults;
+  if (M.AvgListeners)
+    std::cout << " listeners=" << *M.AvgListeners;
+  std::cout << "\ntime: build=" << Result->BuildSeconds * 1000
+            << "ms solve=" << Result->SolveSeconds * 1000 << "ms\n";
+
+  if (WantSolution) {
+    std::cout << "\nper-operation solution:\n";
+    Result->Sol->dump(std::cout);
+  }
+  if (WantTuples) {
+    std::cout << "\n(activity, view, event, handler) tuples:\n";
+    guimodel::printHandlerTuples(std::cout, *Result,
+                                 guimodel::extractHandlerTuples(*Result));
+  }
+  if (WantHierarchy) {
+    std::cout << "\nview hierarchies:\n";
+    guimodel::printViewHierarchies(std::cout, *Result);
+  }
+  if (WantAtg) {
+    std::cout << "\nactivity transition graph:\n";
+    guimodel::printTransitionsDot(
+        std::cout, guimodel::buildActivityTransitionGraph(*Result));
+  }
+  if (Manifest) {
+    std::cout << "manifest: package=" << Manifest->Package;
+    if (auto Launcher = Manifest->launcherActivity())
+      std::cout << " launcher=" << *Launcher;
+    std::cout << "\n";
+    if (SequencesFrom.empty())
+      if (auto Launcher = Manifest->launcherActivity())
+        SequencesFrom = *Launcher;
+  }
+
+  if (!SequencesFrom.empty()) {
+    const ir::ClassDecl *Start = App.Program.findClass(SequencesFrom);
+    if (!Start) {
+      std::cerr << "error: unknown activity class '" << SequencesFrom
+                << "'\n";
+      return 1;
+    }
+    std::cout << "\nevent sequences from " << SequencesFrom
+              << " (length <= 5):\n";
+    guimodel::printEventSequences(
+        std::cout, *Result,
+        guimodel::enumerateEventSequences(*Result, Start, 5, 64));
+  }
+  if (WantReach) {
+    std::cout << "\nEditText view-reach report:\n";
+    guimodel::printViewReach(std::cout, *Result,
+                             guimodel::computeViewReach(*Result));
+  }
+  if (WantLint) {
+    std::cout << "\nlint findings:\n";
+    guimodel::printLintFindings(std::cout,
+                                guimodel::runLint(*Result, *App.Layouts));
+  }
+  if (!JsonFile.empty()) {
+    std::ofstream Json(JsonFile);
+    if (!Json) {
+      std::cerr << "error: cannot write " << JsonFile << "\n";
+      return 1;
+    }
+    guimodel::writeAnalysisJson(Json, *Result);
+    std::cout << "analysis JSON written to " << JsonFile << "\n";
+  }
+  if (!DotFile.empty()) {
+    std::ofstream Dot(DotFile);
+    if (!Dot) {
+      std::cerr << "error: cannot write " << DotFile << "\n";
+      return 1;
+    }
+    Result->Graph->dumpDot(Dot);
+    std::cout << "constraint graph written to " << DotFile << "\n";
+  }
+  return 0;
+}

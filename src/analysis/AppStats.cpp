@@ -1,0 +1,98 @@
+//===- AppStats.cpp - Table 1 style application statistics ------*- C++ -*-===//
+
+#include "analysis/AppStats.h"
+
+#include <iomanip>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using namespace gator::android;
+
+AppStats gator::analysis::collectAppStats(const std::string &Name,
+                                          const ir::Program &P,
+                                          const AnalysisResult &Result) {
+  AppStats Stats;
+  Stats.Name = Name;
+  Stats.Classes = P.appClassCount();
+  Stats.Methods = P.appMethodCount();
+
+  const ConstraintGraph &G = *Result.Graph;
+  const AndroidModel &AM = Result.Sol->androidModel();
+  for (NodeId Id = 0; Id < G.size(); ++Id) {
+    const Node &N = G.node(Id);
+    switch (N.Kind) {
+    case NodeKind::LayoutId:
+      ++Stats.LayoutIds;
+      break;
+    case NodeKind::ViewId:
+      ++Stats.ViewIds;
+      break;
+    case NodeKind::ViewInfl:
+      ++Stats.InflViews;
+      break;
+    case NodeKind::ViewAlloc:
+      ++Stats.AllocViews;
+      if (AM.isListenerClass(N.Klass))
+        ++Stats.Listeners; // views can be listeners (general case)
+      break;
+    case NodeKind::Alloc:
+      if (AM.isListenerClass(N.Klass))
+        ++Stats.Listeners;
+      break;
+    case NodeKind::Activity:
+      if (AM.isListenerClass(N.Klass))
+        ++Stats.Listeners;
+      break;
+    case NodeKind::Op:
+      switch (N.Op) {
+      case OpKind::Inflate1:
+      case OpKind::Inflate2:
+        ++Stats.OpInflate;
+        break;
+      case OpKind::FindView1:
+      case OpKind::FindView2:
+      case OpKind::FindView3:
+        ++Stats.OpFindView;
+        break;
+      case OpKind::AddView1:
+      case OpKind::AddView2:
+        ++Stats.OpAddView;
+        break;
+      case OpKind::SetListener:
+        ++Stats.OpSetListener;
+        break;
+      case OpKind::SetId:
+        ++Stats.OpSetId;
+        break;
+      default:
+        break;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+  return Stats;
+}
+
+void gator::analysis::printAppStatsHeader(std::ostream &OS) {
+  OS << std::left << std::setw(16) << "app" << std::right << std::setw(8)
+     << "classes" << std::setw(9) << "methods" << std::setw(10) << "ids(L/V)"
+     << std::setw(12) << "views(I/A)" << std::setw(10) << "listeners"
+     << std::setw(9) << "Inflate" << std::setw(10) << "FindView"
+     << std::setw(9) << "AddView" << std::setw(13) << "SetListener" << '\n';
+}
+
+void gator::analysis::printAppStatsRow(std::ostream &OS,
+                                       const AppStats &S) {
+  std::string Ids = std::to_string(S.LayoutIds) + "/" +
+                    std::to_string(S.ViewIds);
+  std::string Views = std::to_string(S.InflViews) + "/" +
+                      std::to_string(S.AllocViews);
+  OS << std::left << std::setw(16) << S.Name << std::right << std::setw(8)
+     << S.Classes << std::setw(9) << S.Methods << std::setw(10) << Ids
+     << std::setw(12) << Views << std::setw(10) << S.Listeners << std::setw(9)
+     << S.OpInflate << std::setw(10) << S.OpFindView << std::setw(9)
+     << S.OpAddView << std::setw(13) << S.OpSetListener << '\n';
+}

@@ -1,0 +1,55 @@
+//===- AppStats.h - Table 1 style application statistics --------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects the per-application measurements reported in Table 1 of the
+/// paper: application classes and methods, layout/view id counts, inflated
+/// and explicitly-allocated view nodes, listener allocation nodes, and the
+/// number of constraint-graph operation nodes per category.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_APPSTATS_H
+#define GATOR_ANALYSIS_APPSTATS_H
+
+#include "analysis/GuiAnalysis.h"
+
+#include <ostream>
+#include <string>
+
+namespace gator {
+namespace analysis {
+
+/// One row of Table 1.
+struct AppStats {
+  std::string Name;
+  unsigned Classes = 0;
+  unsigned Methods = 0;
+  unsigned LayoutIds = 0;   ///< column "ids" (L)
+  unsigned ViewIds = 0;     ///< column "ids" (V)
+  unsigned InflViews = 0;   ///< column "views" (I)
+  unsigned AllocViews = 0;  ///< column "views" (A)
+  unsigned Listeners = 0;   ///< listener allocation nodes
+  unsigned OpInflate = 0;
+  unsigned OpFindView = 0;  ///< FindView1 + FindView2 + FindView3
+  unsigned OpAddView = 0;   ///< AddView1 + AddView2
+  unsigned OpSetListener = 0;
+  unsigned OpSetId = 0;
+};
+
+/// Collects statistics from a completed analysis run.
+AppStats collectAppStats(const std::string &Name, const ir::Program &P,
+                         const AnalysisResult &Result);
+
+/// Prints the Table 1 header / one row in the paper's layout.
+void printAppStatsHeader(std::ostream &OS);
+void printAppStatsRow(std::ostream &OS, const AppStats &Stats);
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_APPSTATS_H

@@ -1,0 +1,295 @@
+//===- GraphBuilder.cpp - Constraint graph construction ---------*- C++ -*-===//
+
+#include "analysis/GraphBuilder.h"
+
+#include <unordered_set>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using namespace gator::ir;
+using namespace gator::android;
+
+void GraphBuilder::buildResourceNodes(ConstraintGraph &G) {
+  const layout::ResourceTable &Res = Layouts.resources();
+  for (const std::string &Name : Res.layoutNames())
+    G.getLayoutIdNode(Res.lookupLayoutId(Name));
+  for (const std::string &Name : Res.viewIdNames())
+    G.getViewIdNode(Res.lookupViewId(Name));
+}
+
+void GraphBuilder::buildActivityNodes(ConstraintGraph &G) {
+  // Section 4.1: "an activity node is created for each activity class, to
+  // represent instances created implicitly by the Android platform", with
+  // edges "to all this_m variable nodes, where m is a callback method that
+  // could be invoked by the framework with this activity as the receiver".
+  for (const ClassDecl *A : AM.appActivityClasses()) {
+    NodeId ActNode = G.getActivityNode(A);
+    // Collect, per callback name/arity, the method the framework call
+    // would dispatch to (first concrete match walking up the chain).
+    std::unordered_set<std::string> Seen;
+    for (const ClassDecl *C = A; C && !C->isPlatform();
+         C = C->superClass()) {
+      for (const auto &M : C->methods()) {
+        if (M->isAbstract() || M->isStatic())
+          continue;
+        if (!AndroidModel::isLifecycleCallbackName(M->name()))
+          continue;
+        std::string Key = M->name() + "/" + std::to_string(M->paramCount());
+        if (!Seen.insert(Key).second)
+          continue; // overridden below; dispatch target already recorded
+        G.addFlowEdge(ActNode, G.getVarNode(M.get(), M->thisVar()));
+      }
+    }
+  }
+}
+
+void GraphBuilder::buildCallEdges(ConstraintGraph &G, const MethodDecl &M,
+                                  const Stmt &S,
+                                  const std::vector<const MethodDecl *>
+                                      &Targets) {
+  for (const MethodDecl *T : Targets) {
+    if (T->owner()->isPlatform())
+      continue;
+    // Receiver into `this`.
+    if (!T->isStatic())
+      G.addFlowEdge(G.getVarNode(&M, S.Base), G.getVarNode(T, T->thisVar()));
+    // Arguments into parameters.
+    unsigned N = std::min<unsigned>(T->paramCount(),
+                                    static_cast<unsigned>(S.Args.size()));
+    for (unsigned I = 0; I < N; ++I)
+      G.addFlowEdge(G.getVarNode(&M, S.Args[I]),
+                    G.getVarNode(T, T->paramVar(I)));
+    // Returned values into the call result.
+    if (S.Lhs != InvalidVar) {
+      NodeId LhsNode = G.getVarNode(&M, S.Lhs);
+      for (const Stmt &Ret : T->body())
+        if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
+          G.addFlowEdge(G.getVarNode(T, Ret.Lhs), LhsNode);
+    }
+  }
+}
+
+void GraphBuilder::buildOpSite(ConstraintGraph &G, std::vector<OpSite> &Ops,
+                               const MethodDecl &M, const Stmt &S,
+                               const OpSpec &Spec) {
+  OpSite Site;
+  Site.Spec = Spec;
+  Site.Method = &M;
+  Site.OpNode = G.makeOpNode(Spec.Kind, S.Loc, Spec.Listener, Spec.ChildOnly);
+
+  NodeId BaseNode = G.getVarNode(&M, S.Base);
+  Site.Recv = BaseNode;
+  G.addFlowEdge(BaseNode, Site.OpNode);
+
+  auto argNode = [&](unsigned I) { return G.getVarNode(&M, S.Args[I]); };
+
+  switch (Spec.Kind) {
+  case OpKind::Inflate1:
+    Site.IdArg = argNode(0);
+    G.addFlowEdge(Site.IdArg, Site.OpNode);
+    if (Spec.AttachParentArgIndex >= 0) {
+      Site.AttachParent = argNode(Spec.AttachParentArgIndex);
+      G.addFlowEdge(Site.AttachParent, Site.OpNode);
+    }
+    break;
+  case OpKind::Inflate2:
+  case OpKind::SetId:
+  case OpKind::FindView1:
+  case OpKind::FindView2:
+    Site.IdArg = argNode(0);
+    G.addFlowEdge(Site.IdArg, Site.OpNode);
+    break;
+  case OpKind::AddView1:
+  case OpKind::AddView2:
+  case OpKind::SetListener:
+  case OpKind::SetAdapter:
+  case OpKind::StartActivity:
+    Site.ValArg = argNode(0);
+    G.addFlowEdge(Site.ValArg, Site.OpNode);
+    break;
+  case OpKind::SetIntentClass:
+    Site.ValArg = argNode(1); // the Class argument
+    G.addFlowEdge(Site.ValArg, Site.OpNode);
+    break;
+  case OpKind::FragmentAdd:
+    Site.IdArg = argNode(0);
+    Site.ValArg = argNode(1); // the Fragment argument
+    G.addFlowEdge(Site.IdArg, Site.OpNode);
+    G.addFlowEdge(Site.ValArg, Site.OpNode);
+    break;
+  case OpKind::FindView3:
+    break; // receiver only (getChildAt's index is not a view id)
+  }
+
+  if (S.Lhs != InvalidVar) {
+    Site.Out = G.getVarNode(&M, S.Lhs);
+    G.addFlowEdge(Site.OpNode, Site.Out);
+  }
+
+  Ops.push_back(Site);
+}
+
+void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
+                               const MethodDecl &M, const Stmt &S) {
+  const Variable &BaseVar = M.var(S.Base);
+  const ClassDecl *Recv =
+      BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+  if (!Recv)
+    return; // unknown receiver type: no edges (verifier already warned)
+
+  unsigned Arity = static_cast<unsigned>(S.Args.size());
+  const MethodDecl *Resolved = Recv->findMethod(S.MethodName, Arity);
+
+  // A call whose static resolution lands on a *platform stub* is an
+  // Android operation (Section 3.2 semantics); a concrete application
+  // method is an ordinary call. Concrete overrides of platform methods in
+  // subtypes receive call edges in either case via CHA.
+  bool PlatformTarget =
+      Resolved && Resolved->isAbstract() && Resolved->owner()->isPlatform();
+  if (PlatformTarget || !Resolved) {
+    if (std::optional<OpSpec> Spec = AM.classifyInvoke(M, S)) {
+      buildOpSite(G, Ops, M, S, *Spec);
+    } else if (PlatformTarget && AM.listClass() &&
+               P.isSubtypeOf(Recv, AM.listClass())) {
+      // Collection modeling: `list.add(v)` / `v := list.get(i)` /
+      // `v := list.remove(i)` flow through the artificial field
+      // java.util.List.elements (field-based, merged over all lists) so
+      // views stored in collections remain trackable.
+      const ir::FieldDecl *Elements = AM.listElementsField();
+      if (Elements) {
+        if (S.MethodName == "add" && S.Args.size() == 1)
+          G.addFlowEdge(G.getVarNode(&M, S.Args[0]),
+                        G.getFieldNode(Elements));
+        else if ((S.MethodName == "get" || S.MethodName == "remove") &&
+                 S.Lhs != InvalidVar)
+          G.addFlowEdge(G.getFieldNode(Elements), G.getVarNode(&M, S.Lhs));
+      }
+    }
+  }
+  buildCallEdges(G, M, S,
+                 CH.resolveVirtualCall(Recv, S.MethodName, Arity));
+}
+
+void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
+                               const MethodDecl &M) {
+  const layout::ResourceTable &Res = Layouts.resources();
+  for (size_t I = 0; I < M.body().size(); ++I) {
+    const Stmt &S = M.body()[I];
+    switch (S.Kind) {
+    case StmtKind::AssignVar:
+      G.addFlowEdge(G.getVarNode(&M, S.Base), G.getVarNode(&M, S.Lhs));
+      break;
+    case StmtKind::AssignNew: {
+      const ClassDecl *C = P.findClass(S.ClassName);
+      if (!C)
+        break;
+      bool IsView = AM.isViewClass(C);
+      NodeId Alloc = G.getAllocNode(&M, static_cast<int32_t>(I), C, IsView,
+                                    S.Loc);
+      G.addFlowEdge(Alloc, G.getVarNode(&M, S.Lhs));
+      // Dialogs are created by the application but their lifecycle
+      // callbacks (onCreate etc.) are invoked by the framework, exactly
+      // like activities (Section 3.2's "similar operations on non-
+      // activity objects"). Seed the allocation into each callback's
+      // `this`.
+      if (AM.isWindowClass(C) && !AM.isActivityClass(C)) {
+        std::unordered_set<std::string> Seen;
+        for (const ClassDecl *Walk = C; Walk && !Walk->isPlatform();
+             Walk = Walk->superClass())
+          for (const auto &Callback : Walk->methods()) {
+            if (Callback->isAbstract() || Callback->isStatic())
+              continue;
+            if (!android::AndroidModel::isLifecycleCallbackName(
+                    Callback->name()))
+              continue;
+            std::string Key = Callback->name() + "/" +
+                              std::to_string(Callback->paramCount());
+            if (!Seen.insert(Key).second)
+              continue;
+            G.addFlowEdge(Alloc,
+                          G.getVarNode(Callback.get(), Callback->thisVar()));
+          }
+      }
+      break;
+    }
+    case StmtKind::AssignNull:
+      break;
+    case StmtKind::LoadField: {
+      const Variable &BaseVar = M.var(S.Base);
+      const ClassDecl *C =
+          BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+      const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
+      if (F)
+        G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
+      break;
+    }
+    case StmtKind::StoreField: {
+      const Variable &BaseVar = M.var(S.Base);
+      const ClassDecl *C =
+          BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+      const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
+      if (F)
+        G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
+      break;
+    }
+    case StmtKind::LoadStaticField: {
+      const ClassDecl *C = P.findClass(S.ClassName);
+      const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
+      if (F)
+        G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
+      break;
+    }
+    case StmtKind::StoreStaticField: {
+      const ClassDecl *C = P.findClass(S.ClassName);
+      const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
+      if (F)
+        G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
+      break;
+    }
+    case StmtKind::AssignLayoutId: {
+      layout::ResourceId Id = Res.lookupLayoutId(S.ResourceName);
+      if (Id == layout::InvalidResourceId) {
+        Diags.warning(S.Loc, "reference to unknown layout '@layout/" +
+                                 S.ResourceName + "'");
+        break;
+      }
+      G.addFlowEdge(G.getLayoutIdNode(Id), G.getVarNode(&M, S.Lhs));
+      break;
+    }
+    case StmtKind::AssignViewId: {
+      // View ids may be referenced in code even when no layout declares
+      // them (e.g. used only with setId); intern on demand.
+      layout::ResourceId Id =
+          Layouts.resources().internViewId(S.ResourceName);
+      G.addFlowEdge(G.getViewIdNode(Id), G.getVarNode(&M, S.Lhs));
+      break;
+    }
+    case StmtKind::AssignClassConst: {
+      const ClassDecl *C = P.findClass(S.ClassName);
+      if (C)
+        G.addFlowEdge(G.getClassConstNode(C), G.getVarNode(&M, S.Lhs));
+      break;
+    }
+    case StmtKind::Invoke:
+      buildInvoke(G, Ops, M, S);
+      break;
+    case StmtKind::Return:
+      break; // return edges are added per call site
+    }
+  }
+}
+
+bool GraphBuilder::build(ConstraintGraph &G, std::vector<OpSite> &Ops) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  buildResourceNodes(G);
+  buildActivityNodes(G);
+  for (const auto &C : P.classes()) {
+    if (C->isPlatform())
+      continue;
+    for (const auto &M : C->methods())
+      if (!M->isAbstract())
+        buildMethod(G, Ops, *M);
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}

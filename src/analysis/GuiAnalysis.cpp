@@ -1,0 +1,33 @@
+//===- GuiAnalysis.cpp - Analysis facade ------------------------*- C++ -*-===//
+
+#include "analysis/GuiAnalysis.h"
+
+#include "analysis/GraphBuilder.h"
+#include "hier/ClassHierarchy.h"
+#include "support/Timer.h"
+
+using namespace gator;
+using namespace gator::analysis;
+
+std::unique_ptr<AnalysisResult>
+GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
+                 const android::AndroidModel &AM,
+                 const AnalysisOptions &Options, DiagnosticEngine &Diags) {
+  auto Result = std::make_unique<AnalysisResult>();
+  Result->Options = Options;
+  Result->Graph = std::make_unique<graph::ConstraintGraph>();
+  Result->Sol = std::make_unique<Solution>(*Result->Graph, AM);
+
+  Timer BuildTimer;
+  hier::ClassHierarchy CH(P);
+  GraphBuilder Builder(P, Layouts, AM, CH, Diags);
+  if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
+    return nullptr;
+  Result->BuildSeconds = BuildTimer.seconds();
+
+  Timer SolveTimer;
+  Solver S(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags);
+  Result->Stats = S.solve();
+  Result->SolveSeconds = SolveTimer.seconds();
+  return Result;
+}

@@ -1,0 +1,72 @@
+//===- Options.h - Analysis configuration -----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Knobs for the GUI reference analysis. The defaults reproduce the paper's
+/// configuration; the ablation benches flip individual knobs to measure
+/// what each ingredient of the analysis buys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_OPTIONS_H
+#define GATOR_ANALYSIS_OPTIONS_H
+
+namespace gator {
+namespace analysis {
+
+struct AnalysisOptions {
+  /// Track view ids and use them to resolve find-view operations. When
+  /// off, FindView1/2 behave like FindView3 (any descendant matches) —
+  /// ablation for the paper's id-tracking ingredient.
+  bool TrackViewIds = true;
+
+  /// Track the parent-child hierarchy. When off, find-view operations
+  /// resolve to *every* view reaching the analysis — ablation showing why
+  /// hierarchical structure must be modeled statically.
+  bool TrackHierarchy = true;
+
+  /// Apply the child-only refinement for FindView3 operations such as
+  /// getCurrentView() (Section 4.2: "sometimes more restricted semantics
+  /// applies ... employed by our implementation").
+  bool FindView3ChildOnly = true;
+
+  /// Model the implicit callback `y.n(x)` injected by a resolved
+  /// set-listener call (Section 3.2, "Effects of callbacks").
+  bool ModelListenerCallbacks = true;
+
+  /// Model layout-declared handlers (`android:onClick="name"`): a clicked
+  /// view with the attribute invokes the named one-argument method on the
+  /// activity (or dialog) owning its hierarchy. A GATOR-tool feature on
+  /// top of the paper's core analysis.
+  bool ModelXmlOnClickHandlers = true;
+
+  /// Declared-type filtering: drop a class-bearing value from a variable
+  /// or field whose declared type is cast-incompatible with the value's
+  /// class (neither is a subtype of the other). Downcasts in the source
+  /// (`f := (ViewFlipper) e`) then act as filters, a refinement the GATOR
+  /// tool family applies on top of the paper's analysis. Off by default
+  /// (the paper's configuration).
+  bool DeclaredTypeFilter = false;
+
+  /// Pre-pass cloning small view-returning helper methods per call site —
+  /// the context-sensitivity refinement the paper names as the cure for
+  /// the XBMC outlier (Section 5). Off by default (the paper's analysis
+  /// is calling-context-insensitive).
+  bool ContextSensitiveHelpers = false;
+
+  /// Maximum statement count for a method to be considered a cloneable
+  /// helper by the context refinement.
+  unsigned ContextHelperMaxStmts = 12;
+
+  /// Safety valve for the fixed-point loop.
+  unsigned long MaxWorkItems = 50'000'000;
+};
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_OPTIONS_H

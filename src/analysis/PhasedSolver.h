@@ -1,0 +1,76 @@
+//===- PhasedSolver.h - The paper's literal 3-phase pipeline ----*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second, independently written solver that follows Section 4.3's
+/// phase structure literally:
+///
+///   Phase R ("reachability"): "uses graph reachability to compute
+///   relationships that do not depend on operation nodes" — ids,
+///   activities, listeners, and other non-view values propagate along the
+///   statically-built flow edges.
+///
+///   Phase I ("inflation"): "Inflate nodes are processed (based on
+///   reaching layout ids) to create inflated view nodes and the
+///   parent-child edges for them", including the INFLATE2 association
+///   between activities and root views.
+///
+///   Phase P ("propagation"): "a fixed-point computation propagates views
+///   through the constraint graph", firing the Section 4.2 rules;
+///   callback modeling adds edges mid-phase exactly as the paper
+///   describes ("the analysis simply adds constraint graph nodes and
+///   edges to simulate the corresponding semantic effects"), so phase P
+///   also re-propagates the non-view values those edges carry.
+///
+/// The fused Solver (Solver.h) merges the phases into one monotone
+/// worklist; both must compute identical solutions. The differential
+/// tests run both over the whole corpus and compare every flowsTo set and
+/// every relationship edge — a two-implementation check of the fixpoint
+/// engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_PHASEDSOLVER_H
+#define GATOR_ANALYSIS_PHASEDSOLVER_H
+
+#include "analysis/GuiAnalysis.h"
+#include "analysis/Options.h"
+#include "analysis/Solution.h"
+#include "android/AndroidModel.h"
+#include "graph/ConstraintGraph.h"
+#include "layout/Layout.h"
+
+#include <memory>
+
+namespace gator {
+namespace analysis {
+
+/// Per-phase statistics.
+struct PhasedStats {
+  unsigned long ReachabilitySteps = 0;
+  unsigned long Inflations = 0;
+  unsigned long PropagationRounds = 0;
+};
+
+/// Runs the 3-phase pipeline over an already-built graph, filling \p Sol.
+PhasedStats solvePhased(graph::ConstraintGraph &G, Solution &Sol,
+                        const layout::LayoutRegistry &Layouts,
+                        const android::AndroidModel &AM,
+                        const AnalysisOptions &Options,
+                        DiagnosticEngine &Diags);
+
+/// Convenience facade mirroring GuiAnalysis::run but using the phased
+/// solver. Returns null on graph-construction errors.
+std::unique_ptr<AnalysisResult>
+runPhasedAnalysis(const ir::Program &P, layout::LayoutRegistry &Layouts,
+                  const android::AndroidModel &AM,
+                  const AnalysisOptions &Options, DiagnosticEngine &Diags);
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_PHASEDSOLVER_H

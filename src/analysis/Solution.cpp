@@ -1,0 +1,268 @@
+//===- Solution.cpp - Analysis results and queries --------------*- C++ -*-===//
+
+#include "analysis/Solution.h"
+
+#include <algorithm>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using namespace gator::android;
+
+const std::unordered_set<NodeId> &Solution::valuesAt(NodeId N) const {
+  if (N == InvalidNode || N >= FlowsTo.size())
+    return Empty;
+  return FlowsTo[N];
+}
+
+std::vector<NodeId> Solution::viewsAt(NodeId N) const {
+  std::vector<NodeId> Result;
+  for (NodeId V : valuesAt(N))
+    if (isViewNodeKind(G.node(V).Kind))
+      Result.push_back(V);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<NodeId> Solution::listenerValuesAt(NodeId N) const {
+  // Any object can serve as a listener (Section 4.1 notes the general
+  // case); the registration call's declared parameter type already selects
+  // candidates, so every non-id value reaching the position qualifies.
+  std::vector<NodeId> Result;
+  for (NodeId V : valuesAt(N)) {
+    NodeKind Kind = G.node(V).Kind;
+    if (Kind == NodeKind::Alloc || Kind == NodeKind::Activity ||
+        isViewNodeKind(Kind) || Kind == NodeKind::ClassConst)
+      Result.push_back(V);
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<const OpSite *> Solution::opsOfKind(OpKind Kind) const {
+  std::vector<const OpSite *> Result;
+  for (const OpSite &Op : Ops)
+    if (Op.Spec.Kind == Kind)
+      Result.push_back(&Op);
+  return Result;
+}
+
+std::vector<NodeId> Solution::receiversOf(const OpSite &Op) const {
+  return viewsAt(Op.Recv);
+}
+
+std::vector<NodeId> Solution::parametersOf(const OpSite &Op) const {
+  return viewsAt(Op.ValArg);
+}
+
+std::vector<NodeId> Solution::listenersAtOp(const OpSite &Op) const {
+  return listenerValuesAt(Op.ValArg);
+}
+
+std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
+                                        bool TrackHierarchy,
+                                        bool ChildOnlyRefinement) const {
+  std::unordered_set<NodeId> Result;
+
+  // The roots to search under.
+  std::vector<NodeId> SearchRoots;
+  switch (Op.Spec.Kind) {
+  case OpKind::FindView1:
+  case OpKind::FindView3:
+    SearchRoots = viewsAt(Op.Recv);
+    break;
+  case OpKind::FindView2:
+    // Activity-wide search: every root associated with a receiver value.
+    for (NodeId W : valuesAt(Op.Recv))
+      for (NodeId R : G.roots(W))
+        SearchRoots.push_back(R);
+    break;
+  case OpKind::Inflate1: {
+    // The inflated root(s) for the layout ids reaching this site.
+    for (NodeId V : valuesAt(Op.IdArg)) {
+      if (G.node(V).Kind != NodeKind::LayoutId)
+        continue;
+      // Roots minted at this site carry a roots-layout edge to V and an
+      // InflateSite of this op.
+      for (NodeId ViewNode : G.nodesOfKind(NodeKind::ViewInfl))
+        if (G.node(ViewNode).InflateSite == Op.OpNode)
+          for (NodeId L : G.rootsOfLayouts(ViewNode))
+            if (L == V)
+              Result.insert(ViewNode);
+    }
+    std::vector<NodeId> Sorted(Result.begin(), Result.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    return Sorted;
+  }
+  default:
+    return {};
+  }
+
+  // Candidate views under the roots.
+  std::vector<NodeId> Candidates;
+  if (!TrackHierarchy) {
+    for (NodeId V : G.nodesOfKind(NodeKind::ViewAlloc))
+      Candidates.push_back(V);
+    for (NodeId V : G.nodesOfKind(NodeKind::ViewInfl))
+      Candidates.push_back(V);
+  } else {
+    bool ChildOnly = Op.Spec.ChildOnly && ChildOnlyRefinement;
+    for (NodeId Root : SearchRoots) {
+      if (ChildOnly) {
+        for (NodeId C : G.children(Root))
+          Candidates.push_back(C);
+      } else {
+        for (NodeId D : G.descendantsOf(Root))
+          Candidates.push_back(D);
+      }
+    }
+  }
+
+  // FindView1/2 filter by the view ids reaching the id argument.
+  bool FilterByIds = TrackViewIds && (Op.Spec.Kind == OpKind::FindView1 ||
+                                      Op.Spec.Kind == OpKind::FindView2);
+  if (FilterByIds) {
+    std::unordered_set<NodeId> WantedIds;
+    for (NodeId V : valuesAt(Op.IdArg))
+      if (G.node(V).Kind == NodeKind::ViewId)
+        WantedIds.insert(V);
+    for (NodeId Cand : Candidates)
+      for (NodeId IdNode : G.viewIds(Cand))
+        if (WantedIds.count(IdNode))
+          Result.insert(Cand);
+  } else {
+    Result.insert(Candidates.begin(), Candidates.end());
+  }
+
+  std::vector<NodeId> Sorted(Result.begin(), Result.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  return Sorted;
+}
+
+void Solution::dump(std::ostream &OS, bool TrackViewIds, bool TrackHierarchy,
+                    bool ChildOnlyRefinement) const {
+  auto printSet = [&](const std::vector<NodeId> &Values) {
+    OS << '{';
+    for (size_t I = 0; I < Values.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << G.label(Values[I]);
+    }
+    OS << '}';
+  };
+
+  for (const OpSite &Op : Ops) {
+    OS << G.label(Op.OpNode);
+    if (Op.Method)
+      OS << " @ " << Op.Method->qualifiedName();
+
+    switch (Op.Spec.Kind) {
+    case OpKind::FindView1:
+    case OpKind::FindView3:
+    case OpKind::AddView2:
+    case OpKind::SetId:
+    case OpKind::SetListener:
+      OS << " recv";
+      printSet(receiversOf(Op));
+      break;
+    default:
+      break;
+    }
+    if (Op.Spec.Kind == OpKind::AddView1 ||
+        Op.Spec.Kind == OpKind::AddView2) {
+      OS << " child";
+      printSet(parametersOf(Op));
+    }
+    if (Op.Spec.Kind == OpKind::SetListener) {
+      OS << " listeners";
+      printSet(listenersAtOp(Op));
+    }
+    if (Op.Spec.Kind == OpKind::FindView1 ||
+        Op.Spec.Kind == OpKind::FindView2 ||
+        Op.Spec.Kind == OpKind::FindView3 ||
+        Op.Spec.Kind == OpKind::Inflate1) {
+      OS << " -> ";
+      printSet(resultsOf(Op, TrackViewIds, TrackHierarchy,
+                         ChildOnlyRefinement));
+    }
+    OS << '\n';
+  }
+}
+
+Solution::PrecisionMetrics
+Solution::computeMetrics(bool TrackViewIds, bool TrackHierarchy,
+                         bool ChildOnlyRefinement) const {
+  PrecisionMetrics M;
+
+  // receivers: ops whose receiver role is a view.
+  unsigned long ReceiverOps = 0, ReceiverSum = 0;
+  // parameters: AddView nodes.
+  unsigned long ParamOps = 0, ParamSum = 0;
+  bool HasAddView = false;
+  // results: FindView nodes.
+  unsigned long ResultOps = 0, ResultSum = 0;
+  bool HasFindView = false;
+  // listeners: (SetListener op, view) pairs.
+  unsigned long ListenerPairs = 0, ListenerSum = 0;
+  bool HasSetListener = false;
+
+  for (const OpSite &Op : Ops) {
+    switch (Op.Spec.Kind) {
+    case OpKind::FindView1:
+    case OpKind::FindView3:
+    case OpKind::AddView2:
+    case OpKind::SetId:
+    case OpKind::SetListener: {
+      size_t N = receiversOf(Op).size();
+      if (N > 0) {
+        ++ReceiverOps;
+        ReceiverSum += N;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    if (Op.Spec.Kind == OpKind::AddView1 || Op.Spec.Kind == OpKind::AddView2) {
+      HasAddView = true;
+      size_t N = parametersOf(Op).size();
+      if (N > 0) {
+        ++ParamOps;
+        ParamSum += N;
+      }
+    }
+
+    if (Op.Spec.Kind == OpKind::FindView1 ||
+        Op.Spec.Kind == OpKind::FindView2 ||
+        Op.Spec.Kind == OpKind::FindView3) {
+      HasFindView = true;
+      size_t N = resultsOf(Op, TrackViewIds, TrackHierarchy,
+                           ChildOnlyRefinement)
+                     .size();
+      if (N > 0) {
+        ++ResultOps;
+        ResultSum += N;
+      }
+    }
+
+    if (Op.Spec.Kind == OpKind::SetListener) {
+      HasSetListener = true;
+      size_t Views = receiversOf(Op).size();
+      size_t Ls = listenersAtOp(Op).size();
+      if (Views > 0 && Ls > 0) {
+        ListenerPairs += Views;
+        ListenerSum += Views * Ls;
+      }
+    }
+  }
+
+  M.AvgReceivers = ReceiverOps ? double(ReceiverSum) / ReceiverOps : 0.0;
+  if (HasAddView && ParamOps)
+    M.AvgParameters = double(ParamSum) / ParamOps;
+  if (HasFindView && ResultOps)
+    M.AvgResults = double(ResultSum) / ResultOps;
+  if (HasSetListener && ListenerPairs)
+    M.AvgListeners = double(ListenerSum) / ListenerPairs;
+  return M;
+}

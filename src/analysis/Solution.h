@@ -1,0 +1,148 @@
+//===- Solution.h - Analysis results and queries ----------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The computed flowsTo relation, the operation-site table, and the query
+/// API over them (including the four precision metrics of Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_SOLUTION_H
+#define GATOR_ANALYSIS_SOLUTION_H
+
+#include "android/AndroidModel.h"
+#include "graph/ConstraintGraph.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace analysis {
+
+/// One occurrence of an Android operation with the variable nodes playing
+/// each role. Roles not applicable to the op kind are InvalidNode.
+struct OpSite {
+  graph::NodeId OpNode = graph::InvalidNode;
+  android::OpSpec Spec;
+  /// The enclosing application method.
+  const ir::MethodDecl *Method = nullptr;
+  /// Receiver variable node (view / activity / inflater / intent).
+  graph::NodeId Recv = graph::InvalidNode;
+  /// Integer layout-id / view-id argument variable node.
+  graph::NodeId IdArg = graph::InvalidNode;
+  /// Value argument node: child view (AddView), listener (SetListener),
+  /// intent (StartActivity), class constant (SetIntentClass).
+  graph::NodeId ValArg = graph::InvalidNode;
+  /// inflate(id, parent): the parent ViewGroup argument.
+  graph::NodeId AttachParent = graph::InvalidNode;
+  /// Result variable node (FindView*, Inflate1).
+  graph::NodeId Out = graph::InvalidNode;
+};
+
+/// The fixed-point solution: flowsTo sets plus graph-resident relationship
+/// edges, with Table 2 metrics.
+class Solution {
+public:
+  Solution(const graph::ConstraintGraph &G, const android::AndroidModel &AM)
+      : G(G), AM(AM) {}
+
+  //===--------------------------------------------------------------------===//
+  // Raw state (populated by the solver)
+  //===--------------------------------------------------------------------===//
+
+  std::vector<std::unordered_set<graph::NodeId>> &flowsToSets() {
+    return FlowsTo;
+  }
+  std::vector<OpSite> &opSites() { return Ops; }
+
+  //===--------------------------------------------------------------------===//
+  // flowsTo queries
+  //===--------------------------------------------------------------------===//
+
+  /// Values reaching node \p N (empty for unseeded nodes).
+  const std::unordered_set<graph::NodeId> &valuesAt(graph::NodeId N) const;
+
+  /// Views (ViewAlloc/ViewInfl nodes) among the values reaching \p N.
+  std::vector<graph::NodeId> viewsAt(graph::NodeId N) const;
+
+  /// Values at \p N whose class implements a listener interface, plus any
+  /// value reaching the listener position regardless (the declared type of
+  /// the set-listener argument is authoritative per Section 3.2).
+  std::vector<graph::NodeId> listenerValuesAt(graph::NodeId N) const;
+
+  const std::vector<OpSite> &ops() const { return Ops; }
+
+  /// Op sites of one kind.
+  std::vector<const OpSite *> opsOfKind(android::OpKind Kind) const;
+
+  //===--------------------------------------------------------------------===//
+  // Operation-resolution queries (recomputed over the final state)
+  //===--------------------------------------------------------------------===//
+
+  /// Views flowing into the receiver role of \p Op.
+  std::vector<graph::NodeId> receiversOf(const OpSite &Op) const;
+
+  /// Views flowing into the child/parameter role of an AddView op (for
+  /// AddView1 this is the view argument).
+  std::vector<graph::NodeId> parametersOf(const OpSite &Op) const;
+
+  /// Views an operation with an output (FindView1/2/3, Inflate1) resolves
+  /// to, re-evaluating its rule over the final state. Options mirror the
+  /// solver's (supplied because ablations change resolution).
+  std::vector<graph::NodeId> resultsOf(const OpSite &Op, bool TrackViewIds,
+                                       bool TrackHierarchy,
+                                       bool ChildOnlyRefinement) const;
+
+  /// Listener values flowing into a SetListener op.
+  std::vector<graph::NodeId> listenersAtOp(const OpSite &Op) const;
+
+  //===--------------------------------------------------------------------===//
+  // Table 2 precision metrics
+  //===--------------------------------------------------------------------===//
+
+  struct PrecisionMetrics {
+    /// Mean |receiver views| over op nodes with a view receiver (FindView1,
+    /// FindView3, AddView2, SetId, SetListener) that are reached by >= 1
+    /// view.
+    double AvgReceivers = 0.0;
+    /// Mean |parameter views| over AddView1/AddView2 nodes; absent when
+    /// the app has no such node (the paper prints "-").
+    std::optional<double> AvgParameters;
+    /// Mean |result views| over FindView1/2/3 nodes.
+    std::optional<double> AvgResults;
+    /// Mean |associated listeners| over (SetListener op, receiver view)
+    /// pairs.
+    std::optional<double> AvgListeners;
+  };
+
+  PrecisionMetrics computeMetrics(bool TrackViewIds = true,
+                                  bool TrackHierarchy = true,
+                                  bool ChildOnlyRefinement = true) const;
+
+  const graph::ConstraintGraph &constraintGraph() const { return G; }
+  const android::AndroidModel &androidModel() const { return AM; }
+
+  /// Prints every operation site with its resolved receiver / parameter /
+  /// result / listener sets, one op per line ("FindView2_10 @ A.onCreate/0
+  /// recv{act:A} -> {Button~infl#4[ok]}").
+  void dump(std::ostream &OS, bool TrackViewIds = true,
+            bool TrackHierarchy = true, bool ChildOnlyRefinement = true) const;
+
+private:
+  const graph::ConstraintGraph &G;
+  const android::AndroidModel &AM;
+  std::vector<std::unordered_set<graph::NodeId>> FlowsTo;
+  std::vector<OpSite> Ops;
+  std::unordered_set<graph::NodeId> Empty;
+};
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_SOLUTION_H

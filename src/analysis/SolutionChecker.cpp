@@ -1,0 +1,224 @@
+//===- SolutionChecker.cpp - A-posteriori fixed-point validation *- C++ -*-===//
+
+#include "analysis/SolutionChecker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using namespace gator::android;
+
+namespace {
+
+class Checker {
+public:
+  explicit Checker(const AnalysisResult &Result)
+      : Result(Result), G(*Result.Graph), Sol(*Result.Sol),
+        P(Sol.androidModel().program()) {}
+
+  std::vector<std::string> run() {
+    checkFlowClosure();
+    for (const OpSite &Op : Sol.ops())
+      checkOp(Op);
+    return std::move(Violations);
+  }
+
+private:
+  void violation(const std::string &Message) {
+    if (Violations.size() < 50) // cap the report; one failure is enough
+      Violations.push_back(Message);
+  }
+
+  /// Re-implements the solver's declared-type filter for checking.
+  bool typeCompatible(NodeId N, NodeId Value) const {
+    if (!Result.Options.DeclaredTypeFilter)
+      return true;
+    const Node &Target = G.node(N);
+    const ir::ClassDecl *DeclType = nullptr;
+    if (Target.Kind == NodeKind::Var) {
+      const std::string &T = Target.Method->var(Target.Var).TypeName;
+      if (T.empty() || ir::isPrimitiveTypeName(T))
+        return true;
+      DeclType = P.findClass(T);
+    } else if (Target.Kind == NodeKind::Field) {
+      const std::string &T = Target.Field->typeName();
+      if (T.empty() || ir::isPrimitiveTypeName(T))
+        return true;
+      DeclType = P.findClass(T);
+    } else {
+      return true;
+    }
+    if (!DeclType || DeclType->name() == ir::ObjectClassName)
+      return true;
+    const Node &Val = G.node(Value);
+    switch (Val.Kind) {
+    case NodeKind::Alloc:
+    case NodeKind::ViewAlloc:
+    case NodeKind::ViewInfl:
+    case NodeKind::Activity:
+      break;
+    default:
+      return true;
+    }
+    if (!Val.Klass)
+      return true;
+    return P.isSubtypeOf(Val.Klass, DeclType) ||
+           P.isSubtypeOf(DeclType, Val.Klass);
+  }
+
+  void checkFlowClosure() {
+    for (NodeId N = 0; N < G.size(); ++N) {
+      if (G.node(N).Kind == NodeKind::Op)
+        continue;
+      const auto &SrcSet = Sol.valuesAt(N);
+      if (SrcSet.empty())
+        continue;
+      for (NodeId Succ : G.flowSuccessors(N)) {
+        if (G.node(Succ).Kind == NodeKind::Op)
+          continue; // ops consume role variables, not edge targets
+        const auto &DstSet = Sol.valuesAt(Succ);
+        for (NodeId V : SrcSet) {
+          if (!typeCompatible(Succ, V))
+            continue;
+          if (!DstSet.count(V))
+            violation("flow closure: " + G.label(V) + " in " + G.label(N) +
+                      " missing from successor " + G.label(Succ));
+        }
+      }
+    }
+  }
+
+  void checkOp(const OpSite &Op) {
+    switch (Op.Spec.Kind) {
+    case OpKind::AddView2: {
+      for (NodeId Parent : Sol.viewsAt(Op.Recv))
+        for (NodeId Child : Sol.viewsAt(Op.ValArg)) {
+          if (Parent == Child)
+            continue;
+          const auto &Children = G.children(Parent);
+          if (std::find(Children.begin(), Children.end(), Child) ==
+              Children.end())
+            violation("AddView2 closure: missing parent-child " +
+                      G.label(Parent) + " => " + G.label(Child));
+        }
+      break;
+    }
+    case OpKind::SetId: {
+      for (NodeId View : Sol.viewsAt(Op.Recv))
+        for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
+          if (G.node(IdVal).Kind != NodeKind::ViewId)
+            continue;
+          const auto &Ids = G.viewIds(View);
+          if (std::find(Ids.begin(), Ids.end(), IdVal) == Ids.end())
+            violation("SetId closure: missing has-id " + G.label(View) +
+                      " => " + G.label(IdVal));
+        }
+      break;
+    }
+    case OpKind::SetListener: {
+      for (NodeId View : Sol.viewsAt(Op.Recv))
+        for (NodeId L : Sol.listenerValuesAt(Op.ValArg)) {
+          const auto &Ls = G.listeners(View);
+          if (std::find(Ls.begin(), Ls.end(), L) == Ls.end())
+            violation("SetListener closure: missing association " +
+                      G.label(View) + " => " + G.label(L));
+        }
+      break;
+    }
+    case OpKind::FindView1:
+    case OpKind::FindView2:
+    case OpKind::FindView3: {
+      if (Op.Out == InvalidNode)
+        break;
+      const auto &OutSet = Sol.valuesAt(Op.Out);
+      for (NodeId V : Sol.resultsOf(Op, Result.Options.TrackViewIds,
+                                    Result.Options.TrackHierarchy,
+                                    Result.Options.FindView3ChildOnly))
+        if (!OutSet.count(V) && typeCompatible(Op.Out, V))
+          violation("FindView closure: result " + G.label(V) +
+                    " missing from output of " + G.label(Op.OpNode));
+      break;
+    }
+    case OpKind::Inflate1:
+    case OpKind::Inflate2: {
+      // Every reaching layout id with a minted tree must have a root with
+      // the roots-layout edge; Inflate2 roots must hang off every window
+      // receiver.
+      for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
+        if (G.node(IdVal).Kind != NodeKind::LayoutId)
+          continue;
+        std::vector<NodeId> Roots;
+        for (NodeId V : G.nodesOfKind(NodeKind::ViewInfl)) {
+          if (G.node(V).InflateSite != Op.OpNode)
+            continue;
+          const auto &Layouts = G.rootsOfLayouts(V);
+          if (std::find(Layouts.begin(), Layouts.end(), IdVal) !=
+              Layouts.end())
+            Roots.push_back(V);
+        }
+        if (Roots.empty()) {
+          violation("Inflate closure: no minted root for " +
+                    G.label(IdVal) + " at " + G.label(Op.OpNode));
+          continue;
+        }
+        if (Op.Spec.Kind == OpKind::Inflate2) {
+          for (NodeId W : Sol.valuesAt(Op.Recv)) {
+            NodeKind K = G.node(W).Kind;
+            if (K != NodeKind::Activity && K != NodeKind::Alloc)
+              continue;
+            for (NodeId Root : Roots) {
+              const auto &WRoots = G.roots(W);
+              if (std::find(WRoots.begin(), WRoots.end(), Root) ==
+                  WRoots.end())
+                violation("Inflate2 closure: missing root edge " +
+                          G.label(W) + " => " + G.label(Root));
+            }
+          }
+        } else if (Op.Out != InvalidNode) {
+          const auto &OutSet = Sol.valuesAt(Op.Out);
+          for (NodeId Root : Roots)
+            if (!OutSet.count(Root) && typeCompatible(Op.Out, Root))
+              violation("Inflate1 closure: root " + G.label(Root) +
+                        " missing from output");
+        }
+      }
+      break;
+    }
+    case OpKind::AddView1: {
+      for (NodeId W : Sol.valuesAt(Op.Recv)) {
+        NodeKind K = G.node(W).Kind;
+        if (K != NodeKind::Activity && K != NodeKind::Alloc)
+          continue;
+        for (NodeId V : Sol.viewsAt(Op.ValArg)) {
+          const auto &WRoots = G.roots(W);
+          if (std::find(WRoots.begin(), WRoots.end(), V) == WRoots.end())
+            violation("AddView1 closure: missing root edge " + G.label(W) +
+                      " => " + G.label(V));
+        }
+      }
+      break;
+    }
+    case OpKind::FragmentAdd:
+    case OpKind::SetAdapter:
+    case OpKind::StartActivity:
+    case OpKind::SetIntentClass:
+      break; // extension/client ops: no core closure obligations
+    }
+  }
+
+  const AnalysisResult &Result;
+  const ConstraintGraph &G;
+  const Solution &Sol;
+  const ir::Program &P;
+  std::vector<std::string> Violations;
+};
+
+} // namespace
+
+std::vector<std::string>
+gator::analysis::checkSolutionClosure(const AnalysisResult &Result) {
+  return Checker(Result).run();
+}

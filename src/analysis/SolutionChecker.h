@@ -1,0 +1,52 @@
+//===- SolutionChecker.h - A-posteriori fixed-point validation --*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates that a computed solution is actually a fixed point of the
+/// inference rules of Section 4.2 — the analysis analogue of an IR
+/// verifier. Checked closure properties:
+///
+///  1. Flow closure: for every flow edge n -> n' between value-carrying
+///     nodes, flowsTo(n) ⊆ flowsTo(n') (modulo declared-type filtering
+///     when enabled).
+///  2. ADDVIEW2 closure: every (parent view, child view) pair reaching an
+///     AddView2 node is connected by a parent-child edge.
+///  3. SETID closure: every (view, id) pair reaching a SetId node has a
+///     has-id edge.
+///  4. SETLISTENER closure: every (view, listener) pair reaching a
+///     SetListener node has a listener association edge.
+///  5. FINDVIEW closure: every view the rule computes from the final
+///     state is present in the operation's output variable.
+///  6. INFLATE closure: every layout id reaching an Inflate node has a
+///     minted view tree at that site (root with a roots-layout edge).
+///  7. ADDVIEW1/INFLATE2 closure: every window value reaching the
+///     receiver has a root edge to the respective root view(s).
+///
+/// Used by the property tests across the whole corpus; failures indicate
+/// solver bugs (premature termination, missed re-firing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_SOLUTIONCHECKER_H
+#define GATOR_ANALYSIS_SOLUTIONCHECKER_H
+
+#include "analysis/GuiAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace gator {
+namespace analysis {
+
+/// Checks all closure properties; returns the list of violations (empty
+/// when the solution is a genuine fixed point).
+std::vector<std::string> checkSolutionClosure(const AnalysisResult &Result);
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_SOLUTIONCHECKER_H

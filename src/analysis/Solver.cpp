@@ -1,0 +1,556 @@
+//===- Solver.cpp - Fixed-point constraint solver ---------------*- C++ -*-===//
+
+#include "analysis/Solver.h"
+
+#include <cassert>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using namespace gator::android;
+using namespace gator::ir;
+
+void Solver::ensureSets() {
+  auto &Sets = Sol.flowsToSets();
+  if (Sets.size() < G.size())
+    Sets.resize(G.size());
+  if (InVarWorklist.size() < G.size())
+    InVarWorklist.resize(G.size(), false);
+}
+
+bool Solver::typeCompatible(NodeId N, NodeId Value) const {
+  if (!Options.DeclaredTypeFilter)
+    return true;
+  const Node &Target = G.node(N);
+  const ir::Program &P = AM.program();
+
+  const ClassDecl *DeclType = nullptr;
+  if (Target.Kind == NodeKind::Var) {
+    const std::string &TypeName = Target.Method->var(Target.Var).TypeName;
+    if (TypeName.empty() || ir::isPrimitiveTypeName(TypeName))
+      return true;
+    DeclType = P.findClass(TypeName);
+  } else if (Target.Kind == NodeKind::Field) {
+    const std::string &TypeName = Target.Field->typeName();
+    if (TypeName.empty() || ir::isPrimitiveTypeName(TypeName))
+      return true;
+    DeclType = P.findClass(TypeName);
+  } else {
+    return true;
+  }
+  if (!DeclType || DeclType->name() == ir::ObjectClassName)
+    return true;
+
+  const Node &Val = G.node(Value);
+  const ClassDecl *ValClass = Val.Klass;
+  switch (Val.Kind) {
+  case NodeKind::Alloc:
+  case NodeKind::ViewAlloc:
+  case NodeKind::ViewInfl:
+  case NodeKind::Activity:
+    break; // class-bearing values are filtered
+  default:
+    return true; // ids / class constants are untyped integers
+  }
+  if (!ValClass)
+    return true;
+  // Cast compatibility: a value of class C can be observed through a
+  // location of declared type T when C <: T (upcast/exact) or T <: C
+  // (checked downcast could succeed).
+  return P.isSubtypeOf(ValClass, DeclType) ||
+         P.isSubtypeOf(DeclType, ValClass);
+}
+
+void Solver::addValue(NodeId N, NodeId Value) {
+  if (N == InvalidNode)
+    return;
+  if (!typeCompatible(N, Value))
+    return;
+  ensureSets();
+  auto &Sets = Sol.flowsToSets();
+  if (!Sets[N].insert(Value).second)
+    return;
+  if (!InVarWorklist[N]) {
+    InVarWorklist[N] = true;
+    VarWorklist.push_back(N);
+  }
+  auto It = OpUses.find(N);
+  if (It != OpUses.end())
+    for (size_t OpIndex : It->second)
+      enqueueOp(OpIndex);
+}
+
+void Solver::enqueueOp(size_t OpIndex) {
+  if (InOpWorklist[OpIndex])
+    return;
+  InOpWorklist[OpIndex] = true;
+  OpWorklist.push_back(OpIndex);
+}
+
+void Solver::noteStructureChange() {
+  StructureDirty = true;
+  for (size_t OpIndex : StructureSensitiveOps)
+    enqueueOp(OpIndex);
+}
+
+void Solver::sweepXmlOnClickHandlers() {
+  if (!Options.ModelXmlOnClickHandlers)
+    return;
+  for (NodeId Holder : G.rootHolders()) {
+    const ClassDecl *HolderClass = G.node(Holder).Klass;
+    for (NodeId Root : G.roots(Holder)) {
+      for (NodeId V : G.descendantsOf(Root)) {
+        const Node &ViewNode = G.node(V);
+        if (ViewNode.Kind != NodeKind::ViewInfl || !ViewNode.LNode ||
+            !ViewNode.LNode->hasOnClickHandler())
+          continue;
+        if (!G.addListenerEdge(V, Holder))
+          continue; // this (view, window) pair is already wired
+        if (!HolderClass || HolderClass->isPlatform())
+          continue;
+        const MethodDecl *Handler = hier::ClassHierarchy::dispatch(
+            HolderClass, ViewNode.LNode->onClickHandlerName(), 1);
+        if (!Handler || Handler->owner()->isPlatform()) {
+          Diags.warning(ViewNode.LNode->loc(),
+                        "android:onClick handler '" +
+                            ViewNode.LNode->onClickHandlerName() +
+                            "' not found on class '" +
+                            (HolderClass ? HolderClass->name()
+                                         : std::string("?")) +
+                            "'");
+          continue;
+        }
+        NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
+        G.addFlowEdge(Holder, ThisNode);
+        addValue(ThisNode, Holder);
+        NodeId ParamNode = G.getVarNode(Handler, Handler->paramVar(0));
+        addValue(ParamNode, V);
+      }
+    }
+  }
+}
+
+void Solver::seedValueNodes() {
+  ensureSets();
+  for (NodeId Id = 0; Id < G.size(); ++Id)
+    if (isValueNodeKind(G.node(Id).Kind))
+      addValue(Id, Id);
+}
+
+void Solver::registerOpUses() {
+  auto &Ops = Sol.opSites();
+  InOpWorklist.assign(Ops.size(), false);
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    const OpSite &Op = Ops[I];
+    for (NodeId Role : {Op.Recv, Op.IdArg, Op.ValArg, Op.AttachParent})
+      if (Role != InvalidNode)
+        OpUses[Role].push_back(I);
+    switch (Op.Spec.Kind) {
+    case OpKind::FindView1:
+    case OpKind::FindView2:
+    case OpKind::FindView3:
+    case OpKind::FragmentAdd: // containers may appear via later inflation
+      StructureSensitiveOps.push_back(I);
+      break;
+    default:
+      break;
+    }
+    enqueueOp(I);
+  }
+}
+
+void Solver::propagate(NodeId N) {
+  ++Stats.Propagations;
+  auto &Sets = Sol.flowsToSets();
+  // Copy the source set: addValue may resize Sets.
+  std::vector<NodeId> Values(Sets[N].begin(), Sets[N].end());
+  for (NodeId Succ : G.flowSuccessors(N)) {
+    if (G.node(Succ).Kind == NodeKind::Op)
+      continue; // operation rules read role variables directly
+    for (NodeId V : Values)
+      addValue(Succ, V);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inflation (rules INFLATE1/INFLATE2, Section 3.2.1)
+//===----------------------------------------------------------------------===//
+
+NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
+  uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | LayoutIdNode;
+  auto It = InflatedAt.find(Key);
+  if (It != InflatedAt.end())
+    return It->second;
+
+  const Node &IdNode = G.node(LayoutIdNode);
+  const layout::LayoutDef *Def = Layouts.findById(IdNode.Res);
+  OpSite &Op = Sol.opSites()[OpIndex];
+  if (!Def) {
+    Diags.warning(G.node(Op.OpNode).Loc,
+                  "inflation of unknown layout id; site skipped");
+    InflatedAt.emplace(Key, InvalidNode);
+    return InvalidNode;
+  }
+
+  ++Stats.InflationCount;
+
+  // Mint a fresh subtree of ViewInfl nodes for this (site, layout) pair.
+  // Section 4.1: "If the same layout is inflated in several places in the
+  // application, a 'fresh' set of graph nodes is introduced at each
+  // inflation site."
+  const ClassDecl *ViewBase = AM.program().findClass(names::View);
+  const ClassDecl *GroupBase = AM.program().findClass(names::ViewGroup);
+
+  struct Frame {
+    const layout::LayoutNode *LNode;
+    NodeId ParentView;
+  };
+  NodeId Root = InvalidNode;
+  std::vector<Frame> Work{{Def->root(), InvalidNode}};
+  while (!Work.empty()) {
+    Frame F = Work.back();
+    Work.pop_back();
+
+    const ClassDecl *Klass =
+        F.LNode->viewClassName().empty()
+            ? GroupBase // <merge> root inflated directly
+            : AM.resolveLayoutClassName(F.LNode->viewClassName());
+    if (!Klass) {
+      Diags.warning(F.LNode->loc(), "unknown view class '" +
+                                        F.LNode->viewClassName() +
+                                        "' in layout '" + Def->name() +
+                                        "'; modeled as android.view.View");
+      Klass = ViewBase;
+    }
+
+    NodeId ViewNode = G.makeViewInflNode(Klass, F.LNode, Op.OpNode);
+    ensureSets();
+    Sol.flowsToSets()[ViewNode].insert(ViewNode);
+
+    if (F.ParentView == InvalidNode)
+      Root = ViewNode;
+    else
+      G.addParentChildEdge(F.ParentView, ViewNode);
+
+    if (F.LNode->hasViewId()) {
+      layout::ResourceId VId =
+          Layouts.resources().lookupViewId(F.LNode->viewIdName());
+      if (VId != layout::InvalidResourceId)
+        G.addHasIdEdge(ViewNode, G.getViewIdNode(VId));
+    }
+
+    for (const auto &Child : F.LNode->children())
+      Work.push_back({Child.get(), ViewNode});
+  }
+
+  assert(Root != InvalidNode && "layout with no root");
+  // Record the inflation origin: view => layoutId, per Section 4.1.
+  G.addRootsLayoutEdge(Root, LayoutIdNode);
+
+  InflatedAt.emplace(Key, Root);
+  noteStructureChange();
+  return Root;
+}
+
+void Solver::fireInflate(OpSite &Op) {
+  // Collect the layout ids reaching the id argument.
+  std::vector<NodeId> LayoutIds;
+  for (NodeId V : Sol.valuesAt(Op.IdArg))
+    if (G.node(V).Kind == NodeKind::LayoutId)
+      LayoutIds.push_back(V);
+
+  size_t OpIndex = &Op - Sol.opSites().data();
+  for (NodeId L : LayoutIds) {
+    NodeId Root = inflateAt(OpIndex, L);
+    if (Root == InvalidNode)
+      continue;
+
+    if (Op.Spec.Kind == OpKind::Inflate1) {
+      // Rule INFLATE1: the root is the call's result.
+      addValue(Op.Out, Root);
+      // inflate(id, parent): the root also becomes a child of the parent.
+      if (Op.AttachParent != InvalidNode)
+        for (NodeId P : Sol.viewsAt(Op.AttachParent))
+          if (G.addParentChildEdge(P, Root))
+            noteStructureChange();
+    } else {
+      // Rule INFLATE2: the root is associated with the activity/dialog.
+      for (NodeId W : Sol.valuesAt(Op.Recv)) {
+        NodeKind K = G.node(W).Kind;
+        if (K != NodeKind::Activity && K != NodeKind::Alloc)
+          continue;
+        if (G.addRootEdge(W, Root))
+          noteStructureChange();
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// View-structure rules
+//===----------------------------------------------------------------------===//
+
+void Solver::fireAddView1(OpSite &Op) {
+  // Rule ADDVIEW1: activity.setContentView(view).
+  for (NodeId W : Sol.valuesAt(Op.Recv)) {
+    NodeKind K = G.node(W).Kind;
+    if (K != NodeKind::Activity && K != NodeKind::Alloc)
+      continue;
+    for (NodeId V : Sol.viewsAt(Op.ValArg))
+      if (G.addRootEdge(W, V))
+        noteStructureChange();
+  }
+}
+
+void Solver::fireAddView2(OpSite &Op) {
+  // Rule ADDVIEW2: parent.addView(child).
+  for (NodeId P : Sol.viewsAt(Op.Recv))
+    for (NodeId C : Sol.viewsAt(Op.ValArg))
+      if (P != C && G.addParentChildEdge(P, C))
+        noteStructureChange();
+}
+
+void Solver::fireSetId(OpSite &Op) {
+  // Rule SETID: view.setId(id).
+  for (NodeId V : Sol.viewsAt(Op.Recv))
+    for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
+      if (G.node(IdVal).Kind == NodeKind::ViewId)
+        if (G.addHasIdEdge(V, IdVal))
+          noteStructureChange();
+}
+
+void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
+                                  const ListenerSpec &Spec) {
+  // The callback y.n(x): listener object becomes `this` of the handler and
+  // the view flows into the handler's view parameter.
+  const ClassDecl *LClass = G.node(ListenerValue).Klass;
+  if (!LClass || LClass->isPlatform())
+    return;
+  for (const HandlerSig &Sig : Spec.Handlers) {
+    const MethodDecl *Handler =
+        hier::ClassHierarchy::dispatch(LClass, Sig.MethodName, Sig.Arity);
+    if (!Handler || Handler->owner()->isPlatform())
+      continue;
+    NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
+    G.addFlowEdge(ListenerValue, ThisNode);
+    addValue(ThisNode, ListenerValue);
+    if (Sig.ViewParamIndex >= 0 &&
+        static_cast<unsigned>(Sig.ViewParamIndex) < Handler->paramCount()) {
+      NodeId ParamNode = G.getVarNode(
+          Handler, Handler->paramVar(static_cast<unsigned>(Sig.ViewParamIndex)));
+      addValue(ParamNode, View);
+    }
+  }
+}
+
+void Solver::fireSetListener(OpSite &Op) {
+  // Rule SETLISTENER: view.setOnXListener(listener).
+  assert(Op.Spec.Listener && "SetListener op without spec");
+  for (NodeId V : Sol.viewsAt(Op.Recv))
+    for (NodeId L : Sol.listenerValuesAt(Op.ValArg))
+      if (G.addListenerEdge(V, L) && Options.ModelListenerCallbacks)
+        wireListenerCallback(V, L, *Op.Spec.Listener);
+}
+
+void Solver::fireFragmentAdd(size_t OpIndex) {
+  // Extension rule: transaction.add(containerId, fragment). The framework
+  // calls fragment.onCreateView(inflater); the returned view becomes a
+  // child of every view carrying the container id.
+  OpSite &Op = Sol.opSites()[OpIndex];
+
+  // 1. Wire the onCreateView callback per reaching fragment allocation,
+  // and register this op on the callback's return variables so it
+  // re-fires when the returned views become known.
+  for (NodeId F : Sol.valuesAt(Op.ValArg)) {
+    if (G.node(F).Kind != NodeKind::Alloc)
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | F;
+    if (!FragmentWired.insert(Key).second)
+      continue;
+    const ClassDecl *FClass = G.node(F).Klass;
+    const MethodDecl *Factory =
+        FClass ? hier::ClassHierarchy::dispatch(FClass, "onCreateView", 1)
+               : nullptr;
+    if (!Factory || Factory->owner()->isPlatform())
+      continue;
+    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
+    G.addFlowEdge(F, ThisNode);
+    addValue(ThisNode, F);
+    for (const Stmt &Ret : Factory->body())
+      if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
+        OpUses[G.getVarNode(Factory, Ret.Lhs)].push_back(OpIndex);
+  }
+
+  // 2. Attach every known fragment root under every container view whose
+  // id reaches the container-id argument.
+  std::unordered_set<NodeId> WantedIds;
+  for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
+    if (G.node(IdVal).Kind == NodeKind::ViewId)
+      WantedIds.insert(IdVal);
+  if (WantedIds.empty())
+    return;
+
+  std::vector<NodeId> FragmentRoots;
+  for (NodeId F : Sol.valuesAt(Op.ValArg)) {
+    if (G.node(F).Kind != NodeKind::Alloc)
+      continue;
+    const ClassDecl *FClass = G.node(F).Klass;
+    const MethodDecl *Factory =
+        FClass ? hier::ClassHierarchy::dispatch(FClass, "onCreateView", 1)
+               : nullptr;
+    if (!Factory || Factory->owner()->isPlatform())
+      continue;
+    for (const Stmt &Ret : Factory->body())
+      if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
+        for (NodeId V : Sol.viewsAt(G.getVarNode(Factory, Ret.Lhs)))
+          FragmentRoots.push_back(V);
+  }
+  if (FragmentRoots.empty())
+    return;
+
+  for (NodeId Container = 0; Container < G.size(); ++Container) {
+    if (!isViewNodeKind(G.node(Container).Kind))
+      continue;
+    bool Matches = false;
+    for (NodeId IdNode : G.viewIds(Container))
+      if (WantedIds.count(IdNode))
+        Matches = true;
+    if (!Matches)
+      continue;
+    for (NodeId Root : FragmentRoots)
+      if (Container != Root && G.addParentChildEdge(Container, Root))
+        noteStructureChange();
+  }
+}
+
+void Solver::fireSetAdapter(size_t OpIndex) {
+  // Extension rule: listView.setAdapter(adapter). The framework calls
+  // adapter.getView(inflater) per row; every returned view becomes a
+  // child of the AdapterView.
+  OpSite &Op = Sol.opSites()[OpIndex];
+
+  for (NodeId A : Sol.valuesAt(Op.ValArg)) {
+    if (G.node(A).Kind != NodeKind::Alloc)
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | A;
+    if (!FragmentWired.insert(Key).second)
+      continue; // reuse the factory-wiring dedup table
+    const ClassDecl *AClass = G.node(A).Klass;
+    const MethodDecl *Factory =
+        AClass ? hier::ClassHierarchy::dispatch(AClass, "getView", 1)
+               : nullptr;
+    if (!Factory || Factory->owner()->isPlatform())
+      continue;
+    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
+    G.addFlowEdge(A, ThisNode);
+    addValue(ThisNode, A);
+    for (const Stmt &Ret : Factory->body())
+      if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
+        OpUses[G.getVarNode(Factory, Ret.Lhs)].push_back(OpIndex);
+  }
+
+  for (NodeId A : Sol.valuesAt(Op.ValArg)) {
+    if (G.node(A).Kind != NodeKind::Alloc)
+      continue;
+    const ClassDecl *AClass = G.node(A).Klass;
+    const MethodDecl *Factory =
+        AClass ? hier::ClassHierarchy::dispatch(AClass, "getView", 1)
+               : nullptr;
+    if (!Factory || Factory->owner()->isPlatform())
+      continue;
+    for (const Stmt &Ret : Factory->body()) {
+      if (Ret.Kind != StmtKind::Return || Ret.Lhs == InvalidVar)
+        continue;
+      for (NodeId Item : Sol.viewsAt(G.getVarNode(Factory, Ret.Lhs)))
+        for (NodeId ListView : Sol.viewsAt(Op.Recv))
+          if (ListView != Item && G.addParentChildEdge(ListView, Item))
+            noteStructureChange();
+    }
+  }
+}
+
+void Solver::fireFindView(OpSite &Op) {
+  // Rules FINDVIEW1/2/3: resolve over the current hierarchy and id state.
+  if (Op.Out == InvalidNode)
+    return;
+  for (NodeId R :
+       Sol.resultsOf(Op, Options.TrackViewIds, Options.TrackHierarchy,
+                     Options.FindView3ChildOnly))
+    addValue(Op.Out, R);
+}
+
+void Solver::fireOp(size_t OpIndex) {
+  ++Stats.OpFirings;
+  OpSite &Op = Sol.opSites()[OpIndex];
+  switch (Op.Spec.Kind) {
+  case OpKind::Inflate1:
+  case OpKind::Inflate2:
+    fireInflate(Op);
+    break;
+  case OpKind::AddView1:
+    fireAddView1(Op);
+    break;
+  case OpKind::AddView2:
+    fireAddView2(Op);
+    break;
+  case OpKind::SetId:
+    fireSetId(Op);
+    break;
+  case OpKind::SetListener:
+    fireSetListener(Op);
+    break;
+  case OpKind::FindView1:
+  case OpKind::FindView2:
+  case OpKind::FindView3:
+    fireFindView(Op);
+    break;
+  case OpKind::FragmentAdd:
+    fireFragmentAdd(OpIndex);
+    break;
+  case OpKind::SetAdapter:
+    fireSetAdapter(OpIndex);
+    break;
+  case OpKind::StartActivity:
+  case OpKind::SetIntentClass:
+    // Client ops: consumed post-fixpoint by the guimodel library; they do
+    // not influence view propagation.
+    break;
+  }
+}
+
+SolverStats Solver::solve() {
+  Stats = SolverStats();
+  ensureSets();
+  registerOpUses();
+  seedValueNodes();
+
+  unsigned long Budget = Options.MaxWorkItems;
+  for (;;) {
+    if (VarWorklist.empty() && OpWorklist.empty()) {
+      // Quiescent: apply structure-driven models (XML onClick handlers)
+      // once per structure growth; they may seed new propagation.
+      if (!StructureDirty)
+        break;
+      StructureDirty = false;
+      sweepXmlOnClickHandlers();
+      continue;
+    }
+    if (Budget-- == 0) {
+      Stats.HitWorkLimit = true;
+      Diags.warning("solver work limit reached; solution may be incomplete");
+      break;
+    }
+    if (!VarWorklist.empty()) {
+      NodeId N = VarWorklist.front();
+      VarWorklist.pop_front();
+      InVarWorklist[N] = false;
+      propagate(N);
+      continue;
+    }
+    size_t OpIndex = OpWorklist.front();
+    OpWorklist.pop_front();
+    InOpWorklist[OpIndex] = false;
+    fireOp(OpIndex);
+  }
+  return Stats;
+}

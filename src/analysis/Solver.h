@@ -1,0 +1,139 @@
+//===- Solver.h - Fixed-point constraint solver -----------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed-point computation of Section 4.3. The paper describes three
+/// phases (op-free reachability, inflation processing, view propagation);
+/// this solver fuses them into one monotone worklist computation with
+/// identical semantics: value propagation along flow edges, and operation
+/// rules (Section 4.2) that fire whenever their inputs grow or the
+/// hierarchy/id structure changes, possibly adding new relationship edges,
+/// new inflated-view nodes, and new flow facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_SOLVER_H
+#define GATOR_ANALYSIS_SOLVER_H
+
+#include "analysis/Options.h"
+#include "analysis/Solution.h"
+#include "android/AndroidModel.h"
+#include "graph/ConstraintGraph.h"
+#include "hier/ClassHierarchy.h"
+#include "layout/Layout.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace analysis {
+
+/// Statistics of one solver run.
+struct SolverStats {
+  unsigned long Propagations = 0; ///< worklist pops for value propagation
+  unsigned long OpFirings = 0;    ///< operation-rule evaluations
+  unsigned long InflationCount = 0; ///< (site, layout) inflations performed
+  bool HitWorkLimit = false;
+};
+
+/// Runs the fixed point over an already-built constraint graph.
+class Solver {
+public:
+  Solver(graph::ConstraintGraph &G, Solution &Sol,
+         const layout::LayoutRegistry &Layouts,
+         const android::AndroidModel &AM, const AnalysisOptions &Options,
+         DiagnosticEngine &Diags)
+      : G(G), Sol(Sol), Layouts(Layouts), AM(AM), Options(Options),
+        Diags(Diags) {}
+
+  SolverStats solve();
+
+private:
+  using NodeId = graph::NodeId;
+
+  void seedValueNodes();
+  void registerOpUses();
+  void ensureSets();
+
+  /// Inserts \p Value into node \p N's set; enqueues propagation and
+  /// dependent ops when the set grew.
+  void addValue(NodeId N, NodeId Value);
+
+  /// Declared-type filtering (AnalysisOptions::DeclaredTypeFilter): false
+  /// when \p Value is a class-bearing value cast-incompatible with node
+  /// \p N's declared type.
+  bool typeCompatible(NodeId N, NodeId Value) const;
+
+  void propagate(NodeId N);
+  void fireOp(size_t OpIndex);
+
+  void fireInflate(OpSite &Op);
+  void fireAddView1(OpSite &Op);
+  void fireAddView2(OpSite &Op);
+  void fireSetId(OpSite &Op);
+  void fireSetListener(OpSite &Op);
+  void fireFindView(OpSite &Op);
+  void fireFragmentAdd(size_t OpIndex);
+  void fireSetAdapter(size_t OpIndex);
+
+  /// Inflates the layout with id node \p LayoutIdNode at site \p OpIndex
+  /// (memoized); returns the root view node or InvalidNode.
+  NodeId inflateAt(size_t OpIndex, NodeId LayoutIdNode);
+
+  /// Wires the implicit handler callback `y.n(x)` for a new (view,
+  /// listener) association (Section 3.2, "Effects of callbacks").
+  void wireListenerCallback(NodeId View, NodeId ListenerValue,
+                            const android::ListenerSpec &Spec);
+
+  /// Models `android:onClick="name"` attributes: every view carrying the
+  /// attribute inside some window's hierarchy gets the window value as a
+  /// click listener, with the named activity method as handler. Runs when
+  /// the hierarchy structure has grown.
+  void sweepXmlOnClickHandlers();
+
+  void noteStructureChange();
+  void enqueueOp(size_t OpIndex);
+
+  graph::ConstraintGraph &G;
+  Solution &Sol;
+  const layout::LayoutRegistry &Layouts;
+  const android::AndroidModel &AM;
+  const AnalysisOptions &Options;
+  DiagnosticEngine &Diags;
+
+  std::deque<NodeId> VarWorklist;
+  std::vector<bool> InVarWorklist;
+
+  std::deque<size_t> OpWorklist;
+  std::vector<bool> InOpWorklist;
+
+  /// Op indices depending on each variable node's set.
+  std::unordered_map<NodeId, std::vector<size_t>> OpUses;
+
+  /// Ops to re-fire on hierarchy/id/root structure growth.
+  std::vector<size_t> StructureSensitiveOps;
+
+  /// (op index, layout-id node) -> inflated root.
+  std::unordered_map<uint64_t, NodeId> InflatedAt;
+
+  /// (FragmentAdd op index, fragment value) pairs whose onCreateView
+  /// callback is already wired.
+  std::unordered_set<uint64_t> FragmentWired;
+
+  SolverStats Stats;
+  unsigned long WorkBudget = 0;
+  /// Set by structure growth; triggers the XML onClick sweep when the
+  /// worklists drain.
+  bool StructureDirty = false;
+};
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_SOLVER_H

@@ -1,0 +1,170 @@
+//===- AndroidModel.h - Android platform model ------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative model of the Android platform. Following Section 3.1 of
+/// the paper, platform method *bodies* are never analyzed; instead this
+/// model (1) installs bodiless platform class declarations into the
+/// Program, (2) classifies application call sites into the operation kinds
+/// of Section 3.2 (Ops.h), (3) registers the listener interfaces and the
+/// signatures of their event-handler callbacks, and (4) names the activity
+/// lifecycle callbacks invoked implicitly by the framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANDROID_ANDROIDMODEL_H
+#define GATOR_ANDROID_ANDROIDMODEL_H
+
+#include "android/Ops.h"
+#include "ir/Ir.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gator {
+namespace android {
+
+/// Well-known platform class names.
+namespace names {
+inline constexpr const char *Object = "java.lang.Object";
+inline constexpr const char *ClassClass = "java.lang.Class";
+inline constexpr const char *Context = "android.content.Context";
+inline constexpr const char *Intent = "android.content.Intent";
+inline constexpr const char *Activity = "android.app.Activity";
+inline constexpr const char *Dialog = "android.app.Dialog";
+inline constexpr const char *View = "android.view.View";
+inline constexpr const char *ViewGroup = "android.view.ViewGroup";
+inline constexpr const char *LayoutInflater = "android.view.LayoutInflater";
+inline constexpr const char *List = "java.util.List";
+inline constexpr const char *Fragment = "android.app.Fragment";
+inline constexpr const char *FragmentManager = "android.app.FragmentManager";
+inline constexpr const char *FragmentTransaction =
+    "android.app.FragmentTransaction";
+} // namespace names
+
+/// One event-handler callback declared by a listener interface.
+struct HandlerSig {
+  std::string MethodName; ///< e.g. "onClick"
+  unsigned Arity;         ///< parameter count
+  /// Index of the parameter that receives the view the event fired on, or
+  /// -1 when the callback has no view parameter.
+  int ViewParamIndex;
+};
+
+/// One listener interface and how it is registered.
+struct ListenerSpec {
+  std::string InterfaceName;    ///< e.g. "android.view.View.OnClickListener"
+  std::string RegisterMethod;   ///< e.g. "setOnClickListener"
+  EventKind Event;
+  std::vector<HandlerSig> Handlers;
+};
+
+/// The classification of one call site.
+struct OpSpec {
+  OpKind Kind;
+  /// For SetListener: which listener registration this is.
+  const ListenerSpec *Listener = nullptr;
+  /// For FindView3: restrict results to direct children (e.g.
+  /// getCurrentView(), getChildAt()) instead of all descendants.
+  bool ChildOnly = false;
+  /// For Inflate1 with the two-argument inflate(id, parent) variant: the
+  /// argument index of the parent ViewGroup the inflated root attaches to
+  /// (-1 when absent).
+  int AttachParentArgIndex = -1;
+};
+
+/// Installs and queries the platform model.
+class AndroidModel {
+public:
+  /// Installs all platform classes (hierarchy anchors, widgets, listener
+  /// interfaces, inflater, intent) into \p P. Call before parsing/building
+  /// application classes so app code can extend them. Idempotent per
+  /// Program: classes already present are left untouched.
+  void install(ir::Program &P);
+
+  /// Binds the model to a resolved Program; caches anchor ClassDecls.
+  /// Returns false (and reports) if the platform classes are missing.
+  bool bind(const ir::Program &P, DiagnosticEngine &Diags);
+
+  const ir::Program &program() const { return *P; }
+
+  // Class category queries (Section 3.1). All require bind().
+
+  /// True for application classes that are (transitive) subclasses of
+  /// android.app.Activity.
+  bool isActivityClass(const ir::ClassDecl *C) const;
+  /// Activity or Dialog: classes whose instances own a view hierarchy root.
+  bool isWindowClass(const ir::ClassDecl *C) const;
+  /// True for subclasses of android.view.View (including platform widgets).
+  bool isViewClass(const ir::ClassDecl *C) const;
+  bool isViewGroupClass(const ir::ClassDecl *C) const;
+  /// True for classes implementing at least one registered listener
+  /// interface. The paper's Section 4.1 notes any object can be a listener
+  /// (even activities and views); this query is purely structural.
+  bool isListenerClass(const ir::ClassDecl *C) const;
+
+  /// All application (non-platform) activity classes.
+  std::vector<const ir::ClassDecl *> appActivityClasses() const;
+
+  /// Classifies an Invoke statement inside \p Enclosing. Returns nullopt
+  /// for ordinary (non-Android-operation) calls.
+  std::optional<OpSpec> classifyInvoke(const ir::MethodDecl &Enclosing,
+                                       const ir::Stmt &S) const;
+
+  /// True if \p MethodName is an Android lifecycle / framework callback
+  /// invoked implicitly on activities (Section 3.2, "Effects of
+  /// callbacks"). The model uses the documented lifecycle list plus the
+  /// conservative "on*" prefix convention.
+  static bool isLifecycleCallbackName(const std::string &MethodName);
+
+  /// The listener specs known to the model.
+  const std::vector<ListenerSpec> &listenerSpecs() const { return Specs; }
+
+  /// The spec for a listener interface name, or null.
+  const ListenerSpec *findListenerSpec(const std::string &InterfaceName) const;
+
+  /// All listener interfaces implemented by \p C (walking supertypes).
+  std::vector<const ListenerSpec *>
+  listenerSpecsOf(const ir::ClassDecl *C) const;
+
+  /// Resolves a view class name as spelled in a layout file: tries the
+  /// exact name, then android.widget.X / android.view.X / android.webkit.X.
+  const ir::ClassDecl *resolveLayoutClassName(const std::string &Name) const;
+
+  /// The java.util.List platform interface, whose `add`/`get` calls the
+  /// analysis models field-based through the artificial `elements` field
+  /// (views stored in collections remain trackable).
+  const ir::ClassDecl *listClass() const { return ListClass; }
+  /// The artificial List.elements field, or null.
+  const ir::FieldDecl *listElementsField() const;
+
+private:
+  void buildSpecs();
+  const ir::ClassDecl *anchor(const char *Name) const;
+
+  const ir::Program *P = nullptr;
+  std::vector<ListenerSpec> Specs;
+  std::unordered_multimap<std::string, const ListenerSpec *> SpecByRegister;
+  std::unordered_map<std::string, const ListenerSpec *> SpecByInterface;
+
+  const ir::ClassDecl *ActivityClass = nullptr;
+  const ir::ClassDecl *DialogClass = nullptr;
+  const ir::ClassDecl *ViewClass = nullptr;
+  const ir::ClassDecl *ViewGroupClass = nullptr;
+  const ir::ClassDecl *InflaterClass = nullptr;
+  const ir::ClassDecl *ContextClass = nullptr;
+  const ir::ClassDecl *IntentClass = nullptr;
+  const ir::ClassDecl *ListClass = nullptr;
+  const ir::ClassDecl *FragmentTxClass = nullptr;
+};
+
+} // namespace android
+} // namespace gator
+
+#endif // GATOR_ANDROID_ANDROIDMODEL_H

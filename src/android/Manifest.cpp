@@ -1,0 +1,78 @@
+//===- Manifest.cpp - AndroidManifest.xml model -----------------*- C++ -*-===//
+
+#include "android/Manifest.h"
+
+#include "xml/Xml.h"
+
+using namespace gator;
+using namespace gator::android;
+
+namespace {
+
+/// Resolves ".Relative" names against the package.
+std::string resolveName(const std::string &Name, const std::string &Package) {
+  if (!Name.empty() && Name[0] == '.')
+    return Package + Name;
+  return Name;
+}
+
+bool intentFilterIsLauncher(const xml::XmlNode &Filter) {
+  bool HasMain = false, HasLauncher = false;
+  for (const auto &Child : Filter.children()) {
+    const std::string *Name = Child->findAttr("android:name");
+    if (!Name)
+      continue;
+    if (Child->tag() == "action" &&
+        *Name == "android.intent.action.MAIN")
+      HasMain = true;
+    if (Child->tag() == "category" &&
+        *Name == "android.intent.category.LAUNCHER")
+      HasLauncher = true;
+  }
+  return HasMain && HasLauncher;
+}
+
+} // namespace
+
+std::optional<Manifest> gator::android::parseManifest(
+    std::string_view XmlText, const std::string &FileName,
+    DiagnosticEngine &Diags) {
+  std::unique_ptr<xml::XmlNode> Doc = xml::parseXml(XmlText, FileName, Diags);
+  if (!Doc)
+    return std::nullopt;
+  if (Doc->tag() != "manifest") {
+    Diags.error(Doc->loc(), "expected <manifest> root element");
+    return std::nullopt;
+  }
+
+  Manifest Result;
+  if (const std::string *Package = Doc->findAttr("package"))
+    Result.Package = *Package;
+
+  const xml::XmlNode *Application = nullptr;
+  for (const auto &Child : Doc->children())
+    if (Child->tag() == "application")
+      Application = Child.get();
+  if (!Application) {
+    Diags.error(Doc->loc(), "manifest has no <application> element");
+    return std::nullopt;
+  }
+
+  for (const auto &Child : Application->children()) {
+    if (Child->tag() != "activity")
+      continue;
+    const std::string *Name = Child->findAttr("android:name");
+    if (!Name) {
+      Diags.warning(Child->loc(), "<activity> without android:name ignored");
+      continue;
+    }
+    ManifestActivity Activity;
+    Activity.ClassName = resolveName(*Name, Result.Package);
+    for (const auto &Filter : Child->children())
+      if (Filter->tag() == "intent-filter" &&
+          intentFilterIsLauncher(*Filter))
+        Activity.IsLauncher = true;
+    Result.Activities.push_back(std::move(Activity));
+  }
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- Manifest.h - AndroidManifest.xml model -------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader for the application manifest. Real Android apps declare their
+/// activities and the launcher entry point in AndroidManifest.xml; the
+/// GATOR tool family consumes it to know where GUI exploration starts.
+/// Supported subset:
+///
+///   <manifest package="com.example.app">
+///     <application>
+///       <activity android:name=".MainActivity">
+///         <intent-filter>
+///           <action android:name="android.intent.action.MAIN" />
+///           <category android:name="android.intent.category.LAUNCHER" />
+///         </intent-filter>
+///       </activity>
+///       <activity android:name="com.example.app.Other" />
+///     </application>
+///   </manifest>
+///
+/// Names starting with '.' are resolved against the package attribute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANDROID_MANIFEST_H
+#define GATOR_ANDROID_MANIFEST_H
+
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gator {
+namespace android {
+
+/// One declared activity.
+struct ManifestActivity {
+  std::string ClassName; ///< fully resolved qualified name
+  bool IsLauncher = false;
+};
+
+/// The parsed manifest.
+struct Manifest {
+  std::string Package;
+  std::vector<ManifestActivity> Activities;
+
+  /// The launcher activity's class name, if one is declared.
+  std::optional<std::string> launcherActivity() const {
+    for (const ManifestActivity &A : Activities)
+      if (A.IsLauncher)
+        return A.ClassName;
+    return std::nullopt;
+  }
+};
+
+/// Parses manifest XML text. Returns nullopt after reporting errors.
+std::optional<Manifest> parseManifest(std::string_view XmlText,
+                                      const std::string &FileName,
+                                      DiagnosticEngine &Diags);
+
+} // namespace android
+} // namespace gator
+
+#endif // GATOR_ANDROID_MANIFEST_H

@@ -1,0 +1,91 @@
+//===- Baseline.h - Plain reference analysis without GUI model --*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison point motivating the paper: a traditional
+/// control-flow/context-insensitive, field-based reference analysis for the
+/// plain-Java sublanguage (Section 4: "A similar problem for the
+/// plain-Java language JLite can be solved using standard existing
+/// techniques"), applied *as-is* to Android code. It does not model layout
+/// inflation, activity lifecycles, view hierarchies, ids, or listener
+/// callbacks — exactly the gaps Section 1 lists when explaining why
+/// "existing reference analyses cannot be applied directly to Android".
+///
+/// Two treatments of unmodeled platform calls are provided:
+///  - Unmodeled: platform calls produce no values and trigger no
+///    callbacks. Unsound for Android (inflated views and framework-driven
+///    control flow simply do not exist in the solution).
+///  - SummaryObjects: each platform call returning a reference type mints
+///    one opaque per-site summary object of the declared return type.
+///    Sound-ish but useless for GUI reasoning: every findViewById result
+///    is a distinct opaque blob unrelated to any layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_BASELINE_BASELINE_H
+#define GATOR_BASELINE_BASELINE_H
+
+#include "android/AndroidModel.h"
+#include "hier/ClassHierarchy.h"
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace baseline {
+
+enum class PlatformCallTreatment {
+  Unmodeled,      ///< platform calls return nothing
+  SummaryObjects, ///< one opaque object per platform call site
+};
+
+struct BaselineOptions {
+  PlatformCallTreatment Treatment = PlatformCallTreatment::Unmodeled;
+  /// Treat every method as entry (seed `this` of every method with its
+  /// class's possible allocations)? The plain analysis has no notion of
+  /// framework entry points; with false, only main-like flow exists.
+  bool SeedAllMethods = false;
+};
+
+/// Comparison measurements against the GUI analysis.
+struct BaselineResult {
+  /// Number of find-view call sites (findViewById and friends).
+  unsigned FindViewSites = 0;
+  /// ... of which the baseline assigns any value at all to the result.
+  unsigned FindViewSitesWithValues = 0;
+  /// ... of which the baseline relates the result to a layout-declared
+  /// view (always 0: the baseline cannot, by construction).
+  unsigned FindViewSitesResolvedToLayoutViews = 0;
+  /// Number of set-listener call sites.
+  unsigned SetListenerSites = 0;
+  /// ... of which both the view and the listener operand have a known
+  /// value. Even then the baseline has no association semantics: it never
+  /// connects the view to the handler or triggers the callback.
+  unsigned SetListenerSitesWithOperands = 0;
+  /// Handler methods (listener-interface implementations) whose `this`
+  /// receives at least one object — i.e. event-handling code the analysis
+  /// knows can run. The GUI analysis seeds these via SETLISTENER.
+  unsigned HandlersReached = 0;
+  unsigned HandlersTotal = 0;
+  /// Total points-to facts (var/field node, value) computed.
+  unsigned long TotalFacts = 0;
+};
+
+/// Runs the baseline analysis.
+BaselineResult runBaseline(const ir::Program &P,
+                           const android::AndroidModel &AM,
+                           const BaselineOptions &Options,
+                           DiagnosticEngine &Diags);
+
+} // namespace baseline
+} // namespace gator
+
+#endif // GATOR_BASELINE_BASELINE_H

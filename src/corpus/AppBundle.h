@@ -1,0 +1,60 @@
+//===- AppBundle.h - A complete analyzable application ----------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles everything one analysis run needs: the ALite program (with the
+/// platform model installed), the layout registry with its resource table,
+/// and a bound AndroidModel. Produced by the ConnectBot example builder
+/// and by the synthetic corpus generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_CORPUS_APPBUNDLE_H
+#define GATOR_CORPUS_APPBUNDLE_H
+
+#include "android/AndroidModel.h"
+#include "ir/Ir.h"
+#include "layout/Layout.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace gator {
+namespace corpus {
+
+/// One ready-to-analyze application.
+class AppBundle {
+public:
+  AppBundle()
+      : Layouts(std::make_unique<layout::LayoutRegistry>(Resources)) {}
+
+  std::string Name;
+  ir::Program Program;
+  layout::ResourceTable Resources;
+  std::unique_ptr<layout::LayoutRegistry> Layouts;
+  android::AndroidModel Android;
+  DiagnosticEngine Diags;
+
+  /// Resolves the program, resolves layout includes, and binds the Android
+  /// model. Returns false (check Diags) on error.
+  bool finalize() {
+    if (!Program.resolve(Diags))
+      return false;
+    if (!Layouts->resolveIncludes(Diags))
+      return false;
+    return Android.bind(Program, Diags);
+  }
+
+  AppBundle(const AppBundle &) = delete;
+  AppBundle &operator=(const AppBundle &) = delete;
+};
+
+} // namespace corpus
+} // namespace gator
+
+#endif // GATOR_CORPUS_APPBUNDLE_H

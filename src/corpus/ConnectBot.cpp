@@ -1,0 +1,147 @@
+//===- ConnectBot.cpp - The paper's Figure 1 running example ----*- C++ -*-===//
+
+#include "corpus/ConnectBot.h"
+
+#include "layout/Layout.h"
+#include "parser/Parser.h"
+
+using namespace gator;
+using namespace gator::corpus;
+
+const char *gator::corpus::connectBotAliteSource() {
+  return R"alite(
+// Figure 1 of the paper, in ALite concrete syntax. Statement roles are
+// annotated with the original figure line numbers.
+class ConsoleActivity extends android.app.Activity {
+  field flip: android.widget.ViewFlipper;
+
+  // Figure lines 3-7: helper that queries the currently-visible terminal.
+  method findTerminalView(a: int): android.view.View {
+    var b: android.widget.ViewFlipper;
+    var c: android.view.View;
+    var d: android.view.View;
+    b := this.flip;              // line 4
+    c := b.getCurrentView();     // line 5, FindView3 (child-only)
+    d := c.findViewById(a);      // line 6, FindView1
+    return d;                    // line 7
+  }
+
+  // Figure lines 8-16.
+  method onCreate() {
+    var lid: int;
+    var cfid: int;
+    var beid: int;
+    var e: android.view.View;
+    var f: android.widget.ViewFlipper;
+    var g: android.view.View;
+    var h: android.widget.ImageView;
+    var j: EscapeButtonListener;
+    lid := @layout/act_console;
+    this.setContentView(lid);    // line 9, Inflate2
+    cfid := @id/console_flip;
+    e := this.findViewById(cfid); // line 10, FindView2
+    f := e;                       // line 11 (cast)
+    this.flip := f;               // line 12
+    beid := @id/button_esc;
+    g := this.findViewById(beid); // line 13, FindView2
+    h := g;                       // line 14 (cast)
+    j := new EscapeButtonListener(this); // line 15
+    h.setOnClickListener(j);      // line 16, SetListener
+  }
+
+  // Figure lines 17-25.
+  method addNewTerminalView(bridge: TerminalBridge) {
+    var inflater: android.view.LayoutInflater;
+    var tlid: int;
+    var k: android.view.View;
+    var n: android.widget.RelativeLayout;
+    var m: TerminalView;
+    var tvid: int;
+    var p: android.widget.ViewFlipper;
+    inflater := this.getLayoutInflater(); // line 18 (helper object)
+    tlid := @layout/item_terminal;
+    k := inflater.inflate(tlid);  // line 19, Inflate1
+    n := k;                       // line 20 (cast)
+    m := new TerminalView(bridge); // line 21
+    tvid := @id/terminal_view;
+    m.setId(tvid);                // line 22, SetId
+    n.addView(m);                 // line 23, AddView2 (m becomes child of n)
+    p := this.flip;               // line 24
+    p.addView(n);                 // line 25, AddView2
+  }
+}
+
+// Figure lines 26-34.
+class EscapeButtonListener implements android.view.View.OnClickListener {
+  field cact: ConsoleActivity;
+
+  method init(q: ConsoleActivity) {
+    this.cact := q;               // line 29
+  }
+
+  method onClick(r: android.view.View) {
+    var s: ConsoleActivity;
+    var t: android.view.View;
+    var v: TerminalView;
+    var tvid: int;
+    s := this.cact;               // line 31
+    tvid := @id/terminal_view;
+    t := s.findTerminalView(tvid); // line 32 (helper call)
+    v := t;                        // line 33 (cast)
+    // line 34: send ESC key to the terminal associated with v
+  }
+}
+
+// Application view class for the SSH terminal window (Section 2).
+class TerminalView extends android.view.View {
+  field bridge: TerminalBridge;
+  method init(b: TerminalBridge) {
+    this.bridge := b;
+  }
+}
+
+// Plain application class: the SSH connection state behind a terminal.
+class TerminalBridge {
+  field host: java.lang.Object;
+}
+)alite";
+}
+
+const char *gator::corpus::connectBotActConsoleXml() {
+  return R"xml(
+<RelativeLayout>
+  <ViewFlipper android:id="@+id/console_flip" />
+  <RelativeLayout android:id="@+id/keyboard_group">
+    <ImageView android:id="@+id/button_esc" />
+  </RelativeLayout>
+</RelativeLayout>
+)xml";
+}
+
+const char *gator::corpus::connectBotItemTerminalXml() {
+  return R"xml(
+<RelativeLayout>
+  <TextView android:id="@+id/terminal_overlay" />
+</RelativeLayout>
+)xml";
+}
+
+std::unique_ptr<AppBundle> gator::corpus::buildConnectBotExample() {
+  auto App = std::make_unique<AppBundle>();
+  App->Name = "ConnectBot";
+  App->Android.install(App->Program);
+
+  if (!parser::parseAlite(connectBotAliteSource(), "connectbot.alite",
+                          App->Program, App->Diags))
+    return App; // diagnostics recorded; caller checks Diags
+
+  if (!layout::readLayoutXml(*App->Layouts, "act_console",
+                             connectBotActConsoleXml(), App->Diags))
+    return App;
+  if (!layout::readLayoutXml(*App->Layouts, "item_terminal",
+                             connectBotItemTerminalXml(), App->Diags))
+    return App;
+
+  App->finalize();
+  return App;
+}

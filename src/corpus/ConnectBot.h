@@ -1,0 +1,54 @@
+//===- ConnectBot.h - The paper's Figure 1 running example ------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the running example of Section 2 (Figure 1), derived from
+/// ConnectBot: ConsoleActivity with the act_console / item_terminal
+/// layouts, the programmatically created TerminalView, and the
+/// EscapeButtonListener click handler. The ALite source and the two layout
+/// XML files are embedded as text and go through the real frontends.
+///
+/// Two deliberate deviations from the figure:
+///  - The helper method (Figure 1 lines 3-7) is named `findTerminalView`
+///    instead of overriding `findViewById`, so that lines 10/13 remain
+///    platform find-view operations on the activity (which is how Section
+///    2's text describes them: "Such calls use a view id to search ... the
+///    hierarchy associated with the activity").
+///  - The programmatic TerminalView gets a fresh id `terminal_view`
+///    instead of reusing `console_flip` (line 22). Reusing the id would —
+///    under any flow-insensitive static matching — make the activity-wide
+///    search at line 10 alias the flipper with the terminal, which is
+///    inconsistent with the 1.00-across-the-board ConnectBot precision the
+///    paper's Table 2 reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_CORPUS_CONNECTBOT_H
+#define GATOR_CORPUS_CONNECTBOT_H
+
+#include "corpus/AppBundle.h"
+
+#include <memory>
+
+namespace gator {
+namespace corpus {
+
+/// The embedded ALite source of the example (exposed for tests/examples).
+const char *connectBotAliteSource();
+/// The embedded act_console layout XML.
+const char *connectBotActConsoleXml();
+/// The embedded item_terminal layout XML.
+const char *connectBotItemTerminalXml();
+
+/// Parses and finalizes the example; returns null (with diagnostics in the
+/// bundle) on failure.
+std::unique_ptr<AppBundle> buildConnectBotExample();
+
+} // namespace corpus
+} // namespace gator
+
+#endif // GATOR_CORPUS_CONNECTBOT_H

@@ -1,0 +1,75 @@
+//===- DexLite.h - Dalvik-style bytecode frontend ---------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A register-based bytecode frontend in the style of Dalvik/smali. The
+/// original system consumed real Android apps through Soot's Dalvik
+/// frontend; DexLite reproduces the essential difficulty of that path —
+/// *registers are untyped* — and solves it the way bytecode frontends do:
+/// per-method forward type inference over the register file, with a fresh
+/// typed IR variable minted whenever a register is re-bound at a
+/// different type (register splitting).
+///
+/// Syntax (one directive or instruction per line; `#` comments):
+///
+///   .class <qname> [extends <qname>] [implements <qname>[, <qname>]*]
+///   .interface <qname> [extends <qname>]
+///   .field [static] <name> <type>
+///   .method [static] <name>(<type>[, <type>]*) <rettype>
+///     .registers <N>                       # locals v0..v(N-1)
+///     <instructions>
+///   .end method
+///   .end class
+///
+/// Instructions (vX = local register, pX = parameter register, p0 = this
+/// for instance methods):
+///
+///   move vA, vB              # vA := vB
+///   const-null vA
+///   const-layout vA, <name>  # vA := @layout/name
+///   const-id vA, <name>      # vA := @id/name
+///   const-class vA, <class>  # vA := classof C
+///   new-instance vA, <class>
+///   iget vA, vB, <field>     # vA := vB.<field>
+///   iput vA, vB, <field>     # vB.<field> := vA   (Dalvik operand order)
+///   sget vA, <class>.<field>
+///   sput vA, <class>.<field>
+///   invoke {vRecv[, vArg]*}, <method>
+///   move-result vA           # binds the preceding invoke's result
+///   return-void
+///   return vA
+///
+/// Untyped registers: a register's static type at each program point is
+/// inferred forward from constants, allocations, field/method signatures,
+/// and copies; each rebinding at a new type starts a fresh IR variable
+/// (`v3$1`, `v3$2`, ...). This is precisely the information Soot's
+/// typed-Jimple construction recovers from dex files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_DEX_DEXLITE_H
+#define GATOR_DEX_DEXLITE_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace gator {
+namespace dex {
+
+/// Parses DexLite text and lowers it into \p Program (which should already
+/// contain the platform model). Returns true when no errors occurred.
+/// Lowering resolves field/method signatures against *all* classes in the
+/// buffer plus the Program, so forward references are fine.
+bool parseDexLite(std::string_view Input, const std::string &FileName,
+                  ir::Program &Program, DiagnosticEngine &Diags);
+
+} // namespace dex
+} // namespace gator
+
+#endif // GATOR_DEX_DEXLITE_H

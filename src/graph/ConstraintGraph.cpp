@@ -1,0 +1,414 @@
+//===- ConstraintGraph.cpp - The GUI constraint graph -----------*- C++ -*-===//
+
+#include "graph/ConstraintGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace gator;
+using namespace gator::graph;
+using namespace gator::ir;
+
+const char *gator::graph::nodeKindName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Var:
+    return "Var";
+  case NodeKind::Field:
+    return "Field";
+  case NodeKind::Alloc:
+    return "Alloc";
+  case NodeKind::ViewAlloc:
+    return "ViewAlloc";
+  case NodeKind::ViewInfl:
+    return "ViewInfl";
+  case NodeKind::Activity:
+    return "Activity";
+  case NodeKind::LayoutId:
+    return "LayoutId";
+  case NodeKind::ViewId:
+    return "ViewId";
+  case NodeKind::ClassConst:
+    return "ClassConst";
+  case NodeKind::Op:
+    return "Op";
+  }
+  return "unknown";
+}
+
+bool gator::graph::isValueNodeKind(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Alloc:
+  case NodeKind::ViewAlloc:
+  case NodeKind::ViewInfl:
+  case NodeKind::Activity:
+  case NodeKind::LayoutId:
+  case NodeKind::ViewId:
+  case NodeKind::ClassConst:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool gator::graph::isViewNodeKind(NodeKind Kind) {
+  return Kind == NodeKind::ViewAlloc || Kind == NodeKind::ViewInfl;
+}
+
+//===----------------------------------------------------------------------===//
+// Node factories
+//===----------------------------------------------------------------------===//
+
+NodeId ConstraintGraph::push(Node N) {
+  Nodes.push_back(std::move(N));
+  FlowSucc.emplace_back();
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+NodeId ConstraintGraph::getVarNode(const MethodDecl *M, VarId V) {
+  auto &PerMethod = VarNodes[M];
+  auto It = PerMethod.find(V);
+  if (It != PerMethod.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::Var;
+  N.Method = M;
+  N.Var = V;
+  NodeId Id = push(std::move(N));
+  PerMethod.emplace(V, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getFieldNode(const FieldDecl *F) {
+  auto It = FieldNodes.find(F);
+  if (It != FieldNodes.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::Field;
+  N.Field = F;
+  NodeId Id = push(std::move(N));
+  FieldNodes.emplace(F, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getAllocNode(const MethodDecl *M, int32_t StmtIndex,
+                                     const ClassDecl *Klass, bool IsView,
+                                     SourceLocation Loc) {
+  auto &PerMethod = AllocNodes[M];
+  auto It = PerMethod.find(StmtIndex);
+  if (It != PerMethod.end())
+    return It->second;
+  Node N;
+  N.Kind = IsView ? NodeKind::ViewAlloc : NodeKind::Alloc;
+  N.Method = M;
+  N.StmtIndex = StmtIndex;
+  N.Klass = Klass;
+  N.Loc = std::move(Loc);
+  NodeId Id = push(std::move(N));
+  PerMethod.emplace(StmtIndex, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getActivityNode(const ClassDecl *Klass) {
+  auto It = ActivityNodes.find(Klass);
+  if (It != ActivityNodes.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::Activity;
+  N.Klass = Klass;
+  NodeId Id = push(std::move(N));
+  ActivityNodes.emplace(Klass, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getLayoutIdNode(layout::ResourceId Res) {
+  auto It = LayoutIdNodes.find(Res);
+  if (It != LayoutIdNodes.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::LayoutId;
+  N.Res = Res;
+  NodeId Id = push(std::move(N));
+  LayoutIdNodes.emplace(Res, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getViewIdNode(layout::ResourceId Res) {
+  auto It = ViewIdNodes.find(Res);
+  if (It != ViewIdNodes.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::ViewId;
+  N.Res = Res;
+  NodeId Id = push(std::move(N));
+  ViewIdNodes.emplace(Res, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::getClassConstNode(const ClassDecl *Klass) {
+  auto It = ClassConstNodes.find(Klass);
+  if (It != ClassConstNodes.end())
+    return It->second;
+  Node N;
+  N.Kind = NodeKind::ClassConst;
+  N.Klass = Klass;
+  NodeId Id = push(std::move(N));
+  ClassConstNodes.emplace(Klass, Id);
+  return Id;
+}
+
+NodeId ConstraintGraph::makeOpNode(android::OpKind Kind, SourceLocation Loc,
+                                   const android::ListenerSpec *Listener,
+                                   bool ChildOnly) {
+  Node N;
+  N.Kind = NodeKind::Op;
+  N.Op = Kind;
+  N.Listener = Listener;
+  N.ChildOnly = ChildOnly;
+  N.Loc = std::move(Loc);
+  return push(std::move(N));
+}
+
+NodeId ConstraintGraph::makeViewInflNode(const ClassDecl *Klass,
+                                         const layout::LayoutNode *LNode,
+                                         NodeId Site) {
+  Node N;
+  N.Kind = NodeKind::ViewInfl;
+  N.Klass = Klass;
+  N.LNode = LNode;
+  N.InflateSite = Site;
+  return push(std::move(N));
+}
+
+std::vector<NodeId> ConstraintGraph::nodesOfKind(NodeKind Kind) const {
+  std::vector<NodeId> Result;
+  for (NodeId Id = 0; Id < Nodes.size(); ++Id)
+    if (Nodes[Id].Kind == Kind)
+      Result.push_back(Id);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Edges
+//===----------------------------------------------------------------------===//
+
+bool ConstraintGraph::addFlowEdge(NodeId From, NodeId To) {
+  assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
+  if (!FlowEdges.insert(edgeKey(From, To)).second)
+    return false;
+  FlowSucc[From].push_back(To);
+  return true;
+}
+
+bool ConstraintGraph::addAssocEdge(
+    std::unordered_map<NodeId, std::vector<NodeId>> &Map,
+    std::unordered_set<uint64_t> &Dedup, NodeId From, NodeId To) {
+  assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
+  if (!Dedup.insert(edgeKey(From, To)).second)
+    return false;
+  Map[From].push_back(To);
+  return true;
+}
+
+bool ConstraintGraph::addParentChildEdge(NodeId Parent, NodeId Child) {
+  assert(isViewNodeKind(Nodes[Parent].Kind) &&
+         isViewNodeKind(Nodes[Child].Kind) &&
+         "parent-child edges connect view nodes");
+  bool Added = addAssocEdge(ChildMap, ChildDedup, Parent, Child);
+  if (Added)
+    ++NumParentChild;
+  return Added;
+}
+
+bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
+  assert(isViewNodeKind(Nodes[View].Kind) && "has-id edge from non-view");
+  assert(Nodes[ViewIdNode].Kind == NodeKind::ViewId && "target not a ViewId");
+  return addAssocEdge(HasIdMap, HasIdDedup, View, ViewIdNode);
+}
+
+bool ConstraintGraph::addRootEdge(NodeId Activity, NodeId View) {
+  assert(isViewNodeKind(Nodes[View].Kind) && "root edge to non-view");
+  return addAssocEdge(RootMap, RootDedup, Activity, View);
+}
+
+bool ConstraintGraph::addListenerEdge(NodeId View, NodeId ListenerValue) {
+  assert(isViewNodeKind(Nodes[View].Kind) && "listener edge from non-view");
+  return addAssocEdge(ListenerMap, ListenerDedup, View, ListenerValue);
+}
+
+bool ConstraintGraph::addRootsLayoutEdge(NodeId View, NodeId LayoutIdNode) {
+  assert(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId &&
+         "target not a LayoutId");
+  return addAssocEdge(RootsLayoutMap, RootsLayoutDedup, View, LayoutIdNode);
+}
+
+std::vector<NodeId> ConstraintGraph::rootHolders() const {
+  std::vector<NodeId> Result;
+  for (const auto &[Holder, Roots] : RootMap)
+    if (!Roots.empty())
+      Result.push_back(Holder);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+const std::vector<NodeId> &ConstraintGraph::children(NodeId View) const {
+  auto It = ChildMap.find(View);
+  return It == ChildMap.end() ? EmptyList : It->second;
+}
+
+const std::vector<NodeId> &ConstraintGraph::viewIds(NodeId View) const {
+  auto It = HasIdMap.find(View);
+  return It == HasIdMap.end() ? EmptyList : It->second;
+}
+
+const std::vector<NodeId> &ConstraintGraph::roots(NodeId Activity) const {
+  auto It = RootMap.find(Activity);
+  return It == RootMap.end() ? EmptyList : It->second;
+}
+
+const std::vector<NodeId> &ConstraintGraph::listeners(NodeId View) const {
+  auto It = ListenerMap.find(View);
+  return It == ListenerMap.end() ? EmptyList : It->second;
+}
+
+const std::vector<NodeId> &
+ConstraintGraph::rootsOfLayouts(NodeId View) const {
+  auto It = RootsLayoutMap.find(View);
+  return It == RootsLayoutMap.end() ? EmptyList : It->second;
+}
+
+std::vector<NodeId> ConstraintGraph::descendantsOf(NodeId View) const {
+  std::vector<NodeId> Result;
+  std::unordered_set<NodeId> Seen;
+  std::vector<NodeId> Work{View};
+  while (!Work.empty()) {
+    NodeId Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    Result.push_back(Cur);
+    for (NodeId Child : children(Cur))
+      Work.push_back(Child);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Labels and dumps
+//===----------------------------------------------------------------------===//
+
+static std::string simpleClassName(const ClassDecl *C) {
+  if (!C)
+    return "?";
+  const std::string &Name = C->name();
+  size_t Pos = Name.rfind('.');
+  return Pos == std::string::npos ? Name : Name.substr(Pos + 1);
+}
+
+std::string ConstraintGraph::label(NodeId Id) const {
+  const Node &N = Nodes[Id];
+  std::ostringstream OS;
+  switch (N.Kind) {
+  case NodeKind::Var:
+    OS << N.Method->var(N.Var).Name << '@' << N.Method->qualifiedName();
+    break;
+  case NodeKind::Field:
+    OS << N.Field->qualifiedName();
+    break;
+  case NodeKind::Alloc:
+  case NodeKind::ViewAlloc:
+    OS << "new " << simpleClassName(N.Klass);
+    if (N.Loc.isValid())
+      OS << '_' << N.Loc.line();
+    break;
+  case NodeKind::ViewInfl:
+    OS << simpleClassName(N.Klass) << "~infl#" << N.InflateSite;
+    if (N.LNode && N.LNode->hasViewId())
+      OS << '[' << N.LNode->viewIdName() << ']';
+    break;
+  case NodeKind::Activity:
+    OS << "act:" << simpleClassName(N.Klass);
+    break;
+  case NodeKind::LayoutId:
+    OS << "R.layout#" << (N.Res - layout::ResourceTable::LayoutIdBase);
+    break;
+  case NodeKind::ViewId:
+    OS << "R.id#" << (N.Res - layout::ResourceTable::ViewIdBase);
+    break;
+  case NodeKind::ClassConst:
+    OS << "classof " << simpleClassName(N.Klass);
+    break;
+  case NodeKind::Op:
+    OS << android::opKindName(N.Op);
+    if (N.Loc.isValid())
+      OS << '_' << N.Loc.line();
+    break;
+  }
+  return OS.str();
+}
+
+void ConstraintGraph::dumpDot(std::ostream &OS, bool IncludeVarNodes) const {
+  OS << "digraph constraints {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  auto include = [&](NodeId Id) {
+    return IncludeVarNodes || Nodes[Id].Kind != NodeKind::Var;
+  };
+  for (NodeId Id = 0; Id < Nodes.size(); ++Id) {
+    if (!include(Id))
+      continue;
+    const Node &N = Nodes[Id];
+    const char *Shape = "ellipse";
+    const char *Fill = "white";
+    if (N.Kind == NodeKind::Op) {
+      Shape = "box";
+      Fill = "lightyellow";
+    } else if (isViewNodeKind(N.Kind)) {
+      Fill = "lightgray";
+    } else if (N.Kind == NodeKind::Activity) {
+      Fill = "lightblue";
+    }
+    OS << "  n" << Id << " [label=\"" << label(Id) << "\", shape=" << Shape
+       << ", style=filled, fillcolor=" << Fill << "];\n";
+  }
+  for (NodeId Id = 0; Id < Nodes.size(); ++Id) {
+    if (!include(Id))
+      continue;
+    for (NodeId To : FlowSucc[Id])
+      if (include(To))
+        OS << "  n" << Id << " -> n" << To << ";\n";
+  }
+  auto dumpAssoc = [&](const std::unordered_map<NodeId, std::vector<NodeId>>
+                           &Map,
+                       const char *Label) {
+    for (NodeId Id = 0; Id < Nodes.size(); ++Id) {
+      auto It = Map.find(Id);
+      if (It == Map.end() || !include(Id))
+        continue;
+      for (NodeId To : It->second)
+        if (include(To))
+          OS << "  n" << Id << " -> n" << To << " [style=dashed, label=\""
+             << Label << "\"];\n";
+    }
+  };
+  dumpAssoc(ChildMap, "child");
+  dumpAssoc(HasIdMap, "id");
+  dumpAssoc(RootMap, "root");
+  dumpAssoc(ListenerMap, "listener");
+  dumpAssoc(RootsLayoutMap, "layout");
+  OS << "}\n";
+}
+
+void ConstraintGraph::dumpStats(std::ostream &OS) const {
+  size_t Counts[10] = {};
+  for (const Node &N : Nodes)
+    ++Counts[static_cast<int>(N.Kind)];
+  OS << "nodes=" << Nodes.size();
+  static const NodeKind Kinds[] = {
+      NodeKind::Var,      NodeKind::Field,    NodeKind::Alloc,
+      NodeKind::ViewAlloc, NodeKind::ViewInfl, NodeKind::Activity,
+      NodeKind::LayoutId, NodeKind::ViewId,   NodeKind::ClassConst,
+      NodeKind::Op};
+  for (NodeKind K : Kinds)
+    OS << ' ' << nodeKindName(K) << '=' << Counts[static_cast<int>(K)];
+  OS << " flowEdges=" << FlowEdges.size()
+     << " parentChild=" << NumParentChild << '\n';
+}

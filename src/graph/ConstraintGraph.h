@@ -1,0 +1,246 @@
+//===- ConstraintGraph.h - The GUI constraint graph -------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint graph of Section 4.1. Nodes represent variables, fields,
+/// allocations, inflated views, activities, layout/view ids, class
+/// constants, and Android operation occurrences. Two edge families exist:
+///
+///  - flow edges `n -> n'` constrain value flow (assignments, parameter
+///    passing, returns, id-constant loads, operation outputs);
+///  - relationship edges `n => n'` record structural facts computed by the
+///    analysis: parent-child between views, view=>viewId, view=>listener,
+///    activity=>rootView, view=>layoutId (inflation origin), and
+///    view=>inflateOp (inflation site).
+///
+/// The graph is mutable during solving: operation rules add both edge
+/// families (e.g. AddView2 adds parent-child edges; SetListener adds
+/// listener associations plus callback flow edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_GRAPH_CONSTRAINTGRAPH_H
+#define GATOR_GRAPH_CONSTRAINTGRAPH_H
+
+#include "android/AndroidModel.h"
+#include "ir/Ir.h"
+#include "layout/Layout.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace graph {
+
+using NodeId = uint32_t;
+inline constexpr NodeId InvalidNode = ~0u;
+
+enum class NodeKind {
+  Var,        ///< a local variable of one method
+  Field,      ///< one FieldDecl (the analysis is field-based)
+  Alloc,      ///< `new C` for a non-view class (listeners live here)
+  ViewAlloc,  ///< `new C` for a view class (paper: ViewAlloc ⊆ Alloc)
+  ViewInfl,   ///< a view minted by inflating one layout node at one site
+  Activity,   ///< the framework-created instance(s) of an activity class
+  LayoutId,   ///< an R.layout integer constant
+  ViewId,     ///< an R.id integer constant
+  ClassConst, ///< `classof C` (activity-transition-graph client)
+  Op,         ///< one occurrence of an Android operation (Section 3.2)
+};
+
+const char *nodeKindName(NodeKind Kind);
+
+/// Payload of one graph node; which members are meaningful depends on Kind.
+struct Node {
+  NodeKind Kind;
+
+  /// Var: the owning method; Alloc/ViewAlloc: the allocating method.
+  const ir::MethodDecl *Method = nullptr;
+  /// Var: the variable index.
+  ir::VarId Var = ir::InvalidVar;
+  /// Alloc/ViewAlloc: index of the `new` statement within Method's body
+  /// (site identity).
+  int32_t StmtIndex = -1;
+
+  /// Field: the field.
+  const ir::FieldDecl *Field = nullptr;
+
+  /// Alloc/ViewAlloc/ViewInfl/Activity/ClassConst: the class.
+  const ir::ClassDecl *Klass = nullptr;
+
+  /// ViewInfl: the layout node this view was minted from, and the Op node
+  /// of the inflation site ("a fresh set of graph nodes is introduced at
+  /// each inflation site", Section 4.1).
+  const layout::LayoutNode *LNode = nullptr;
+  NodeId InflateSite = InvalidNode;
+
+  /// LayoutId/ViewId: the integer resource id.
+  layout::ResourceId Res = layout::InvalidResourceId;
+
+  /// Op: operation kind and, for SetListener, the listener registration.
+  android::OpKind Op = android::OpKind::Inflate1;
+  const android::ListenerSpec *Listener = nullptr;
+  /// Op(FindView3): child-only refinement.
+  bool ChildOnly = false;
+
+  /// Site location (ops, allocs) for labels and debugging.
+  SourceLocation Loc;
+};
+
+/// True for node kinds whose identity is a *value* propagated by flowsTo
+/// (views, activities, ids, ordinary allocations, class constants).
+bool isValueNodeKind(NodeKind Kind);
+/// True for nodes representing views (ViewAlloc or ViewInfl).
+bool isViewNodeKind(NodeKind Kind);
+
+/// The constraint graph.
+class ConstraintGraph {
+public:
+  //===--------------------------------------------------------------------===//
+  // Node creation (memoized factories)
+  //===--------------------------------------------------------------------===//
+
+  NodeId getVarNode(const ir::MethodDecl *M, ir::VarId V);
+  NodeId getFieldNode(const ir::FieldDecl *F);
+  NodeId getAllocNode(const ir::MethodDecl *M, int32_t StmtIndex,
+                      const ir::ClassDecl *Klass, bool IsView,
+                      SourceLocation Loc);
+  NodeId getActivityNode(const ir::ClassDecl *Klass);
+  NodeId getLayoutIdNode(layout::ResourceId Res);
+  NodeId getViewIdNode(layout::ResourceId Res);
+  NodeId getClassConstNode(const ir::ClassDecl *Klass);
+
+  /// Operation nodes are not memoized: one per call-site occurrence.
+  NodeId makeOpNode(android::OpKind Kind, SourceLocation Loc,
+                    const android::ListenerSpec *Listener = nullptr,
+                    bool ChildOnly = false);
+
+  /// Mints a fresh inflated-view node for \p LNode inflated at \p Site.
+  NodeId makeViewInflNode(const ir::ClassDecl *Klass,
+                          const layout::LayoutNode *LNode, NodeId Site);
+
+  //===--------------------------------------------------------------------===//
+  // Node access
+  //===--------------------------------------------------------------------===//
+
+  const Node &node(NodeId Id) const { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// All node ids of a given kind, in creation order.
+  std::vector<NodeId> nodesOfKind(NodeKind Kind) const;
+
+  /// Human-readable label (e.g. "ViewFlipper@act_console", "FindView1:13").
+  std::string label(NodeId Id) const;
+
+  //===--------------------------------------------------------------------===//
+  // Flow edges (->)
+  //===--------------------------------------------------------------------===//
+
+  /// Adds n -> n'; returns true if the edge is new.
+  bool addFlowEdge(NodeId From, NodeId To);
+
+  const std::vector<NodeId> &flowSuccessors(NodeId Id) const {
+    return FlowSucc[Id];
+  }
+
+  size_t flowEdgeCount() const { return FlowEdges.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Relationship edges (=>)
+  //===--------------------------------------------------------------------===//
+
+  /// view1 => view2 parent-child. Returns true if new.
+  bool addParentChildEdge(NodeId Parent, NodeId Child);
+  /// view => viewId association (INFLATE, SETID). Returns true if new.
+  bool addHasIdEdge(NodeId View, NodeId ViewIdNode);
+  /// activity => rootView (INFLATE2, ADDVIEW1). Returns true if new.
+  bool addRootEdge(NodeId Activity, NodeId View);
+  /// view => listener (SETLISTENER). Returns true if new.
+  bool addListenerEdge(NodeId View, NodeId ListenerValue);
+  /// view => layoutId: the view is the root of an instance of this layout.
+  bool addRootsLayoutEdge(NodeId View, NodeId LayoutIdNode);
+
+  /// All nodes holding at least one hierarchy root (activity nodes plus
+  /// dialog/other allocations targeted by INFLATE2/ADDVIEW1).
+  std::vector<NodeId> rootHolders() const;
+
+  const std::vector<NodeId> &children(NodeId View) const;
+  const std::vector<NodeId> &viewIds(NodeId View) const;
+  const std::vector<NodeId> &roots(NodeId Activity) const;
+  const std::vector<NodeId> &listeners(NodeId View) const;
+  const std::vector<NodeId> &rootsOfLayouts(NodeId View) const;
+
+  size_t parentChildEdgeCount() const { return NumParentChild; }
+
+  /// All views reachable from \p View through parent-child edges,
+  /// including \p View itself (the reflexive-transitive closure used by
+  /// FindView rules; the receiver itself is included because
+  /// findViewById(id) may match the receiver in Android).
+  std::vector<NodeId> descendantsOf(NodeId View) const;
+
+  //===--------------------------------------------------------------------===//
+  // Output
+  //===--------------------------------------------------------------------===//
+
+  /// Writes the graph in Graphviz DOT format. Flow edges solid,
+  /// relationship edges dashed with labels.
+  void dumpDot(std::ostream &OS, bool IncludeVarNodes = true) const;
+
+  /// Summary statistics line (node/edge counts by kind).
+  void dumpStats(std::ostream &OS) const;
+
+private:
+  NodeId push(Node N);
+
+  static uint64_t edgeKey(NodeId From, NodeId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+
+  bool addAssocEdge(std::unordered_map<NodeId, std::vector<NodeId>> &Map,
+                    std::unordered_set<uint64_t> &Dedup, NodeId From,
+                    NodeId To);
+
+  std::vector<Node> Nodes;
+
+  std::vector<std::vector<NodeId>> FlowSucc;
+  std::unordered_set<uint64_t> FlowEdges;
+
+  std::unordered_map<NodeId, std::vector<NodeId>> ChildMap;
+  std::unordered_set<uint64_t> ChildDedup;
+  size_t NumParentChild = 0;
+  std::unordered_map<NodeId, std::vector<NodeId>> HasIdMap;
+  std::unordered_set<uint64_t> HasIdDedup;
+  std::unordered_map<NodeId, std::vector<NodeId>> RootMap;
+  std::unordered_set<uint64_t> RootDedup;
+  std::unordered_map<NodeId, std::vector<NodeId>> ListenerMap;
+  std::unordered_set<uint64_t> ListenerDedup;
+  std::unordered_map<NodeId, std::vector<NodeId>> RootsLayoutMap;
+  std::unordered_set<uint64_t> RootsLayoutDedup;
+
+  std::unordered_map<const ir::MethodDecl *,
+                     std::unordered_map<ir::VarId, NodeId>>
+      VarNodes;
+  std::unordered_map<const ir::FieldDecl *, NodeId> FieldNodes;
+  std::unordered_map<const ir::MethodDecl *,
+                     std::unordered_map<int32_t, NodeId>>
+      AllocNodes;
+  std::unordered_map<const ir::ClassDecl *, NodeId> ActivityNodes;
+  std::unordered_map<layout::ResourceId, NodeId> LayoutIdNodes;
+  std::unordered_map<layout::ResourceId, NodeId> ViewIdNodes;
+  std::unordered_map<const ir::ClassDecl *, NodeId> ClassConstNodes;
+
+  std::vector<NodeId> EmptyList;
+};
+
+} // namespace graph
+} // namespace gator
+
+#endif // GATOR_GRAPH_CONSTRAINTGRAPH_H

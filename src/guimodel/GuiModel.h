@@ -1,0 +1,150 @@
+//===- GuiModel.h - Client analyses over the GUI solution -------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client analyses from Section 6 of the paper, built on top of the GUI
+/// reference analysis solution:
+///
+///  - Handler tuples: the set of (activity a, GUI object v, event e,
+///    handler method h) tuples "where v is visible when a is active, and
+///    event e on v is handled by h" — the exact model input the concolic
+///    test-generation work [12] constructed manually.
+///  - View hierarchy reconstruction: the static parent-child forest per
+///    activity (reverse-engineering / GUI-model clients [26]).
+///  - Activity transition graph: edges a -> b labeled by the GUI event
+///    whose handler starts activity b (the SCanDroid/A3E-style model,
+///    Section 6, first and second paragraphs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_GUIMODEL_GUIMODEL_H
+#define GATOR_GUIMODEL_GUIMODEL_H
+
+#include "analysis/GuiAnalysis.h"
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gator {
+namespace guimodel {
+
+/// One (activity, view, event, handler) tuple.
+struct HandlerTuple {
+  /// The activity whose hierarchy contains the view; null when the view is
+  /// not attached to any activity root ("floating" views).
+  const ir::ClassDecl *Activity = nullptr;
+  graph::NodeId View = graph::InvalidNode;
+  android::EventKind Event = android::EventKind::Click;
+  /// The listener object value.
+  graph::NodeId Listener = graph::InvalidNode;
+  /// The application method handling the event (resolved on the listener's
+  /// class); null when the listener class has no concrete handler.
+  const ir::MethodDecl *Handler = nullptr;
+};
+
+/// Extracts all handler tuples from a completed analysis.
+std::vector<HandlerTuple> extractHandlerTuples(const analysis::AnalysisResult
+                                                   &Result);
+
+/// Prints tuples one per line: "activity | view | event | handler".
+void printHandlerTuples(std::ostream &OS,
+                        const analysis::AnalysisResult &Result,
+                        const std::vector<HandlerTuple> &Tuples);
+
+//===----------------------------------------------------------------------===//
+// View hierarchy
+//===----------------------------------------------------------------------===//
+
+/// Prints each activity's static view hierarchy as an indented tree.
+/// Views reachable through several parents are printed under each (the
+/// static parent-child relation is a conservative DAG).
+void printViewHierarchies(std::ostream &OS,
+                          const analysis::AnalysisResult &Result);
+
+//===----------------------------------------------------------------------===//
+// Activity transition graph
+//===----------------------------------------------------------------------===//
+
+/// One transition: while activity From is active, Event on a view (or a
+/// lifecycle callback when Event is nullopt) can start activity To.
+struct Transition {
+  const ir::ClassDecl *From = nullptr;
+  std::optional<android::EventKind> Event;
+  const ir::ClassDecl *To = nullptr;
+};
+
+/// Builds the activity transition graph: for each handler tuple (a,v,e,h)
+/// and lifecycle callback, every startActivity(intent) site reachable from
+/// the handler through application calls contributes an edge to each
+/// activity class the intent can target (via setClass class constants).
+std::vector<Transition>
+buildActivityTransitionGraph(const analysis::AnalysisResult &Result);
+
+/// Prints the transition graph in DOT format.
+void printTransitionsDot(std::ostream &OS,
+                         const std::vector<Transition> &Transitions);
+
+//===----------------------------------------------------------------------===//
+// Event-sequence enumeration (run-time exploration / test generation)
+//===----------------------------------------------------------------------===//
+
+/// One step of a GUI exploration: fire Event on View while From is the
+/// active activity, landing in To.
+struct EventStep {
+  const ir::ClassDecl *From = nullptr;
+  graph::NodeId View = graph::InvalidNode;
+  android::EventKind Event = android::EventKind::Click;
+  const ir::ClassDecl *To = nullptr;
+};
+
+/// A feasible sequence of GUI events starting from \p start.
+using EventSequence = std::vector<EventStep>;
+
+/// Enumerates all event sequences of length up to \p MaxLength starting
+/// at \p Start, following handler tuples whose handlers transition
+/// between activities (the A3E-style exploration plans Section 6
+/// describes; the cited concolic test-generation work consumes exactly
+/// these (activity, view, event, handler) paths). Sequences are capped
+/// at \p MaxSequences to bound output on cyclic transition graphs.
+std::vector<EventSequence>
+enumerateEventSequences(const analysis::AnalysisResult &Result,
+                        const ir::ClassDecl *Start, unsigned MaxLength,
+                        unsigned MaxSequences = 256);
+
+/// Prints sequences one per line: "A1 --click[Button#ok]--> A2 ...".
+void printEventSequences(std::ostream &OS,
+                         const analysis::AnalysisResult &Result,
+                         const std::vector<EventSequence> &Sequences);
+
+//===----------------------------------------------------------------------===//
+// View-reach report (data-flow motivation of Sections 1/3)
+//===----------------------------------------------------------------------===//
+
+/// For each view of an "input" widget class (EditText by default), the
+/// application methods that can observe the view object — the static
+/// skeleton of the paper's motivating data flow ("text entered by the
+/// user ... flows from that view, via the event handler, to the rest of
+/// the application").
+struct ViewReach {
+  graph::NodeId View = graph::InvalidNode;
+  std::vector<const ir::MethodDecl *> Methods; ///< deduplicated, ordered
+};
+
+std::vector<ViewReach>
+computeViewReach(const analysis::AnalysisResult &Result,
+                 const std::string &WidgetClassName =
+                     "android.widget.EditText");
+
+void printViewReach(std::ostream &OS, const analysis::AnalysisResult &Result,
+                    const std::vector<ViewReach> &Reaches);
+
+} // namespace guimodel
+} // namespace gator
+
+#endif // GATOR_GUIMODEL_GUIMODEL_H

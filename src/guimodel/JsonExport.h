@@ -1,0 +1,45 @@
+//===- JsonExport.h - Machine-readable analysis results ---------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports a completed analysis as one JSON document, so the Section 6
+/// client analyses (profilers, checkers, test generators) can consume the
+/// solution out of process. Schema (informal):
+///
+/// {
+///   "stats":   { nodes, flowEdges, parentChildEdges, ... },
+///   "metrics": { receivers, parameters?, results?, listeners? },
+///   "views":   [ { id, label, class, viewIds: [..], listeners: [..],
+///                  children: [..] } ],
+///   "activities": [ { class, roots: [viewId..] } ],
+///   "ops":     [ { kind, method, receivers: [..], results: [..] } ],
+///   "tuples":  [ { activity?, view, event, handler? } ],
+///   "transitions": [ { from, event?, to } ]
+/// }
+///
+/// View references use the node id of this run (stable within the file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_GUIMODEL_JSONEXPORT_H
+#define GATOR_GUIMODEL_JSONEXPORT_H
+
+#include "analysis/GuiAnalysis.h"
+
+#include <ostream>
+
+namespace gator {
+namespace guimodel {
+
+/// Writes the full analysis result as a JSON document to \p OS.
+void writeAnalysisJson(std::ostream &OS,
+                       const analysis::AnalysisResult &Result);
+
+} // namespace guimodel
+} // namespace gator
+
+#endif // GATOR_GUIMODEL_JSONEXPORT_H

@@ -1,0 +1,75 @@
+//===- Lint.h - Static GUI error checking -----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static error checker built on the GUI solution — the "static error
+/// checking" client family Section 6 discusses (citing GUI error checkers
+/// that the paper's analysis would make more general and precise).
+/// Checks:
+///
+///  - unresolved-find: a find-view operation whose result set is empty —
+///    the id never names a view in any hierarchy the receiver can hold
+///    (typical cause: wrong id, or looking up before attaching);
+///  - bad-cast: every view a find-view resolves to is cast-incompatible
+///    with the destination variable's declared type (guaranteed
+///    ClassCastException if the lookup succeeds at run time);
+///  - dead-listener: a listener-class allocation never associated with
+///    any view (handler code that can never run);
+///  - orphan-view: an explicitly allocated view neither attached to any
+///    window hierarchy nor set as content (UI that is never shown);
+///  - unused-layout: a registered layout whose id reaches no inflation
+///    point;
+///  - unused-view-id: a layout-declared view id that no find-view, setId,
+///    or code reference ever uses.
+///
+/// All findings are heuristics in the usual lint sense: sound analysis
+/// facts interpreted as likely mistakes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_GUIMODEL_LINT_H
+#define GATOR_GUIMODEL_LINT_H
+
+#include "analysis/GuiAnalysis.h"
+#include "layout/Layout.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gator {
+namespace guimodel {
+
+enum class LintKind {
+  UnresolvedFind,
+  BadCast,
+  DeadListener,
+  OrphanView,
+  UnusedLayout,
+  UnusedViewId,
+};
+
+const char *lintKindName(LintKind Kind);
+
+struct LintFinding {
+  LintKind Kind;
+  SourceLocation Loc; ///< best-effort location (op/alloc site)
+  std::string Message;
+};
+
+/// Runs all checks. \p Layouts is the registry the analysis ran with.
+std::vector<LintFinding> runLint(const analysis::AnalysisResult &Result,
+                                 const layout::LayoutRegistry &Layouts);
+
+/// Prints findings one per line ("loc: kind: message").
+void printLintFindings(std::ostream &OS,
+                       const std::vector<LintFinding> &Findings);
+
+} // namespace guimodel
+} // namespace gator
+
+#endif // GATOR_GUIMODEL_LINT_H

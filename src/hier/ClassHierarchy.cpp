@@ -1,0 +1,62 @@
+//===- ClassHierarchy.cpp - CHA over ALite classes --------------*- C++ -*-===//
+
+#include "hier/ClassHierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace gator;
+using namespace gator::hier;
+using namespace gator::ir;
+
+ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
+  assert(P.isResolved() && "ClassHierarchy requires a resolved program");
+
+  // For each class, register it as a subtype of every supertype reachable
+  // through extends/implements edges (including itself).
+  for (const auto &C : P.classes()) {
+    std::unordered_set<const ClassDecl *> Seen;
+    std::vector<const ClassDecl *> Work{C.get()};
+    while (!Work.empty()) {
+      const ClassDecl *Cur = Work.back();
+      Work.pop_back();
+      if (!Seen.insert(Cur).second)
+        continue;
+      Subtypes[Cur].push_back(C.get());
+      if (Cur->superClass())
+        Work.push_back(Cur->superClass());
+      for (const ClassDecl *I : Cur->interfaces())
+        Work.push_back(I);
+    }
+  }
+}
+
+const std::vector<const ClassDecl *> &
+ClassHierarchy::subtypesOf(const ClassDecl *C) const {
+  auto It = Subtypes.find(C);
+  return It == Subtypes.end() ? Empty : It->second;
+}
+
+const MethodDecl *ClassHierarchy::dispatch(const ClassDecl *ExactType,
+                                           const std::string &Name,
+                                           unsigned Arity) {
+  MethodDecl *M = ExactType->findMethod(Name, Arity);
+  return (M && !M->isAbstract()) ? M : nullptr;
+}
+
+std::vector<const MethodDecl *>
+ClassHierarchy::resolveVirtualCall(const ClassDecl *StaticType,
+                                   const std::string &Name,
+                                   unsigned Arity) const {
+  std::vector<const MethodDecl *> Targets;
+  std::unordered_set<const MethodDecl *> Seen;
+  for (const ClassDecl *Sub : subtypesOf(StaticType)) {
+    if (Sub->isInterface())
+      continue;
+    if (const MethodDecl *M = dispatch(Sub, Name, Arity))
+      if (Seen.insert(M).second)
+        Targets.push_back(M);
+  }
+  return Targets;
+}

@@ -1,0 +1,66 @@
+//===- ClassHierarchy.h - CHA over ALite classes ----------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Class-hierarchy analysis. Section 4.3: "Polymorphic calls are resolved
+/// using class hierarchy information" — a virtual call x.m() with static
+/// receiver type S may dispatch to the implementation of m inherited by any
+/// subtype of S.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_HIER_CLASSHIERARCHY_H
+#define GATOR_HIER_CLASSHIERARCHY_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gator {
+namespace hier {
+
+/// Precomputed subtype sets and CHA call resolution.
+class ClassHierarchy {
+public:
+  /// Builds the hierarchy index. \p P must be resolved.
+  explicit ClassHierarchy(const ir::Program &P);
+
+  const ir::Program &program() const { return P; }
+
+  /// All (transitive) subtypes of \p C, including \p C itself. Interfaces
+  /// yield their implementors plus sub-interfaces.
+  const std::vector<const ir::ClassDecl *> &
+  subtypesOf(const ir::ClassDecl *C) const;
+
+  /// CHA resolution of a virtual call through a receiver of declared type
+  /// \p StaticType: the set of concrete (non-abstract) method bodies any
+  /// subtype would dispatch to for name/arity. Deduplicated, in
+  /// deterministic program order.
+  std::vector<const ir::MethodDecl *>
+  resolveVirtualCall(const ir::ClassDecl *StaticType, const std::string &Name,
+                     unsigned Arity) const;
+
+  /// The single concrete dispatch target for an exact receiver type (used
+  /// when the allocation class is known), or null.
+  static const ir::MethodDecl *dispatch(const ir::ClassDecl *ExactType,
+                                        const std::string &Name,
+                                        unsigned Arity);
+
+private:
+  const ir::Program &P;
+  std::unordered_map<const ir::ClassDecl *,
+                     std::vector<const ir::ClassDecl *>>
+      Subtypes;
+  std::vector<const ir::ClassDecl *> Empty;
+};
+
+} // namespace hier
+} // namespace gator
+
+#endif // GATOR_HIER_CLASSHIERARCHY_H

@@ -1,0 +1,237 @@
+//===- Ir.cpp - ALite IR implementation -----------------------*- C++ -*-===//
+
+#include "ir/Ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace gator;
+using namespace gator::ir;
+
+bool gator::ir::isPrimitiveTypeName(const std::string &Name) {
+  return Name == IntTypeName || Name == VoidTypeName;
+}
+
+//===----------------------------------------------------------------------===//
+// FieldDecl
+//===----------------------------------------------------------------------===//
+
+std::string FieldDecl::qualifiedName() const {
+  return Owner->name() + "." + Name;
+}
+
+//===----------------------------------------------------------------------===//
+// MethodDecl
+//===----------------------------------------------------------------------===//
+
+std::string MethodDecl::qualifiedName() const {
+  std::ostringstream OS;
+  OS << Owner->name() << '.' << Name << '/' << NumParams;
+  return OS.str();
+}
+
+VarId MethodDecl::addParam(std::string Name, std::string TypeName) {
+  assert(Vars.size() == (IsStatic ? 0u : 1u) + NumParams &&
+         "parameters must be added before locals");
+  Variable Param;
+  Param.Name = std::move(Name);
+  Param.TypeName = std::move(TypeName);
+  Param.IsParam = true;
+  Vars.push_back(std::move(Param));
+  ++NumParams;
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+VarId MethodDecl::addLocal(std::string Name, std::string TypeName) {
+  Variable Local;
+  Local.Name = std::move(Name);
+  Local.TypeName = std::move(TypeName);
+  Vars.push_back(std::move(Local));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+VarId MethodDecl::findVar(const std::string &Name) const {
+  for (size_t I = 0; I < Vars.size(); ++I)
+    if (Vars[I].Name == Name)
+      return static_cast<VarId>(I);
+  return InvalidVar;
+}
+
+//===----------------------------------------------------------------------===//
+// ClassDecl
+//===----------------------------------------------------------------------===//
+
+FieldDecl *ClassDecl::addField(std::string Name, std::string TypeName,
+                               bool IsStatic) {
+  Fields.push_back(std::make_unique<FieldDecl>(std::move(Name),
+                                               std::move(TypeName), IsStatic,
+                                               this));
+  return Fields.back().get();
+}
+
+MethodDecl *ClassDecl::addMethod(std::string Name, std::string ReturnTypeName,
+                                 bool IsStatic) {
+  Methods.push_back(std::make_unique<MethodDecl>(
+      std::move(Name), std::move(ReturnTypeName), IsStatic, this));
+  MethodDecl *M = Methods.back().get();
+  if (!IsStatic)
+    M->Vars[0].TypeName = this->Name; // `this` has the declaring class type.
+  if (IsInterface)
+    M->setAbstract(true);
+  return M;
+}
+
+FieldDecl *ClassDecl::findOwnField(const std::string &Name) const {
+  for (const auto &F : Fields)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}
+
+FieldDecl *ClassDecl::findField(const std::string &Name) const {
+  for (const ClassDecl *C = this; C; C = C->Super)
+    if (FieldDecl *F = C->findOwnField(Name))
+      return F;
+  return nullptr;
+}
+
+MethodDecl *ClassDecl::findOwnMethod(const std::string &Name,
+                                     unsigned Arity) const {
+  for (const auto &M : Methods)
+    if (M->name() == Name && M->paramCount() == Arity)
+      return M.get();
+  return nullptr;
+}
+
+MethodDecl *ClassDecl::findMethod(const std::string &Name,
+                                  unsigned Arity) const {
+  for (const ClassDecl *C = this; C; C = C->Super)
+    if (MethodDecl *M = C->findOwnMethod(Name, Arity))
+      return M;
+  // Interface default/abstract declarations: search implemented interfaces
+  // transitively so dispatch through an interface-typed receiver works.
+  for (const ClassDecl *I : Interfaces)
+    if (MethodDecl *M = I->findMethod(Name, Arity))
+      return M;
+  if (Super)
+    for (const ClassDecl *I : Super->Interfaces)
+      if (MethodDecl *M = I->findMethod(Name, Arity))
+        return M;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+ClassDecl *Program::addClass(std::string Name, bool IsInterface,
+                             bool IsPlatform, DiagnosticEngine *Diags) {
+  if (ByName.count(Name)) {
+    if (Diags)
+      Diags->error("duplicate class name '" + Name + "'");
+    return nullptr;
+  }
+  Classes.push_back(
+      std::make_unique<ClassDecl>(Name, IsInterface, IsPlatform));
+  ClassDecl *C = Classes.back().get();
+  ByName.emplace(C->name(), C);
+  Resolved = false;
+  return C;
+}
+
+ClassDecl *Program::findClass(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : It->second;
+}
+
+bool Program::resolve(DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const auto &C : Classes) {
+    C->Super = nullptr;
+    C->Interfaces.clear();
+
+    if (!C->SuperName.empty()) {
+      ClassDecl *Super = findClass(C->SuperName);
+      if (!Super) {
+        Diags.error("class '" + C->name() + "' extends unknown class '" +
+                    C->SuperName + "'");
+        Ok = false;
+      } else {
+        C->Super = Super;
+      }
+    } else if (!C->isInterface() && C->name() != ObjectClassName) {
+      // Implicit java.lang.Object superclass when present in the program.
+      C->Super = findClass(ObjectClassName);
+    }
+
+    for (const std::string &IName : C->InterfaceNames) {
+      ClassDecl *Iface = findClass(IName);
+      if (!Iface) {
+        Diags.error("class '" + C->name() + "' implements unknown interface '" +
+                    IName + "'");
+        Ok = false;
+        continue;
+      }
+      if (!Iface->isInterface()) {
+        Diags.error("class '" + C->name() + "' implements non-interface '" +
+                    IName + "'");
+        Ok = false;
+        continue;
+      }
+      C->Interfaces.push_back(Iface);
+    }
+  }
+
+  // Reject inheritance cycles: walk each chain with a step bound.
+  for (const auto &C : Classes) {
+    const ClassDecl *Walk = C.get();
+    size_t Steps = 0;
+    while (Walk && Steps <= Classes.size()) {
+      Walk = Walk->Super;
+      ++Steps;
+    }
+    if (Walk) {
+      Diags.error("inheritance cycle involving class '" + C->name() + "'");
+      Ok = false;
+      break;
+    }
+  }
+
+  Resolved = Ok;
+  return Ok;
+}
+
+bool Program::isSubtypeOf(const ClassDecl *Klass,
+                          const ClassDecl *Ancestor) const {
+  assert(Resolved && "Program::resolve() must run first");
+  if (!Klass || !Ancestor)
+    return false;
+  for (const ClassDecl *C = Klass; C; C = C->superClass()) {
+    if (C == Ancestor)
+      return true;
+    for (const ClassDecl *I : C->interfaces())
+      if (isSubtypeOf(I, Ancestor))
+        return true;
+  }
+  return false;
+}
+
+unsigned Program::appClassCount() const {
+  unsigned Count = 0;
+  for (const auto &C : Classes)
+    if (!C->isPlatform())
+      ++Count;
+  return Count;
+}
+
+unsigned Program::appMethodCount() const {
+  unsigned Count = 0;
+  for (const auto &C : Classes) {
+    if (C->isPlatform())
+      continue;
+    for (const auto &M : C->methods())
+      if (!M->isAbstract())
+        ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,326 @@
+//===- Ir.h - The ALite intermediate representation -------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ALite IR. ALite is the abstract language defined in Section 3 of the
+/// paper: a Java-like core (classes, fields, virtual methods, assignments,
+/// field accesses, calls, returns) extended with the Android-specific
+/// constructs `x := R.layout.f` and `x := R.id.f`. The original system
+/// obtained equivalent facts from Soot's Jimple; here ALite is a first-class
+/// IR with its own textual syntax (see parser/) and a programmatic builder
+/// (ProgramBuilder.h).
+///
+/// Ownership: a Program owns its ClassDecls; a ClassDecl owns its FieldDecls
+/// and MethodDecls; a MethodDecl owns its Variables and Stmts. All
+/// cross-references are stable raw pointers resolved by Program::resolve().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_IR_IR_H
+#define GATOR_IR_IR_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gator {
+namespace ir {
+
+class ClassDecl;
+class MethodDecl;
+class Program;
+
+/// Index of a local variable within its enclosing method. For instance
+/// methods, variable 0 is the implicit `this`, followed by the formal
+/// parameters, followed by the declared locals.
+using VarId = int32_t;
+inline constexpr VarId InvalidVar = -1;
+
+/// Well-known type names. ALite types are identified by name; "int" and
+/// "void" are primitive, everything else names a class or interface.
+inline constexpr const char *IntTypeName = "int";
+inline constexpr const char *VoidTypeName = "void";
+inline constexpr const char *ObjectClassName = "java.lang.Object";
+
+/// Returns true if \p Name is a primitive (non-reference) type name.
+bool isPrimitiveTypeName(const std::string &Name);
+
+/// A local variable or formal parameter.
+struct Variable {
+  std::string Name;
+  /// Declared type name; a class name, "int", or empty (treated as
+  /// java.lang.Object).
+  std::string TypeName;
+  bool IsParam = false;
+  bool IsThis = false;
+};
+
+/// A field declaration. The analysis is field-based (Section 4): one
+/// constraint-graph node per FieldDecl, independent of the base object.
+class FieldDecl {
+public:
+  FieldDecl(std::string Name, std::string TypeName, bool IsStatic,
+            const ClassDecl *Owner)
+      : Name(std::move(Name)), TypeName(std::move(TypeName)),
+        IsStatic(IsStatic), Owner(Owner) {}
+
+  const std::string &name() const { return Name; }
+  const std::string &typeName() const { return TypeName; }
+  bool isStatic() const { return IsStatic; }
+  const ClassDecl *owner() const { return Owner; }
+
+  /// Qualified "Class.field" spelling for diagnostics and dumps.
+  std::string qualifiedName() const;
+
+private:
+  std::string Name;
+  std::string TypeName;
+  bool IsStatic;
+  const ClassDecl *Owner;
+};
+
+/// Statement kinds, mirroring the grammar of ALite in Section 3 plus the
+/// Android id-constant extensions of Section 3.2.1 and a class-constant
+/// form used by the activity-transition-graph client.
+enum class StmtKind {
+  AssignVar,        ///< x := y
+  AssignNew,        ///< x := new C (constructor call lowered separately)
+  AssignNull,       ///< x := null
+  LoadField,        ///< x := y.f
+  StoreField,       ///< x.f := y
+  LoadStaticField,  ///< x := C.f
+  StoreStaticField, ///< C.f := x
+  AssignLayoutId,   ///< x := R.layout.name  (written `x := @layout/name`)
+  AssignViewId,     ///< x := R.id.name      (written `x := @id/name`)
+  AssignClassConst, ///< x := classof C
+  Invoke,           ///< [z :=] x.m(a1, ..., an), virtual dispatch
+  Return,           ///< return [x]
+};
+
+/// One ALite statement. A tagged aggregate: the meaningful members depend
+/// on Kind (see the per-kind accessors for the exact contract).
+struct Stmt {
+  StmtKind Kind;
+  SourceLocation Loc;
+
+  /// Destination variable (AssignXxx, LoadXxx, Invoke-with-result, Return
+  /// operand). InvalidVar when absent.
+  VarId Lhs = InvalidVar;
+  /// Source/receiver variable (AssignVar rhs, StoreField rhs is Rhs,
+  /// LoadField/Invoke base).
+  VarId Base = InvalidVar;
+  /// StoreField/StoreStaticField value operand.
+  VarId Rhs = InvalidVar;
+
+  /// Field name for Load/StoreField (resolved during analysis against the
+  /// base's declared type) and Load/StoreStaticField.
+  std::string FieldName;
+  /// Class name for AssignNew, AssignClassConst, and static field access.
+  std::string ClassName;
+  /// Resource name for AssignLayoutId / AssignViewId.
+  std::string ResourceName;
+  /// Invoked method name for Invoke.
+  std::string MethodName;
+  /// Argument variables for Invoke.
+  std::vector<VarId> Args;
+};
+
+/// A method declaration with its body.
+class MethodDecl {
+public:
+  MethodDecl(std::string Name, std::string ReturnTypeName, bool IsStatic,
+             ClassDecl *Owner)
+      : Name(std::move(Name)), ReturnTypeName(std::move(ReturnTypeName)),
+        IsStatic(IsStatic), Owner(Owner) {
+    if (!IsStatic) {
+      Variable This;
+      This.Name = "this";
+      This.IsThis = true;
+      Vars.push_back(std::move(This)); // TypeName patched by ClassDecl.
+    }
+  }
+
+  const std::string &name() const { return Name; }
+  const std::string &returnTypeName() const { return ReturnTypeName; }
+  bool isStatic() const { return IsStatic; }
+  ClassDecl *owner() { return Owner; }
+  const ClassDecl *owner() const { return Owner; }
+
+  /// "Class.method/arity" spelling for diagnostics and dumps.
+  std::string qualifiedName() const;
+
+  /// Number of formal parameters (excluding `this`).
+  unsigned paramCount() const { return NumParams; }
+
+  /// VarId of the i-th formal parameter (0-based, excluding `this`).
+  VarId paramVar(unsigned I) const {
+    assert(I < NumParams && "parameter index out of range");
+    return static_cast<VarId>((IsStatic ? 0 : 1) + I);
+  }
+
+  /// VarId of `this`; only valid for instance methods.
+  VarId thisVar() const {
+    assert(!IsStatic && "static method has no this");
+    return 0;
+  }
+
+  /// Appends a formal parameter. Must precede any addLocal() call.
+  VarId addParam(std::string Name, std::string TypeName);
+
+  /// Appends a local variable, returning its VarId.
+  VarId addLocal(std::string Name, std::string TypeName);
+
+  /// Finds a variable by name, or InvalidVar.
+  VarId findVar(const std::string &Name) const;
+
+  const std::vector<Variable> &vars() const { return Vars; }
+  const Variable &var(VarId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Vars.size() && "bad VarId");
+    return Vars[Id];
+  }
+
+  std::vector<Stmt> &body() { return Body; }
+  const std::vector<Stmt> &body() const { return Body; }
+
+  /// True for bodiless declarations (interface methods, abstract methods,
+  /// platform API stubs).
+  bool isAbstract() const { return Abstract; }
+  void setAbstract(bool Value) { Abstract = Value; }
+
+private:
+  friend class ClassDecl;
+
+  std::string Name;
+  std::string ReturnTypeName;
+  bool IsStatic;
+  bool Abstract = false;
+  ClassDecl *Owner;
+  unsigned NumParams = 0;
+  std::vector<Variable> Vars;
+  std::vector<Stmt> Body;
+};
+
+/// A class or interface declaration.
+class ClassDecl {
+public:
+  ClassDecl(std::string Name, bool IsInterface, bool IsPlatform)
+      : Name(std::move(Name)), IsInterface(IsInterface),
+        IsPlatform(IsPlatform) {}
+
+  const std::string &name() const { return Name; }
+  bool isInterface() const { return IsInterface; }
+
+  /// Platform classes model the Android framework; their method bodies are
+  /// not part of the analyzed program (Section 3.1: "the bodies of methods
+  /// in platform classes are not included in the input program").
+  bool isPlatform() const { return IsPlatform; }
+
+  const std::string &superName() const { return SuperName; }
+  void setSuperName(std::string Name) { SuperName = std::move(Name); }
+
+  const std::vector<std::string> &interfaceNames() const {
+    return InterfaceNames;
+  }
+  void addInterfaceName(std::string Name) {
+    InterfaceNames.push_back(std::move(Name));
+  }
+
+  /// Resolved superclass; null for java.lang.Object and for interfaces
+  /// without an extended interface. Populated by Program::resolve().
+  const ClassDecl *superClass() const { return Super; }
+  const std::vector<const ClassDecl *> &interfaces() const {
+    return Interfaces;
+  }
+
+  FieldDecl *addField(std::string Name, std::string TypeName,
+                      bool IsStatic = false);
+  MethodDecl *addMethod(std::string Name, std::string ReturnTypeName,
+                        bool IsStatic = false);
+
+  const std::vector<std::unique_ptr<FieldDecl>> &fields() const {
+    return Fields;
+  }
+  const std::vector<std::unique_ptr<MethodDecl>> &methods() const {
+    return Methods;
+  }
+
+  /// Finds a field declared on this class (no inheritance walk).
+  FieldDecl *findOwnField(const std::string &Name) const;
+  /// Finds a field on this class or a superclass.
+  FieldDecl *findField(const std::string &Name) const;
+
+  /// Finds a method with the given name and parameter count declared on
+  /// this class (no inheritance walk).
+  MethodDecl *findOwnMethod(const std::string &Name, unsigned Arity) const;
+  /// Finds a method on this class, superclasses, or implemented interfaces.
+  MethodDecl *findMethod(const std::string &Name, unsigned Arity) const;
+
+private:
+  friend class Program;
+
+  std::string Name;
+  bool IsInterface;
+  bool IsPlatform;
+  std::string SuperName;
+  std::vector<std::string> InterfaceNames;
+
+  const ClassDecl *Super = nullptr;
+  std::vector<const ClassDecl *> Interfaces;
+
+  std::vector<std::unique_ptr<FieldDecl>> Fields;
+  std::vector<std::unique_ptr<MethodDecl>> Methods;
+};
+
+/// A whole ALite program: the set Class of Section 3.1, comprising both
+/// application classes and (bodiless) platform classes.
+class Program {
+public:
+  /// Creates and registers a class. Returns null and reports a diagnostic
+  /// if the name is already taken.
+  ClassDecl *addClass(std::string Name, bool IsInterface = false,
+                      bool IsPlatform = false,
+                      DiagnosticEngine *Diags = nullptr);
+
+  /// Finds a class by qualified name, or null.
+  ClassDecl *findClass(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<ClassDecl>> &classes() const {
+    return Classes;
+  }
+
+  /// Links superclass/interface pointers and reports unresolved names.
+  /// Returns false if any error was reported.
+  bool resolve(DiagnosticEngine &Diags);
+
+  /// True if resolve() has completed successfully.
+  bool isResolved() const { return Resolved; }
+
+  /// Walks `Klass` and its supertypes; true if `Ancestor` is reached.
+  /// Requires resolve(). Interfaces are included in the walk.
+  bool isSubtypeOf(const ClassDecl *Klass, const ClassDecl *Ancestor) const;
+
+  /// Number of application (non-platform) classes.
+  unsigned appClassCount() const;
+  /// Number of methods with bodies in application classes.
+  unsigned appMethodCount() const;
+
+private:
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::unordered_map<std::string, ClassDecl *> ByName;
+  bool Resolved = false;
+};
+
+} // namespace ir
+} // namespace gator
+
+#endif // GATOR_IR_IR_H

@@ -1,0 +1,36 @@
+//===- Verifier.h - ALite IR well-formedness checks -------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks over a resolved Program. Errors are conditions the
+/// analysis cannot tolerate (dangling variable indices, unknown classes in
+/// `new`); unresolvable fields/methods are warnings because the analysis
+/// treats them conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_IR_VERIFIER_H
+#define GATOR_IR_VERIFIER_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+namespace gator {
+namespace ir {
+
+/// Verifies \p P, reporting problems to \p Diags. Returns true when no
+/// errors (warnings allowed) were found. Requires P.resolve() to have run.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+/// Verifies one method body.
+bool verifyMethod(const Program &P, const MethodDecl &M,
+                  DiagnosticEngine &Diags);
+
+} // namespace ir
+} // namespace gator
+
+#endif // GATOR_IR_VERIFIER_H

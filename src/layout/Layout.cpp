@@ -1,0 +1,247 @@
+//===- Layout.cpp - Layout definitions and registry -------------*- C++ -*-===//
+
+#include "layout/Layout.h"
+
+#include "xml/Xml.h"
+
+#include <algorithm>
+
+using namespace gator;
+using namespace gator::layout;
+
+//===----------------------------------------------------------------------===//
+// LayoutNode
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<LayoutNode> LayoutNode::clone() const {
+  auto Copy = std::make_unique<LayoutNode>(ViewClassName, ViewIdName, Loc);
+  Copy->IncludeLayoutName = IncludeLayoutName;
+  Copy->OnClickHandlerName = OnClickHandlerName;
+  Copy->Merge = Merge;
+  for (const auto &Child : Children)
+    Copy->addChild(Child->clone());
+  return Copy;
+}
+
+unsigned LayoutNode::subtreeSize() const {
+  unsigned Count = isMerge() ? 0 : 1;
+  for (const auto &Child : Children)
+    Count += Child->subtreeSize();
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// LayoutRegistry
+//===----------------------------------------------------------------------===//
+
+LayoutDef *LayoutRegistry::add(const std::string &Name,
+                               std::unique_ptr<LayoutNode> Root,
+                               DiagnosticEngine &Diags) {
+  if (ByName.count(Name)) {
+    Diags.error("duplicate layout '" + Name + "'");
+    return nullptr;
+  }
+  if (!Root) {
+    Diags.error("layout '" + Name + "' has no root");
+    return nullptr;
+  }
+  ResourceId Id = Resources.internLayoutId(Name);
+  Defs.push_back(std::make_unique<LayoutDef>(Name, Id, std::move(Root)));
+  LayoutDef *Def = Defs.back().get();
+  ByName.emplace(Name, Def);
+  return Def;
+}
+
+LayoutDef *LayoutRegistry::findByName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : It->second;
+}
+
+LayoutDef *LayoutRegistry::findById(ResourceId Id) const {
+  std::optional<std::string> Name = Resources.layoutName(Id);
+  if (!Name)
+    return nullptr;
+  return findByName(*Name);
+}
+
+bool LayoutRegistry::resolveIncludesIn(LayoutDef &Def, LayoutNode &Node,
+                                       std::vector<std::string> &Stack,
+                                       DiagnosticEngine &Diags) {
+  // Recurse first over the current children; include expansion below
+  // installs already-resolved subtrees.
+  for (const auto &Child : Node.children())
+    if (!resolveIncludesIn(Def, *Child, Stack, Diags))
+      return false;
+
+  // Expand include placeholders among the children.
+  std::vector<std::unique_ptr<LayoutNode>> OldChildren = Node.takeChildren();
+  for (auto &Child : OldChildren) {
+    if (!Child->isInclude()) {
+      Node.addChild(std::move(Child));
+      continue;
+    }
+    const std::string Target = Child->includeLayoutName();
+    if (std::find(Stack.begin(), Stack.end(), Target) != Stack.end()) {
+      Diags.error(Child->loc(), "include cycle through layout '" + Target +
+                                    "' in layout '" + Def.name() + "'");
+      return false;
+    }
+    LayoutDef *TargetDef = findByName(Target);
+    if (!TargetDef) {
+      Diags.error(Child->loc(), "include of unknown layout '" + Target +
+                                    "' in layout '" + Def.name() + "'");
+      return false;
+    }
+    IncludeTargets.insert(Target);
+    Stack.push_back(Target);
+    bool Ok = resolveIncludesIn(*TargetDef, *TargetDef->root(), Stack, Diags);
+    Stack.pop_back();
+    if (!Ok)
+      return false;
+
+    std::unique_ptr<LayoutNode> Copy = TargetDef->root()->clone();
+    if (Copy->isMerge()) {
+      // <merge>: splice the included children directly.
+      for (auto &Spliced : Copy->takeChildren())
+        Node.addChild(std::move(Spliced));
+    } else {
+      // The includer may override the included root's id.
+      if (Child->hasViewId())
+        Copy->setViewIdName(Child->viewIdName());
+      Node.addChild(std::move(Copy));
+    }
+  }
+  return true;
+}
+
+bool LayoutRegistry::resolveIncludes(DiagnosticEngine &Diags) {
+  for (const auto &Def : Defs) {
+    std::vector<std::string> Stack{Def->name()};
+
+    // A root-level include placeholder is replaced by the target tree.
+    // Chains of root includes are followed with cycle detection.
+    while (Def->root()->isInclude()) {
+      const std::string Target = Def->root()->includeLayoutName();
+      if (std::find(Stack.begin(), Stack.end(), Target) != Stack.end()) {
+        Diags.error(Def->root()->loc(),
+                    "include cycle through layout '" + Target + "'");
+        return false;
+      }
+      IncludeTargets.insert(Target);
+      Stack.push_back(Target);
+      LayoutDef *TargetDef = findByName(Target);
+      if (!TargetDef) {
+        Diags.error(Def->root()->loc(),
+                    "include of unknown layout '" + Target + "'");
+        return false;
+      }
+      std::string OverrideId = Def->root()->viewIdName();
+      std::unique_ptr<LayoutNode> Copy = TargetDef->root()->clone();
+      if (!OverrideId.empty() && !Copy->isMerge())
+        Copy->setViewIdName(OverrideId);
+      Def->setRoot(std::move(Copy));
+    }
+
+    if (!resolveIncludesIn(*Def, *Def->root(), Stack, Diags))
+      return false;
+  }
+
+  // Intern every view id appearing in any resolved layout.
+  for (const auto &Def : Defs) {
+    std::vector<const LayoutNode *> Work{Def->root()};
+    while (!Work.empty()) {
+      const LayoutNode *N = Work.back();
+      Work.pop_back();
+      if (N->hasViewId())
+        Resources.internViewId(N->viewIdName());
+      for (const auto &Child : N->children())
+        Work.push_back(Child.get());
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// XML conversion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Extracts "name" out of "@+id/name" or "@id/name"; "" otherwise.
+std::string parseIdRef(const std::string &Value) {
+  std::string_view V = Value;
+  if (V.rfind("@+id/", 0) == 0)
+    return std::string(V.substr(5));
+  if (V.rfind("@id/", 0) == 0)
+    return std::string(V.substr(4));
+  return std::string();
+}
+
+/// Extracts "name" out of "@layout/name"; "" otherwise.
+std::string parseLayoutRef(const std::string &Value) {
+  std::string_view V = Value;
+  if (V.rfind("@layout/", 0) == 0)
+    return std::string(V.substr(8));
+  return std::string();
+}
+
+std::unique_ptr<LayoutNode> convert(const xml::XmlNode &Elem,
+                                    DiagnosticEngine &Diags) {
+  std::string IdName;
+  if (const std::string *IdAttr = Elem.findAttr("android:id")) {
+    IdName = parseIdRef(*IdAttr);
+    if (IdName.empty())
+      Diags.warning(Elem.loc(),
+                    "unrecognized android:id value '" + *IdAttr + "'");
+  }
+
+  if (Elem.tag() == "include") {
+    const std::string *LayoutAttr = Elem.findAttr("layout");
+    std::string Target = LayoutAttr ? parseLayoutRef(*LayoutAttr) : "";
+    if (Target.empty()) {
+      Diags.error(Elem.loc(), "<include> requires layout=\"@layout/name\"");
+      return nullptr;
+    }
+    auto Node = std::make_unique<LayoutNode>("", IdName, Elem.loc());
+    Node->setIncludeLayoutName(Target);
+    return Node;
+  }
+
+  std::string ClassName = Elem.tag();
+  bool IsMerge = ClassName == "merge";
+  if (IsMerge)
+    ClassName = "";
+
+  auto Node = std::make_unique<LayoutNode>(ClassName, IdName, Elem.loc());
+  Node->setMerge(IsMerge);
+  if (const std::string *OnClick = Elem.findAttr("android:onClick"))
+    Node->setOnClickHandlerName(*OnClick);
+  for (const auto &Child : Elem.children()) {
+    std::unique_ptr<LayoutNode> ChildNode = convert(*Child, Diags);
+    if (!ChildNode)
+      return nullptr;
+    Node->addChild(std::move(ChildNode));
+  }
+  return Node;
+}
+
+} // namespace
+
+std::unique_ptr<LayoutNode> gator::layout::layoutFromXml(
+    const xml::XmlNode &Doc, DiagnosticEngine &Diags) {
+  return convert(Doc, Diags);
+}
+
+LayoutDef *gator::layout::readLayoutXml(LayoutRegistry &Registry,
+                                        const std::string &Name,
+                                        std::string_view XmlText,
+                                        DiagnosticEngine &Diags) {
+  std::unique_ptr<xml::XmlNode> Doc =
+      xml::parseXml(XmlText, Name + ".xml", Diags);
+  if (!Doc)
+    return nullptr;
+  std::unique_ptr<LayoutNode> Root = layoutFromXml(*Doc, Diags);
+  if (!Root)
+    return nullptr;
+  return Registry.add(Name, std::move(Root), Diags);
+}

@@ -1,0 +1,190 @@
+//===- Layout.h - Layout definitions and registry ---------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout model of Section 3.2.1: a layout definition is a rooted tree
+/// of nodes (viewClass, viewId), and a layout edge is a parent-child
+/// relationship between such nodes. Layouts are read from XML (see
+/// LayoutReader) or built programmatically; `<include>` and `<merge>` are
+/// resolved into flattened trees before the analysis consumes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_LAYOUT_LAYOUT_H
+#define GATOR_LAYOUT_LAYOUT_H
+
+#include "layout/ResourceTable.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace xml {
+class XmlNode;
+} // namespace xml
+
+namespace layout {
+
+/// One node (v, id) of a layout definition tree.
+class LayoutNode {
+public:
+  LayoutNode(std::string ViewClassName, std::string ViewIdName,
+             SourceLocation Loc = SourceLocation())
+      : ViewClassName(std::move(ViewClassName)),
+        ViewIdName(std::move(ViewIdName)), Loc(std::move(Loc)) {}
+
+  /// The view class spelled in the layout. Simple names ("ImageView") are
+  /// resolved against the platform model during analysis.
+  const std::string &viewClassName() const { return ViewClassName; }
+
+  /// The node's view id name, or "" when the node has no id (the paper's
+  /// special value `no_id`).
+  const std::string &viewIdName() const { return ViewIdName; }
+  bool hasViewId() const { return !ViewIdName.empty(); }
+  void setViewIdName(std::string Name) { ViewIdName = std::move(Name); }
+
+  const SourceLocation &loc() const { return Loc; }
+
+  const std::vector<std::unique_ptr<LayoutNode>> &children() const {
+    return Children;
+  }
+  LayoutNode *addChild(std::unique_ptr<LayoutNode> Child) {
+    Children.push_back(std::move(Child));
+    return Children.back().get();
+  }
+  /// Transfers ownership of all children out of this node.
+  std::vector<std::unique_ptr<LayoutNode>> takeChildren() {
+    return std::move(Children);
+  }
+
+  /// For an unresolved `<include layout="@layout/x"/>` node: the included
+  /// layout's name ("" otherwise).
+  const std::string &includeLayoutName() const { return IncludeLayoutName; }
+  bool isInclude() const { return !IncludeLayoutName.empty(); }
+  void setIncludeLayoutName(std::string Name) {
+    IncludeLayoutName = std::move(Name);
+  }
+  void clearInclude() { IncludeLayoutName.clear(); }
+
+  /// True for a `<merge>` root, whose children splice into the includer.
+  bool isMerge() const { return Merge; }
+  void setMerge(bool Value) { Merge = Value; }
+
+  /// The `android:onClick` attribute value: the name of a one-argument
+  /// method on the owning activity invoked when this view is clicked
+  /// ("" when absent).
+  const std::string &onClickHandlerName() const { return OnClickHandlerName; }
+  bool hasOnClickHandler() const { return !OnClickHandlerName.empty(); }
+  void setOnClickHandlerName(std::string Name) {
+    OnClickHandlerName = std::move(Name);
+  }
+
+  /// Deep copy of this subtree.
+  std::unique_ptr<LayoutNode> clone() const;
+
+  /// Number of nodes in this subtree (excluding include placeholders'
+  /// targets; includes the node itself unless it is a merge root).
+  unsigned subtreeSize() const;
+
+private:
+  std::string ViewClassName;
+  std::string ViewIdName;
+  SourceLocation Loc;
+  std::vector<std::unique_ptr<LayoutNode>> Children;
+  std::string IncludeLayoutName;
+  std::string OnClickHandlerName;
+  bool Merge = false;
+};
+
+/// A named layout definition: the tree rooted at Root.
+class LayoutDef {
+public:
+  LayoutDef(std::string Name, ResourceId Id, std::unique_ptr<LayoutNode> Root)
+      : Name(std::move(Name)), Id(Id), Root(std::move(Root)) {}
+
+  const std::string &name() const { return Name; }
+  ResourceId id() const { return Id; }
+  LayoutNode *root() { return Root.get(); }
+  const LayoutNode *root() const { return Root.get(); }
+  void setRoot(std::unique_ptr<LayoutNode> NewRoot) {
+    Root = std::move(NewRoot);
+  }
+
+private:
+  std::string Name;
+  ResourceId Id;
+  std::unique_ptr<LayoutNode> Root;
+};
+
+/// All layout definitions of an application, addressable by name or by
+/// R.layout integer id.
+class LayoutRegistry {
+public:
+  explicit LayoutRegistry(ResourceTable &Resources) : Resources(Resources) {}
+
+  ResourceTable &resources() { return Resources; }
+  const ResourceTable &resources() const { return Resources; }
+
+  /// Registers a layout tree under \p Name; interns the layout id. Returns
+  /// null and reports if the name is already registered.
+  LayoutDef *add(const std::string &Name, std::unique_ptr<LayoutNode> Root,
+                 DiagnosticEngine &Diags);
+
+  LayoutDef *findByName(const std::string &Name) const;
+  LayoutDef *findById(ResourceId Id) const;
+
+  const std::vector<std::unique_ptr<LayoutDef>> &layouts() const {
+    return Defs;
+  }
+
+  /// Replaces every `<include>` placeholder with a deep copy of the target
+  /// layout's tree (splicing `<merge>` roots) and interns every view id.
+  /// Detects include cycles. Returns false on error.
+  bool resolveIncludes(DiagnosticEngine &Diags);
+
+  /// Names of layouts that were the target of at least one `<include>`
+  /// (populated by resolveIncludes). Such layouts are "used" even when
+  /// no code inflates them directly.
+  const std::unordered_set<std::string> &includedLayouts() const {
+    return IncludeTargets;
+  }
+
+private:
+  bool resolveIncludesIn(LayoutDef &Def, LayoutNode &Node,
+                         std::vector<std::string> &Stack,
+                         DiagnosticEngine &Diags);
+
+  ResourceTable &Resources;
+  std::vector<std::unique_ptr<LayoutDef>> Defs;
+  std::unordered_map<std::string, LayoutDef *> ByName;
+  std::unordered_set<std::string> IncludeTargets;
+};
+
+/// Converts a parsed layout XML document into a LayoutNode tree.
+///
+/// Conventions (the textual counterparts of Android's resource format):
+///  - element tag = view class name (simple or qualified);
+///  - `android:id="@+id/name"` or `"@id/name"` assigns a view id;
+///  - `<include layout="@layout/name"/>` yields an include placeholder,
+///    optionally overriding the target root's id via its own android:id;
+///  - `<merge>` as document root marks a splice-on-include tree.
+std::unique_ptr<LayoutNode> layoutFromXml(const xml::XmlNode &Doc,
+                                          DiagnosticEngine &Diags);
+
+/// Parses layout XML text and registers it in \p Registry under \p Name.
+/// Returns the new LayoutDef, or null on error.
+LayoutDef *readLayoutXml(LayoutRegistry &Registry, const std::string &Name,
+                         std::string_view XmlText, DiagnosticEngine &Diags);
+
+} // namespace layout
+} // namespace gator
+
+#endif // GATOR_LAYOUT_LAYOUT_H

@@ -1,0 +1,44 @@
+//===- LayoutWriter.cpp - Layout tree to XML serialization ------*- C++ -*-===//
+
+#include "layout/LayoutWriter.h"
+
+#include <sstream>
+
+using namespace gator;
+using namespace gator::layout;
+
+void gator::layout::writeLayoutXml(const LayoutNode &Node, std::ostream &OS,
+                                   unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+
+  std::string Tag;
+  if (Node.isInclude())
+    Tag = "include";
+  else if (Node.isMerge())
+    Tag = "merge";
+  else
+    Tag = Node.viewClassName();
+
+  OS << Pad << '<' << Tag;
+  if (Node.isInclude())
+    OS << " layout=\"@layout/" << Node.includeLayoutName() << '"';
+  if (Node.hasViewId())
+    OS << " android:id=\"@+id/" << Node.viewIdName() << '"';
+  if (Node.hasOnClickHandler())
+    OS << " android:onClick=\"" << Node.onClickHandlerName() << '"';
+
+  if (Node.children().empty()) {
+    OS << " />\n";
+    return;
+  }
+  OS << ">\n";
+  for (const auto &Child : Node.children())
+    writeLayoutXml(*Child, OS, Indent + 1);
+  OS << Pad << "</" << Tag << ">\n";
+}
+
+std::string gator::layout::layoutToXml(const LayoutDef &Def) {
+  std::ostringstream OS;
+  writeLayoutXml(*Def.root(), OS);
+  return OS.str();
+}

@@ -1,0 +1,38 @@
+//===- LayoutWriter.h - Layout tree to XML serialization --------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes layout trees back to the XML syntax accepted by
+/// layout::readLayoutXml (write -> read round-trips; see the layout
+/// tests). Used by the corpus export tool so generated applications can
+/// be analyzed from disk with `gator_cli`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_LAYOUT_LAYOUTWRITER_H
+#define GATOR_LAYOUT_LAYOUTWRITER_H
+
+#include "layout/Layout.h"
+
+#include <ostream>
+#include <string>
+
+namespace gator {
+namespace layout {
+
+/// Writes \p Node as an XML element tree to \p OS. \p Indent is the
+/// current indentation depth (two spaces per level).
+void writeLayoutXml(const LayoutNode &Node, std::ostream &OS,
+                    unsigned Indent = 0);
+
+/// Convenience: the XML document text for a layout definition.
+std::string layoutToXml(const LayoutDef &Def);
+
+} // namespace layout
+} // namespace gator
+
+#endif // GATOR_LAYOUT_LAYOUTWRITER_H

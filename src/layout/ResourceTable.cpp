@@ -1,0 +1,48 @@
+//===- ResourceTable.cpp --------------------------------------*- C++ -*-===//
+
+#include "layout/ResourceTable.h"
+
+using namespace gator;
+using namespace gator::layout;
+
+ResourceId ResourceTable::internLayoutId(const std::string &Name) {
+  auto It = LayoutByName.find(Name);
+  if (It != LayoutByName.end())
+    return It->second;
+  ResourceId Id = LayoutIdBase + static_cast<ResourceId>(LayoutNames.size());
+  LayoutNames.push_back(Name);
+  LayoutByName.emplace(Name, Id);
+  return Id;
+}
+
+ResourceId ResourceTable::internViewId(const std::string &Name) {
+  auto It = ViewIdByName.find(Name);
+  if (It != ViewIdByName.end())
+    return It->second;
+  ResourceId Id = ViewIdBase + static_cast<ResourceId>(ViewIdNames.size());
+  ViewIdNames.push_back(Name);
+  ViewIdByName.emplace(Name, Id);
+  return Id;
+}
+
+ResourceId ResourceTable::lookupLayoutId(const std::string &Name) const {
+  auto It = LayoutByName.find(Name);
+  return It == LayoutByName.end() ? InvalidResourceId : It->second;
+}
+
+ResourceId ResourceTable::lookupViewId(const std::string &Name) const {
+  auto It = ViewIdByName.find(Name);
+  return It == ViewIdByName.end() ? InvalidResourceId : It->second;
+}
+
+std::optional<std::string> ResourceTable::layoutName(ResourceId Id) const {
+  if (!isLayoutId(Id))
+    return std::nullopt;
+  return LayoutNames[Id - LayoutIdBase];
+}
+
+std::optional<std::string> ResourceTable::viewIdName(ResourceId Id) const {
+  if (!isViewId(Id))
+    return std::nullopt;
+  return ViewIdNames[Id - ViewIdBase];
+}

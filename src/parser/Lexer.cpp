@@ -1,0 +1,229 @@
+//===- Lexer.cpp - ALite token stream --------------------------*- C++ -*-===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace gator;
+using namespace gator::parser;
+
+const char *gator::parser::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::LayoutRef:
+    return "@layout reference";
+  case TokenKind::IdRef:
+    return "@id reference";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwInterface:
+    return "'interface'";
+  case TokenKind::KwExtends:
+    return "'extends'";
+  case TokenKind::KwImplements:
+    return "'implements'";
+  case TokenKind::KwField:
+    return "'field'";
+  case TokenKind::KwMethod:
+    return "'method'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwClassof:
+    return "'classof'";
+  case TokenKind::KwPlatform:
+    return "'platform'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view Input, std::string FileName,
+             DiagnosticEngine &Diags)
+    : Input(Input), FileName(std::move(FileName)), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Input[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '/' && peekAt(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (peek() == '/' && peekAt(1) == '*') {
+      SourceLocation Start = here();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peekAt(1) == '/'))
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text,
+                       SourceLocation Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Loc = std::move(Loc);
+  return T;
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$' ||
+         C == '<'; // allow `<init>`-style names
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$' ||
+         C == '<' || C == '>';
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLocation Loc = here();
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, "", Loc);
+
+  char C = peek();
+
+  // Resource references: @layout/NAME and @id/NAME.
+  if (C == '@') {
+    advance();
+    std::string Kind;
+    while (!atEnd() && isIdentChar(peek()))
+      Kind.push_back(advance());
+    if (peek() != '/') {
+      Diags.error(Loc, "expected '/' in resource reference '@" + Kind + "'");
+      return makeToken(TokenKind::Error, Kind, Loc);
+    }
+    advance();
+    std::string Name;
+    while (!atEnd() && isIdentChar(peek()))
+      Name.push_back(advance());
+    if (Name.empty()) {
+      Diags.error(Loc, "empty resource name in '@" + Kind + "/'");
+      return makeToken(TokenKind::Error, Name, Loc);
+    }
+    if (Kind == "layout")
+      return makeToken(TokenKind::LayoutRef, Name, Loc);
+    if (Kind == "id")
+      return makeToken(TokenKind::IdRef, Name, Loc);
+    Diags.error(Loc, "unknown resource kind '@" + Kind + "/'");
+    return makeToken(TokenKind::Error, Name, Loc);
+  }
+
+  if (isIdentStart(C)) {
+    std::string Text;
+    while (!atEnd() && isIdentChar(peek()))
+      Text.push_back(advance());
+
+    static const std::unordered_map<std::string, TokenKind> Keywords = {
+        {"class", TokenKind::KwClass},
+        {"interface", TokenKind::KwInterface},
+        {"extends", TokenKind::KwExtends},
+        {"implements", TokenKind::KwImplements},
+        {"field", TokenKind::KwField},
+        {"method", TokenKind::KwMethod},
+        {"var", TokenKind::KwVar},
+        {"return", TokenKind::KwReturn},
+        {"new", TokenKind::KwNew},
+        {"null", TokenKind::KwNull},
+        {"static", TokenKind::KwStatic},
+        {"classof", TokenKind::KwClassof},
+        {"platform", TokenKind::KwPlatform},
+    };
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end())
+      return makeToken(It->second, Text, Loc);
+    return makeToken(TokenKind::Identifier, std::move(Text), Loc);
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, "{", Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, "}", Loc);
+  case '(':
+    return makeToken(TokenKind::LParen, "(", Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, ")", Loc);
+  case ';':
+    return makeToken(TokenKind::Semicolon, ";", Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, ",", Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, ".", Loc);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::Assign, ":=", Loc);
+    }
+    return makeToken(TokenKind::Colon, ":", Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Error, std::string(1, C), Loc);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

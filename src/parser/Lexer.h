@@ -1,0 +1,109 @@
+//===- Lexer.h - ALite token stream -----------------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual ALite syntax. See parser/Parser.h for the
+/// grammar. Resource references are lexed as single tokens:
+/// `@layout/name` and `@id/name` (the concrete spellings of the paper's
+/// `x := R.layout.f` / `x := R.id.f` statement forms).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_PARSER_LEXER_H
+#define GATOR_PARSER_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gator {
+namespace parser {
+
+enum class TokenKind {
+  // Literals and names.
+  Identifier,   ///< e.g. `flip`, `ConsoleActivity`
+  LayoutRef,    ///< `@layout/name` (text() is the name)
+  IdRef,        ///< `@id/name` (text() is the name)
+
+  // Keywords.
+  KwClass,
+  KwInterface,
+  KwExtends,
+  KwImplements,
+  KwField,
+  KwMethod,
+  KwVar,
+  KwReturn,
+  KwNew,
+  KwNull,
+  KwStatic,
+  KwClassof,
+  KwPlatform,
+
+  // Punctuation.
+  LBrace,       ///< {
+  RBrace,       ///< }
+  LParen,       ///< (
+  RParen,       ///< )
+  Colon,        ///< :
+  Semicolon,    ///< ;
+  Comma,        ///< ,
+  Dot,          ///< .
+  Assign,       ///< :=
+
+  EndOfFile,
+  Error,
+};
+
+/// Returns a printable name for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text; ///< Identifier spelling or resource name.
+  SourceLocation Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Produces the token stream for one ALite source buffer. `//` comments
+/// run to end of line; `/* */` comments nest one level deep (no nesting).
+class Lexer {
+public:
+  Lexer(std::string_view Input, std::string FileName, DiagnosticEngine &Diags);
+
+  /// Lexes the whole input. The final token is always EndOfFile.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token makeToken(TokenKind Kind, std::string Text, SourceLocation Loc) const;
+
+  bool atEnd() const { return Pos >= Input.size(); }
+  char peek() const { return atEnd() ? '\0' : Input[Pos]; }
+  char peekAt(size_t Offset) const {
+    return Pos + Offset >= Input.size() ? '\0' : Input[Pos + Offset];
+  }
+  char advance();
+  void skipTrivia();
+  SourceLocation here() const { return SourceLocation(FileName, Line, Col); }
+
+  std::string_view Input;
+  std::string FileName;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace parser
+} // namespace gator
+
+#endif // GATOR_PARSER_LEXER_H

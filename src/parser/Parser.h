@@ -1,0 +1,70 @@
+//===- Parser.h - ALite textual frontend ------------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual ALite syntax, building directly
+/// into an ir::Program (syntax-directed translation; ALite is simple enough
+/// that no separate AST pays its way).
+///
+/// Grammar (EBNF; `//` and `/* */` comments are trivia):
+///
+///   program  := decl*
+///   decl     := ["platform"] ("class" | "interface") qname
+///               ["extends" qname] ["implements" qname ("," qname)*]
+///               "{" member* "}"
+///   member   := "field" ["static"] ident ":" type ";"
+///             | "method" ["static"] ident "(" params ")" [":" type]
+///               (block | ";")
+///   params   := [ident ":" type ("," ident ":" type)*]
+///   type     := qname                      // "int"/"void" are plain names
+///   qname    := ident ("." ident)*
+///   block    := "{" stmt* "}"
+///   stmt     := "var" ident ":" type ";"
+///             | "return" [ident] ";"
+///             | "static" qname ":=" ident ";"      // static field store
+///             | ident ":=" rhs ";"
+///             | ident "." ident ":=" ident ";"     // instance field store
+///             | ident "." ident "(" args ")" ";"   // call, result dropped
+///   rhs      := "new" qname ["(" args ")"]         // non-empty args lower
+///             |                                    //   to an `init` call
+///               "null"
+///             | "@layout/" name | "@id/" name
+///             | "classof" qname
+///             | "static" qname                     // static field load
+///             | ident                              // copy
+///             | ident "." ident                    // instance field load
+///             | ident "." ident "(" args ")"       // call with result
+///   args     := [ident ("," ident)*]
+///
+/// In `static` accesses the last `.`-separated component of the qname is
+/// the field name and the prefix is the class name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_PARSER_PARSER_H
+#define GATOR_PARSER_PARSER_H
+
+#include "ir/Ir.h"
+#include "parser/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace gator {
+namespace parser {
+
+/// Parses \p Input (one ALite source buffer) into \p Program, which may
+/// already contain other classes (e.g. the platform model). Returns true
+/// when no parse errors occurred. The caller still must run
+/// Program::resolve() once all inputs are parsed.
+bool parseAlite(std::string_view Input, const std::string &FileName,
+                ir::Program &Program, DiagnosticEngine &Diags);
+
+} // namespace parser
+} // namespace gator
+
+#endif // GATOR_PARSER_PARSER_H

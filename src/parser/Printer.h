@@ -1,0 +1,49 @@
+//===- Printer.h - ALite serializer -----------------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes an ir::Program back to the textual ALite syntax accepted by
+/// parser/Parser.h. Printing then re-parsing yields a structurally
+/// identical program (see the round-trip property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_PARSER_PRINTER_H
+#define GATOR_PARSER_PRINTER_H
+
+#include "ir/Ir.h"
+
+#include <ostream>
+#include <string>
+
+namespace gator {
+namespace parser {
+
+struct PrintOptions {
+  /// Include platform classes (printed with the `platform` modifier).
+  bool IncludePlatformClasses = false;
+};
+
+/// Prints \p Program as ALite text to \p OS.
+void printProgram(const ir::Program &Program, std::ostream &OS,
+                  const PrintOptions &Options = PrintOptions());
+
+/// Prints one class declaration.
+void printClass(const ir::ClassDecl &Klass, std::ostream &OS);
+
+/// Prints one statement (no trailing newline).
+void printStmt(const ir::MethodDecl &Method, const ir::Stmt &S,
+               std::ostream &OS);
+
+/// Convenience: returns the program text as a string.
+std::string programToString(const ir::Program &Program,
+                            const PrintOptions &Options = PrintOptions());
+
+} // namespace parser
+} // namespace gator
+
+#endif // GATOR_PARSER_PRINTER_H

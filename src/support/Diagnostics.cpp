@@ -1,0 +1,40 @@
+//===- Diagnostics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Diagnostics.h"
+
+using namespace gator;
+
+const char *gator::severityLabel(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++ErrorCount;
+  else if (Severity == DiagSeverity::Warning)
+    ++WarningCount;
+  Diags.push_back(Diagnostic{Severity, std::move(Loc), std::move(Message)});
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc << ": ";
+    OS << severityLabel(D.Severity) << ": " << D.Message << '\n';
+  }
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  ErrorCount = 0;
+  WarningCount = 0;
+}

@@ -1,0 +1,80 @@
+//===- Diagnostics.h - Error and warning reporting --------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine shared by all frontends (ALite parser, XML
+/// parser, layout reader) and by the IR verifier. Diagnostics accumulate in
+/// the engine; library code never writes to stderr directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_DIAGNOSTICS_H
+#define GATOR_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gator {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// Returns a human-readable label ("error", "warning", "note").
+const char *severityLabel(DiagSeverity Severity);
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one input set.
+///
+/// Messages follow the convention of starting with a lowercase letter and
+/// carrying no trailing period.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message);
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, std::move(Loc), std::move(Message));
+  }
+  void error(std::string Message) { error(SourceLocation(), std::move(Message)); }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, std::move(Loc), std::move(Message));
+  }
+  void warning(std::string Message) {
+    warning(SourceLocation(), std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Note, std::move(Loc), std::move(Message));
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errorCount() const { return ErrorCount; }
+  unsigned warningCount() const { return WarningCount; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Writes every accumulated diagnostic to \p OS, one per line.
+  void print(std::ostream &OS) const;
+
+  /// Drops all accumulated diagnostics and resets the counters.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+  unsigned WarningCount = 0;
+};
+
+} // namespace gator
+
+#endif // GATOR_SUPPORT_DIAGNOSTICS_H

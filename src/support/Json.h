@@ -1,0 +1,156 @@
+//===- Json.h - Minimal JSON writer -----------------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used to export analysis results for
+/// downstream tools (Section 6 clients live outside this process in the
+/// real world). Handles escaping and comma placement; the caller is
+/// responsible for balanced begin/end calls (asserted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_JSON_H
+#define GATOR_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gator {
+
+/// Streaming JSON writer with automatic comma handling.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+  ~JsonWriter() { assert(Stack.empty() && "unbalanced JSON structure"); }
+
+  void beginObject() {
+    comma();
+    OS << '{';
+    Stack.push_back(Frame{false, true});
+  }
+  void endObject() {
+    assert(!Stack.empty() && Stack.back().IsObject && "not in an object");
+    Stack.pop_back();
+    OS << '}';
+  }
+  void beginArray() {
+    comma();
+    OS << '[';
+    Stack.push_back(Frame{false, false});
+  }
+  void endArray() {
+    assert(!Stack.empty() && !Stack.back().IsObject && "not in an array");
+    Stack.pop_back();
+    OS << ']';
+  }
+
+  /// Writes `"key":` inside an object; the next value call completes it.
+  void key(std::string_view Key) {
+    assert(!Stack.empty() && Stack.back().IsObject && "key outside object");
+    comma();
+    writeString(Key);
+    OS << ':';
+    PendingValue = true;
+  }
+
+  void value(std::string_view Str) {
+    comma();
+    writeString(Str);
+  }
+  void value(const char *Str) { value(std::string_view(Str)); }
+  void value(bool B) {
+    comma();
+    OS << (B ? "true" : "false");
+  }
+  void value(long long N) {
+    comma();
+    OS << N;
+  }
+  void value(unsigned long long N) {
+    comma();
+    OS << N;
+  }
+  void value(double D) {
+    comma();
+    OS << D;
+  }
+  void value(int N) { value(static_cast<long long>(N)); }
+  void value(unsigned N) { value(static_cast<unsigned long long>(N)); }
+  void value(size_t N) { value(static_cast<unsigned long long>(N)); }
+  void nullValue() {
+    comma();
+    OS << "null";
+  }
+
+  /// key + value in one call.
+  template <typename T> void field(std::string_view Key, T &&Value) {
+    key(Key);
+    value(std::forward<T>(Value));
+  }
+
+private:
+  struct Frame {
+    bool HasElement;
+    bool IsObject;
+  };
+
+  void comma() {
+    if (PendingValue) {
+      PendingValue = false; // completing a keyed value: no comma
+      return;
+    }
+    if (!Stack.empty()) {
+      if (Stack.back().HasElement)
+        OS << ',';
+      Stack.back().HasElement = true;
+    }
+  }
+
+  void writeString(std::string_view Str) {
+    OS << '"';
+    for (char C : Str) {
+      switch (C) {
+      case '"':
+        OS << "\\\"";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '\r':
+        OS << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          OS << Buf;
+        } else {
+          OS << C;
+        }
+      }
+    }
+    OS << '"';
+  }
+
+  std::ostream &OS;
+  std::vector<Frame> Stack;
+  bool PendingValue = false;
+};
+
+} // namespace gator
+
+#endif // GATOR_SUPPORT_JSON_H

@@ -1,0 +1,19 @@
+//===- SourceLocation.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/SourceLocation.h"
+
+#include <sstream>
+
+using namespace gator;
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << (File.empty() ? "<input>" : File) << ':' << Line << ':' << Column;
+  return OS.str();
+}
+
+std::ostream &gator::operator<<(std::ostream &OS, const SourceLocation &Loc) {
+  return OS << Loc.str();
+}

@@ -1,0 +1,53 @@
+//===- SourceLocation.h - Positions in input text --------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source positions used by the ALite parser, the XML parser,
+/// and the diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_SOURCELOCATION_H
+#define GATOR_SUPPORT_SOURCELOCATION_H
+
+#include <ostream>
+#include <string>
+
+namespace gator {
+
+/// A (file, line, column) position. Lines and columns are 1-based; a value
+/// of 0 means "unknown".
+class SourceLocation {
+public:
+  SourceLocation() = default;
+  SourceLocation(std::string File, unsigned Line, unsigned Column)
+      : File(std::move(File)), Line(Line), Column(Column) {}
+
+  const std::string &file() const { return File; }
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "file:line:col" (or "<unknown>" when invalid).
+  std::string str() const;
+
+  bool operator==(const SourceLocation &Other) const {
+    return File == Other.File && Line == Other.Line && Column == Other.Column;
+  }
+
+private:
+  std::string File;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+std::ostream &operator<<(std::ostream &OS, const SourceLocation &Loc);
+
+} // namespace gator
+
+#endif // GATOR_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,23 @@
+//===- StringInterner.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/StringInterner.h"
+
+using namespace gator;
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Indices.find(Text);
+  if (It != Indices.end())
+    return Symbol(It->second);
+
+  Spellings.push_back(std::make_unique<std::string>(Text));
+  uint32_t Index = static_cast<uint32_t>(Spellings.size() - 1);
+  Indices.emplace(std::string_view(*Spellings.back()), Index);
+  return Symbol(Index);
+}
+
+Symbol StringInterner::lookup(std::string_view Text) const {
+  auto It = Indices.find(Text);
+  if (It == Indices.end())
+    return Symbol();
+  return Symbol(It->second);
+}

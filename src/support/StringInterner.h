@@ -1,0 +1,84 @@
+//===- StringInterner.h - Unique'd strings ----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string interner producing small integer Symbols. Class names, method
+/// names, field names, and resource names are interned once so the IR and
+/// the constraint graph can compare and hash them as integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_STRINGINTERNER_H
+#define GATOR_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gator {
+
+/// An interned string handle. Symbols from the same interner compare equal
+/// exactly when their spellings are equal. The default-constructed Symbol is
+/// the invalid sentinel.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Index != ~0u; }
+  uint32_t rawIndex() const { return Index; }
+
+  bool operator==(const Symbol &Other) const { return Index == Other.Index; }
+  bool operator!=(const Symbol &Other) const { return Index != Other.Index; }
+  bool operator<(const Symbol &Other) const { return Index < Other.Index; }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(uint32_t Index) : Index(Index) {}
+
+  uint32_t Index = ~0u;
+};
+
+/// Owns the interned spellings and hands out Symbols.
+class StringInterner {
+public:
+  /// Interns \p Text, returning the existing Symbol if already present.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the Symbol for \p Text if interned, or the invalid Symbol.
+  Symbol lookup(std::string_view Text) const;
+
+  /// Returns the spelling of a valid \p Sym.
+  const std::string &text(Symbol Sym) const {
+    assert(Sym.isValid() && Sym.rawIndex() < Spellings.size() &&
+           "invalid symbol");
+    return *Spellings[Sym.rawIndex()];
+  }
+
+  size_t size() const { return Spellings.size(); }
+
+private:
+  // Spellings are heap-allocated so the string_view keys in Indices stay
+  // valid while the vector grows.
+  std::vector<std::unique_ptr<std::string>> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Indices;
+};
+
+} // namespace gator
+
+namespace std {
+template <> struct hash<gator::Symbol> {
+  size_t operator()(const gator::Symbol &Sym) const {
+    return std::hash<uint32_t>()(Sym.rawIndex());
+  }
+};
+} // namespace std
+
+#endif // GATOR_SUPPORT_STRINGINTERNER_H

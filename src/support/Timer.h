@@ -1,0 +1,43 @@
+//===- Timer.h - Wall-clock timing helper -----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harness to report
+/// per-phase analysis times (Table 2 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_TIMER_H
+#define GATOR_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace gator {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace gator
+
+#endif // GATOR_SUPPORT_TIMER_H

@@ -1,0 +1,86 @@
+//===- Xml.h - Minimal XML parser -------------------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free XML reader covering the subset used by Android
+/// layout resources: a prolog, comments, nested elements, attributes with
+/// single- or double-quoted values, and self-closing tags. Character data
+/// between elements is preserved per node but unused by the layout reader.
+///
+/// The original system read binary AXML resources out of APKs; textual XML
+/// carries the same (viewClass, viewId, children) information the analysis
+/// consumes (DESIGN.md, substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_XML_XML_H
+#define GATOR_XML_XML_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gator {
+namespace xml {
+
+/// One name="value" attribute.
+struct XmlAttr {
+  std::string Name;
+  std::string Value;
+};
+
+/// An XML element.
+class XmlNode {
+public:
+  XmlNode(std::string Tag, SourceLocation Loc)
+      : Tag(std::move(Tag)), Loc(std::move(Loc)) {}
+
+  const std::string &tag() const { return Tag; }
+  const SourceLocation &loc() const { return Loc; }
+
+  const std::vector<XmlAttr> &attrs() const { return Attrs; }
+  void addAttr(std::string Name, std::string Value) {
+    Attrs.push_back(XmlAttr{std::move(Name), std::move(Value)});
+  }
+
+  /// Returns the value of the attribute named \p Name, or null.
+  const std::string *findAttr(std::string_view Name) const;
+
+  const std::vector<std::unique_ptr<XmlNode>> &children() const {
+    return Children;
+  }
+  XmlNode *addChild(std::unique_ptr<XmlNode> Child) {
+    Children.push_back(std::move(Child));
+    return Children.back().get();
+  }
+
+  /// Concatenated character data directly inside this element.
+  const std::string &text() const { return Text; }
+  void appendText(std::string_view Chunk) { Text.append(Chunk); }
+
+private:
+  std::string Tag;
+  SourceLocation Loc;
+  std::vector<XmlAttr> Attrs;
+  std::vector<std::unique_ptr<XmlNode>> Children;
+  std::string Text;
+};
+
+/// Parses \p Input as one XML document and returns its root element, or
+/// null after reporting errors to \p Diags. \p FileName seeds diagnostics.
+std::unique_ptr<XmlNode> parseXml(std::string_view Input,
+                                  const std::string &FileName,
+                                  DiagnosticEngine &Diags);
+
+} // namespace xml
+} // namespace gator
+
+#endif // GATOR_XML_XML_H

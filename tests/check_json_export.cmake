@@ -1,0 +1,14 @@
+# Runs gator_cli --json and validates the output with python3 -m json.tool.
+execute_process(COMMAND ${CLI} ${APP} --json json_export_test.json
+                RESULT_VARIABLE CliResult OUTPUT_QUIET)
+if(NOT CliResult EQUAL 0)
+  message(FATAL_ERROR "gator_cli failed: ${CliResult}")
+endif()
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(COMMAND ${PYTHON3} -m json.tool json_export_test.json
+                  RESULT_VARIABLE JsonResult OUTPUT_QUIET)
+  if(NOT JsonResult EQUAL 0)
+    message(FATAL_ERROR "exported JSON is invalid")
+  endif()
+endif()

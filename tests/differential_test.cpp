@@ -1,0 +1,211 @@
+//===- differential_test.cpp - Fused vs. phased solver ----------*- C++ -*-===//
+//
+// Two independently written solvers (Solver.h: fine-grained worklist;
+// PhasedSolver.h: the paper's literal phase pipeline with round-based
+// sweeps) must compute identical solutions. Compared per app:
+//  - every flowsTo set of every graph node (matched structurally, since
+//    node ids of minted ViewInfl nodes may differ between runs);
+//  - the counts of every relationship-edge family;
+//  - the Table 2 precision metrics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PhasedSolver.h"
+#include "analysis/SolutionChecker.h"
+#include "corpus/ConnectBot.h"
+#include "corpus/Corpus.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::graph;
+using namespace gator::test;
+
+namespace {
+
+/// A node-id-independent fingerprint of one solution: for every variable
+/// and field node (identified by stable names), the multiset of value
+/// labels reaching it, with ViewInfl labels normalized to
+/// (class, layoutNodeId-name) — site identity folded away only in the
+/// label, which is enough because both solvers mint per (site, layout).
+std::map<std::string, std::multiset<std::string>>
+fingerprint(const AnalysisResult &R) {
+  const ConstraintGraph &G = *R.Graph;
+  std::map<std::string, std::multiset<std::string>> Print;
+  for (NodeId N = 0; N < G.size(); ++N) {
+    NodeKind K = G.node(N).Kind;
+    if (K != NodeKind::Var && K != NodeKind::Field)
+      continue;
+    auto &Labels = Print[G.label(N)];
+    for (NodeId V : R.Sol->valuesAt(N))
+      Labels.insert(G.label(V));
+  }
+  return Print;
+}
+
+struct EdgeCounts {
+  size_t ParentChild, Flow, Nodes, ViewInfl;
+};
+
+EdgeCounts edgeCounts(const AnalysisResult &R) {
+  return EdgeCounts{R.Graph->parentChildEdgeCount(),
+                    R.Graph->flowEdgeCount(), R.Graph->size(),
+                    R.Graph->nodesOfKind(NodeKind::ViewInfl).size()};
+}
+
+void expectSameSolution(const AnalysisResult &Fused,
+                        const AnalysisResult &Phased,
+                        const std::string &Context) {
+  EdgeCounts A = edgeCounts(Fused), B = edgeCounts(Phased);
+  EXPECT_EQ(A.ParentChild, B.ParentChild) << Context;
+  EXPECT_EQ(A.Nodes, B.Nodes) << Context;
+  EXPECT_EQ(A.ViewInfl, B.ViewInfl) << Context;
+  EXPECT_EQ(A.Flow, B.Flow) << Context;
+
+  auto FA = fingerprint(Fused);
+  auto FB = fingerprint(Phased);
+  ASSERT_EQ(FA.size(), FB.size()) << Context;
+  for (const auto &[Name, Labels] : FA) {
+    auto It = FB.find(Name);
+    ASSERT_NE(It, FB.end()) << Context << ": node " << Name;
+    EXPECT_EQ(Labels, It->second) << Context << ": values at " << Name;
+  }
+
+  auto MA = Fused.metrics();
+  auto MB = Phased.metrics();
+  EXPECT_DOUBLE_EQ(MA.AvgReceivers, MB.AvgReceivers) << Context;
+  EXPECT_EQ(MA.AvgResults.has_value(), MB.AvgResults.has_value()) << Context;
+  if (MA.AvgResults) {
+    EXPECT_DOUBLE_EQ(*MA.AvgResults, *MB.AvgResults) << Context;
+  }
+  if (MA.AvgListeners && MB.AvgListeners) {
+    EXPECT_DOUBLE_EQ(*MA.AvgListeners, *MB.AvgListeners) << Context;
+  }
+}
+
+TEST(DifferentialTest, ConnectBotSolversAgree) {
+  auto App1 = buildConnectBotExample();
+  auto Fused = runAnalysis(*App1);
+  auto App2 = buildConnectBotExample();
+  auto Phased = runPhasedAnalysis(App2->Program, *App2->Layouts,
+                                  App2->Android, AnalysisOptions(),
+                                  App2->Diags);
+  ASSERT_TRUE(Phased);
+  expectSameSolution(*Fused, *Phased, "ConnectBot");
+  EXPECT_TRUE(checkSolutionClosure(*Phased).empty());
+}
+
+TEST(DifferentialTest, ExtensionOpsAgree) {
+  // Fragments + adapters + xml onClick in one app; both engines must
+  // still produce the same solution.
+  const char *Source = R"(
+class RowAdapter extends android.widget.BaseAdapter {
+  method getView(inflater: android.view.LayoutInflater): android.view.View {
+    var v: android.view.View;
+    var lid: int;
+    lid := @layout/row;
+    v := inflater.inflate(lid);
+    return v;
+  }
+}
+class HeaderFragment extends android.app.Fragment {
+  method onCreateView(inflater: android.view.LayoutInflater): android.view.View {
+    var v: android.widget.Button;
+    v := new android.widget.Button;
+    return v;
+  }
+}
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var lvid: int;
+    var lv: android.widget.ListView;
+    var ad: RowAdapter;
+    var fm: android.app.FragmentManager;
+    var tx: android.app.FragmentTransaction;
+    var fg: HeaderFragment;
+    var cid: int;
+    lid := @layout/main;
+    this.setContentView(lid);
+    lvid := @id/list;
+    lv := this.findViewById(lvid);
+    ad := new RowAdapter;
+    lv.setAdapter(ad);
+    fm := this.getFragmentManager();
+    tx := fm.beginTransaction();
+    fg := new HeaderFragment;
+    cid := @id/root;
+    tx.add(cid, fg);
+  }
+  method onTap(v: android.view.View) { }
+}
+)";
+  const std::vector<std::pair<std::string, std::string>> Layouts = {
+      {"main", R"(
+<LinearLayout android:id="@+id/root">
+  <TextView android:onClick="onTap" />
+  <ListView android:id="@+id/list" />
+</LinearLayout>
+)"},
+      {"row", "<TextView android:id=\"@+id/row_text\"/>"}};
+
+  auto App1 = makeBundle(Source, Layouts);
+  auto Fused = runAnalysis(*App1);
+  auto App2 = makeBundle(Source, Layouts);
+  auto Phased = runPhasedAnalysis(App2->Program, *App2->Layouts,
+                                  App2->Android, AnalysisOptions(),
+                                  App2->Diags);
+  ASSERT_TRUE(Phased);
+  expectSameSolution(*Fused, *Phased, "extensions");
+}
+
+class CorpusDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorpusDifferential, SolversAgree) {
+  const AppSpec &Spec = paperCorpus()[GetParam()];
+
+  GeneratedApp App1 = generateApp(Spec);
+  auto Fused = runAnalysis(*App1.Bundle);
+
+  GeneratedApp App2 = generateApp(Spec);
+  auto Phased =
+      runPhasedAnalysis(App2.Bundle->Program, *App2.Bundle->Layouts,
+                        App2.Bundle->Android, AnalysisOptions(),
+                        App2.Bundle->Diags);
+  ASSERT_TRUE(Phased);
+
+  expectSameSolution(*Fused, *Phased, Spec.Name);
+  // The phased result is itself a closed fixed point.
+  EXPECT_TRUE(checkSolutionClosure(*Phased).empty()) << Spec.Name;
+}
+
+TEST_P(CorpusDifferential, SolversAgreeUnderTypeFilter) {
+  const AppSpec &Spec = paperCorpus()[GetParam()];
+  AnalysisOptions Options;
+  Options.DeclaredTypeFilter = true;
+
+  GeneratedApp App1 = generateApp(Spec);
+  auto Fused = runAnalysis(*App1.Bundle, Options);
+
+  GeneratedApp App2 = generateApp(Spec);
+  auto Phased =
+      runPhasedAnalysis(App2.Bundle->Program, *App2.Bundle->Layouts,
+                        App2.Bundle->Android, Options, App2.Bundle->Diags);
+  ASSERT_TRUE(Phased);
+  expectSameSolution(*Fused, *Phased, Spec.Name + "+filter");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpusApps, CorpusDifferential,
+                         ::testing::Range<size_t>(0, 20),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return paperCorpus()[Info.param].Name;
+                         });
+
+} // namespace

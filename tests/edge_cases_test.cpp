@@ -1,0 +1,203 @@
+//===- edge_cases_test.cpp - Remaining edge and failure paths ---*- C++ -*-===//
+
+#include "analysis/AppStats.h"
+#include "corpus/ConnectBot.h"
+#include "dex/DexLite.h"
+#include "parser/Parser.h"
+#include "xml/Xml.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Solver limits and degenerate inputs
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeCaseTest, WorkLimitStopsSolverGracefully) {
+  auto App = corpus::buildConnectBotExample();
+  ASSERT_TRUE(App && !App->Diags.hasErrors());
+  AnalysisOptions Options;
+  Options.MaxWorkItems = 3; // absurdly small
+  auto R = analysis::GuiAnalysis::run(App->Program, *App->Layouts,
+                                      App->Android, Options, App->Diags);
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Stats.HitWorkLimit);
+  EXPECT_GE(App->Diags.warningCount(), 1u);
+}
+
+TEST(EdgeCaseTest, EmptyProgramAnalyzes) {
+  auto App = std::make_unique<corpus::AppBundle>();
+  App->Android.install(App->Program);
+  ASSERT_TRUE(App->finalize());
+  auto R = runAnalysis(*App);
+  EXPECT_EQ(R->Sol->ops().size(), 0u);
+  EXPECT_EQ(R->Stats.InflationCount, 0u);
+}
+
+TEST(EdgeCaseTest, ActivityWithoutLayoutAnalyzes) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var bid: int;
+    var b: android.view.View;
+    bid := @id/never_inflated;
+    b := this.findViewById(bid);
+  }
+}
+)");
+  auto R = runAnalysis(*App);
+  graph::NodeId B = varNode(*App, *R, "A", "onCreate", 0, "b");
+  EXPECT_TRUE(R->Sol->viewsAt(B).empty());
+}
+
+TEST(EdgeCaseTest, RecursiveHelperTerminates) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var v: android.view.View;
+    v := this.spin(v);
+  }
+  method spin(p: android.view.View): android.view.View {
+    var r: android.view.View;
+    r := this.spin(p);
+    return r;
+  }
+}
+)");
+  auto R = runAnalysis(*App);
+  EXPECT_FALSE(R->Stats.HitWorkLimit);
+}
+
+TEST(EdgeCaseTest, SelfReferentialAddViewIgnored) {
+  // v.addView(v) must not create a self parent-child edge.
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var v: android.widget.LinearLayout;
+    v := new android.widget.LinearLayout;
+    v.addView(v);
+  }
+}
+)");
+  auto R = runAnalysis(*App);
+  graph::NodeId V = varNode(*App, *R, "A", "onCreate", 0, "v");
+  auto Views = R->Sol->viewsAt(V);
+  ASSERT_EQ(Views.size(), 1u);
+  EXPECT_TRUE(R->Graph->children(Views.front()).empty());
+}
+
+TEST(EdgeCaseTest, MutualAddViewCycleTerminates) {
+  // a.addView(b); b.addView(a): a structural cycle the descendants walk
+  // and the hierarchy printer must both survive.
+  auto App = makeBundle(R"(
+class X extends android.app.Activity {
+  method onCreate() {
+    var a: android.widget.LinearLayout;
+    var b: android.widget.LinearLayout;
+    a := new android.widget.LinearLayout;
+    b := new android.widget.LinearLayout;
+    a.addView(b);
+    b.addView(a);
+  }
+}
+)");
+  auto R = runAnalysis(*App);
+  graph::NodeId A = varNode(*App, *R, "X", "onCreate", 0, "a");
+  auto Views = R->Sol->viewsAt(A);
+  ASSERT_EQ(Views.size(), 1u);
+  EXPECT_EQ(R->Graph->descendantsOf(Views.front()).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// AppStats printing
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeCaseTest, AppStatsRowsFormat) {
+  auto App = corpus::buildConnectBotExample();
+  auto R = runAnalysis(*App);
+  AppStats Stats = collectAppStats("ConnectBot", App->Program, *R);
+  EXPECT_EQ(Stats.InflViews, 6u);
+  EXPECT_EQ(Stats.AllocViews, 1u);
+  EXPECT_EQ(Stats.Listeners, 1u);
+  EXPECT_EQ(Stats.OpFindView, 4u);
+  EXPECT_EQ(Stats.OpAddView, 2u);
+
+  std::ostringstream OS;
+  printAppStatsHeader(OS);
+  printAppStatsRow(OS, Stats);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("ConnectBot"), std::string::npos);
+  EXPECT_NE(Text.find("2/5"), std::string::npos);  // ids L/V
+  EXPECT_NE(Text.find("6/1"), std::string::npos);  // views I/A
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend robustness: no crashes on garbage input
+//===----------------------------------------------------------------------===//
+
+std::string garbageString(uint32_t Seed, size_t Length) {
+  static const char Alphabet[] =
+      "abcXYZ019 .,:;(){}<>=@/#\"'\n\t$-_*&\\";
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<size_t> Pick(0, sizeof(Alphabet) - 2);
+  std::string Out;
+  for (size_t I = 0; I < Length; ++I)
+    Out.push_back(Alphabet[Pick(Rng)]);
+  return Out;
+}
+
+class FrontendFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FrontendFuzz, AliteParserNeverCrashes) {
+  ir::Program P;
+  DiagnosticEngine Diags;
+  parser::parseAlite(garbageString(GetParam(), 512), "fuzz.alite", P, Diags);
+  // Any outcome is fine as long as there is no crash and every failure is
+  // reported through the diagnostics engine.
+  SUCCEED();
+}
+
+TEST_P(FrontendFuzz, DexParserNeverCrashes) {
+  ir::Program P;
+  DiagnosticEngine Diags;
+  dex::parseDexLite(garbageString(GetParam() + 1000, 512), "fuzz.dexlite", P,
+                    Diags);
+  SUCCEED();
+}
+
+TEST_P(FrontendFuzz, XmlParserNeverCrashes) {
+  DiagnosticEngine Diags;
+  xml::parseXml(garbageString(GetParam() + 2000, 512), "fuzz.xml", Diags);
+  SUCCEED();
+}
+
+TEST_P(FrontendFuzz, MutilatedAliteReportsErrors) {
+  // Take valid source and truncate it at a pseudo-random point: the
+  // parser must fail cleanly (diagnostics, no crash) or succeed on a
+  // still-valid prefix.
+  std::string Valid = corpus::connectBotAliteSource();
+  std::mt19937 Rng(GetParam());
+  size_t Cut = std::uniform_int_distribution<size_t>(1, Valid.size() - 1)(Rng);
+  ir::Program P;
+  DiagnosticEngine Diags;
+  android::AndroidModel AM;
+  AM.install(P);
+  bool Ok = parser::parseAlite(Valid.substr(0, Cut), "cut.alite", P, Diags);
+  if (!Ok) {
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontendFuzz, ::testing::Range(0u, 25u));
+
+} // namespace

@@ -1,0 +1,301 @@
+//===- ir_test.cpp - ALite IR unit tests ------------------------*- C++ -*-===//
+
+#include "ir/Ir.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::ir;
+
+namespace {
+
+TEST(IrTest, AddAndFindClass) {
+  Program P;
+  ClassDecl *C = P.addClass("com.example.Foo");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(P.findClass("com.example.Foo"), C);
+  EXPECT_EQ(P.findClass("com.example.Bar"), nullptr);
+}
+
+TEST(IrTest, DuplicateClassRejected) {
+  Program P;
+  DiagnosticEngine Diags;
+  EXPECT_NE(P.addClass("A", false, false, &Diags), nullptr);
+  EXPECT_EQ(P.addClass("A", false, false, &Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(IrTest, ResolveLinksSuperAndInterfaces) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *I = P.addClass("I", /*IsInterface=*/true);
+  ClassDecl *A = P.addClass("A");
+  ClassDecl *B = P.addClass("B");
+  B->setSuperName("A");
+  B->addInterfaceName("I");
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(B->superClass(), A);
+  ASSERT_EQ(B->interfaces().size(), 1u);
+  EXPECT_EQ(B->interfaces()[0], I);
+  EXPECT_TRUE(P.isSubtypeOf(B, A));
+  EXPECT_TRUE(P.isSubtypeOf(B, I));
+  EXPECT_FALSE(P.isSubtypeOf(A, B));
+}
+
+TEST(IrTest, ImplicitObjectSuperclass) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *Obj = P.addClass(ObjectClassName);
+  ClassDecl *A = P.addClass("A");
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(A->superClass(), Obj);
+  EXPECT_EQ(Obj->superClass(), nullptr);
+}
+
+TEST(IrTest, UnknownSuperclassIsError) {
+  Program P;
+  DiagnosticEngine Diags;
+  P.addClass("A")->setSuperName("Missing");
+  EXPECT_FALSE(P.resolve(Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(IrTest, ImplementsNonInterfaceIsError) {
+  Program P;
+  DiagnosticEngine Diags;
+  P.addClass("NotIface");
+  P.addClass("A")->addInterfaceName("NotIface");
+  EXPECT_FALSE(P.resolve(Diags));
+}
+
+TEST(IrTest, InheritanceCycleIsError) {
+  Program P;
+  DiagnosticEngine Diags;
+  P.addClass("A")->setSuperName("B");
+  P.addClass("B")->setSuperName("A");
+  EXPECT_FALSE(P.resolve(Diags));
+}
+
+TEST(IrTest, FieldLookupWalksSupers) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *A = P.addClass("A");
+  A->addField("f", "A");
+  ClassDecl *B = P.addClass("B");
+  B->setSuperName("A");
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(B->findOwnField("f"), nullptr);
+  ASSERT_NE(B->findField("f"), nullptr);
+  EXPECT_EQ(B->findField("f")->owner(), A);
+  EXPECT_EQ(B->findField("f")->qualifiedName(), "A.f");
+}
+
+TEST(IrTest, MethodLookupRespectsArityAndOverride) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M1 = A->addMethod("m", "void");
+  M1->addParam("x", "A");
+  ClassDecl *B = P.addClass("B");
+  B->setSuperName("A");
+  MethodDecl *M2 = B->addMethod("m", "void"); // m/0 overload on B
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(B->findMethod("m", 1), M1); // inherited m/1
+  EXPECT_EQ(B->findMethod("m", 0), M2);
+  EXPECT_EQ(A->findMethod("m", 0), nullptr);
+}
+
+TEST(IrTest, MethodLookupThroughInterfaces) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *I = P.addClass("I", /*IsInterface=*/true);
+  MethodDecl *Decl = I->addMethod("h", "void");
+  Decl->addParam("v", "I");
+  ClassDecl *A = P.addClass("A");
+  A->addInterfaceName("I");
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(A->findMethod("h", 1), Decl);
+  EXPECT_TRUE(Decl->isAbstract()); // interface methods are abstract
+}
+
+TEST(IrTest, ThisAndParamVariableLayout) {
+  Program P;
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M = A->addMethod("m", "void");
+  VarId Px = M->addParam("x", "int");
+  VarId Py = M->addParam("y", "A");
+  VarId L = M->addLocal("tmp", "A");
+  EXPECT_EQ(M->thisVar(), 0);
+  EXPECT_EQ(M->paramVar(0), Px);
+  EXPECT_EQ(M->paramVar(1), Py);
+  EXPECT_EQ(M->paramCount(), 2u);
+  EXPECT_EQ(M->var(M->thisVar()).TypeName, "A");
+  EXPECT_TRUE(M->var(M->thisVar()).IsThis);
+  EXPECT_TRUE(M->var(Px).IsParam);
+  EXPECT_FALSE(M->var(L).IsParam);
+  EXPECT_EQ(M->findVar("tmp"), L);
+  EXPECT_EQ(M->findVar("nope"), InvalidVar);
+  EXPECT_EQ(M->qualifiedName(), "A.m/2");
+}
+
+TEST(IrTest, StaticMethodHasNoThis) {
+  Program P;
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M = A->addMethod("s", "void", /*IsStatic=*/true);
+  VarId Px = M->addParam("x", "int");
+  EXPECT_EQ(Px, 0); // parameters start at 0 without `this`
+  EXPECT_TRUE(M->isStatic());
+}
+
+TEST(IrTest, AppCountsExcludePlatform) {
+  Program P;
+  DiagnosticEngine Diags;
+  P.addClass("android.x.Y", false, /*IsPlatform=*/true)
+      ->addMethod("stub", "void")
+      ->setAbstract(true);
+  ClassDecl *A = P.addClass("A");
+  A->addMethod("m", "void");
+  A->addMethod("n", "void");
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_EQ(P.appClassCount(), 1u);
+  EXPECT_EQ(P.appMethodCount(), 2u);
+}
+
+TEST(IrTest, PrimitiveTypeNames) {
+  EXPECT_TRUE(isPrimitiveTypeName("int"));
+  EXPECT_TRUE(isPrimitiveTypeName("void"));
+  EXPECT_FALSE(isPrimitiveTypeName("java.lang.Object"));
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramBuilderTest, BuildsStatements) {
+  Program P;
+  DiagnosticEngine Diags;
+  ProgramBuilder B(P, Diags);
+  ClassBuilder CB = B.makeClass("A");
+  CB.field("f", "A");
+  MethodBuilder MB = CB.method("m", "A");
+  MB.param("p", "A");
+  MB.local("x", "A");
+  MB.assign("x", "p");
+  MB.assignNew("x", "A");
+  MB.loadField("x", "this", "f");
+  MB.storeField("this", "f", "x");
+  MB.ret(std::string("x"));
+  ASSERT_TRUE(B.finish());
+
+  const MethodDecl *M = P.findClass("A")->findOwnMethod("m", 1);
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->body().size(), 5u);
+  EXPECT_EQ(M->body()[0].Kind, StmtKind::AssignVar);
+  EXPECT_EQ(M->body()[1].Kind, StmtKind::AssignNew);
+  EXPECT_EQ(M->body()[1].ClassName, "A");
+  EXPECT_EQ(M->body()[2].Kind, StmtKind::LoadField);
+  EXPECT_EQ(M->body()[3].Kind, StmtKind::StoreField);
+  EXPECT_EQ(M->body()[4].Kind, StmtKind::Return);
+}
+
+TEST(ProgramBuilderTest, LocalIsIdempotent) {
+  Program P;
+  DiagnosticEngine Diags;
+  ProgramBuilder B(P, Diags);
+  MethodBuilder MB = B.makeClass("A").method("m");
+  VarId X1 = MB.local("x", "A");
+  VarId X2 = MB.local("x", "A");
+  EXPECT_EQ(X1, X2);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTest, AcceptsWellFormedProgram) {
+  Program P;
+  DiagnosticEngine Diags;
+  ProgramBuilder B(P, Diags);
+  MethodBuilder MB = B.makeClass("A").method("m");
+  MB.local("x", "A");
+  MB.assignNew("x", "A");
+  ASSERT_TRUE(B.finish());
+  EXPECT_TRUE(verifyProgram(P, Diags));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(VerifierTest, RejectsNewOfUnknownClass) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M = A->addMethod("m", "void");
+  VarId X = M->addLocal("x", "A");
+  Stmt S;
+  S.Kind = StmtKind::AssignNew;
+  S.Lhs = X;
+  S.ClassName = "Ghost";
+  M->body().push_back(S);
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_FALSE(verifyProgram(P, Diags));
+}
+
+TEST(VerifierTest, RejectsNewOfInterface) {
+  Program P;
+  DiagnosticEngine Diags;
+  P.addClass("I", /*IsInterface=*/true);
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M = A->addMethod("m", "void");
+  VarId X = M->addLocal("x", "I");
+  Stmt S;
+  S.Kind = StmtKind::AssignNew;
+  S.Lhs = X;
+  S.ClassName = "I";
+  M->body().push_back(S);
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_FALSE(verifyProgram(P, Diags));
+}
+
+TEST(VerifierTest, RejectsDanglingVarIndex) {
+  Program P;
+  DiagnosticEngine Diags;
+  ClassDecl *A = P.addClass("A");
+  MethodDecl *M = A->addMethod("m", "void");
+  Stmt S;
+  S.Kind = StmtKind::AssignNull;
+  S.Lhs = 99;
+  M->body().push_back(S);
+  ASSERT_TRUE(P.resolve(Diags));
+  EXPECT_FALSE(verifyProgram(P, Diags));
+}
+
+TEST(VerifierTest, WarnsOnUnknownFieldAndMethod) {
+  Program P;
+  DiagnosticEngine Diags;
+  ProgramBuilder B(P, Diags);
+  MethodBuilder MB = B.makeClass("A").method("m");
+  MB.local("x", "A");
+  MB.assignNew("x", "A");
+  MB.loadField("x", "x", "ghostField");
+  MB.call("x", "ghostMethod", {});
+  ASSERT_TRUE(B.finish());
+  EXPECT_TRUE(verifyProgram(P, Diags)); // warnings, not errors
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.warningCount(), 2u);
+}
+
+TEST(VerifierTest, WarnsOnReturnValueInVoidMethod) {
+  Program P;
+  DiagnosticEngine Diags;
+  ProgramBuilder B(P, Diags);
+  MethodBuilder MB = B.makeClass("A").method("m", VoidTypeName);
+  MB.local("x", "A");
+  MB.assignNew("x", "A");
+  MB.ret(std::string("x"));
+  ASSERT_TRUE(B.finish());
+  EXPECT_TRUE(verifyProgram(P, Diags));
+  EXPECT_EQ(Diags.warningCount(), 1u);
+}
+
+} // namespace

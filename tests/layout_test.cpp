@@ -1,0 +1,296 @@
+//===- layout_test.cpp - Resource table and layout model --------*- C++ -*-===//
+
+#include "layout/Layout.h"
+#include "layout/LayoutWriter.h"
+#include "layout/ResourceTable.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace gator;
+using namespace gator::layout;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ResourceTable
+//===----------------------------------------------------------------------===//
+
+TEST(ResourceTableTest, LayoutIdsFollowAaptConvention) {
+  ResourceTable Table;
+  ResourceId A = Table.internLayoutId("act_console");
+  ResourceId B = Table.internLayoutId("item_terminal");
+  EXPECT_EQ(A, ResourceTable::LayoutIdBase);
+  EXPECT_EQ(B, ResourceTable::LayoutIdBase + 1);
+  EXPECT_EQ(Table.internLayoutId("act_console"), A); // idempotent
+  EXPECT_EQ(Table.layoutCount(), 2u);
+}
+
+TEST(ResourceTableTest, ViewIdsLiveInSeparateSpace) {
+  ResourceTable Table;
+  ResourceId L = Table.internLayoutId("main");
+  ResourceId V = Table.internViewId("main"); // same name, different space
+  EXPECT_NE(L, V);
+  EXPECT_TRUE(Table.isLayoutId(L));
+  EXPECT_FALSE(Table.isViewId(L));
+  EXPECT_TRUE(Table.isViewId(V));
+}
+
+TEST(ResourceTableTest, ReverseLookup) {
+  ResourceTable Table;
+  ResourceId V = Table.internViewId("button_esc");
+  ASSERT_TRUE(Table.viewIdName(V).has_value());
+  EXPECT_EQ(*Table.viewIdName(V), "button_esc");
+  EXPECT_FALSE(Table.viewIdName(12345).has_value());
+  EXPECT_FALSE(Table.layoutName(V).has_value());
+}
+
+TEST(ResourceTableTest, LookupWithoutInterning) {
+  ResourceTable Table;
+  EXPECT_EQ(Table.lookupLayoutId("ghost"), InvalidResourceId);
+  EXPECT_EQ(Table.lookupViewId("ghost"), InvalidResourceId);
+}
+
+//===----------------------------------------------------------------------===//
+// Layout reading
+//===----------------------------------------------------------------------===//
+
+TEST(LayoutTest, ReadsTreeWithIds) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  LayoutDef *Def = readLayoutXml(Registry, "main", R"(
+<LinearLayout android:id="@+id/root">
+  <TextView android:id="@+id/title" />
+  <Button />
+</LinearLayout>
+)",
+                                 Diags);
+  ASSERT_NE(Def, nullptr);
+  ASSERT_TRUE(Registry.resolveIncludes(Diags));
+  EXPECT_FALSE(Diags.hasErrors());
+
+  const LayoutNode *Root = Def->root();
+  EXPECT_EQ(Root->viewClassName(), "LinearLayout");
+  EXPECT_EQ(Root->viewIdName(), "root");
+  ASSERT_EQ(Root->children().size(), 2u);
+  EXPECT_EQ(Root->children()[0]->viewIdName(), "title");
+  EXPECT_FALSE(Root->children()[1]->hasViewId());
+  EXPECT_EQ(Root->subtreeSize(), 3u);
+
+  // resolveIncludes interns every view id.
+  EXPECT_NE(Resources.lookupViewId("root"), InvalidResourceId);
+  EXPECT_NE(Resources.lookupViewId("title"), InvalidResourceId);
+}
+
+TEST(LayoutTest, FindByNameAndById) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  LayoutDef *Def = readLayoutXml(Registry, "main", "<View/>", Diags);
+  ASSERT_NE(Def, nullptr);
+  EXPECT_EQ(Registry.findByName("main"), Def);
+  EXPECT_EQ(Registry.findById(Def->id()), Def);
+  EXPECT_EQ(Registry.findByName("ghost"), nullptr);
+  EXPECT_EQ(Registry.findById(0), nullptr);
+}
+
+TEST(LayoutTest, DuplicateLayoutNameRejected) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  EXPECT_NE(readLayoutXml(Registry, "main", "<View/>", Diags), nullptr);
+  EXPECT_EQ(readLayoutXml(Registry, "main", "<View/>", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LayoutTest, IncludeExpandsTargetTree) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(Registry, "titlebar", R"(
+<RelativeLayout android:id="@+id/bar">
+  <TextView android:id="@+id/bar_text" />
+</RelativeLayout>
+)",
+                          Diags),
+            nullptr);
+  LayoutDef *Main = readLayoutXml(Registry, "main", R"(
+<LinearLayout>
+  <include layout="@layout/titlebar" />
+  <Button android:id="@+id/ok" />
+</LinearLayout>
+)",
+                                  Diags);
+  ASSERT_NE(Main, nullptr);
+  ASSERT_TRUE(Registry.resolveIncludes(Diags));
+
+  ASSERT_EQ(Main->root()->children().size(), 2u);
+  const LayoutNode *Included = Main->root()->children()[0].get();
+  EXPECT_EQ(Included->viewClassName(), "RelativeLayout");
+  EXPECT_EQ(Included->viewIdName(), "bar");
+  ASSERT_EQ(Included->children().size(), 1u);
+  EXPECT_EQ(Included->children()[0]->viewIdName(), "bar_text");
+}
+
+TEST(LayoutTest, IncludeIdOverride) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(Registry, "inner",
+                          "<TextView android:id=\"@+id/original\"/>", Diags),
+            nullptr);
+  LayoutDef *Main = readLayoutXml(
+      Registry, "main",
+      R"(<LinearLayout>
+           <include layout="@layout/inner" android:id="@+id/override" />
+         </LinearLayout>)",
+      Diags);
+  ASSERT_NE(Main, nullptr);
+  ASSERT_TRUE(Registry.resolveIncludes(Diags));
+  EXPECT_EQ(Main->root()->children()[0]->viewIdName(), "override");
+}
+
+TEST(LayoutTest, MergeSplicesChildren) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(Registry, "buttons", R"(
+<merge>
+  <Button android:id="@+id/yes" />
+  <Button android:id="@+id/no" />
+</merge>
+)",
+                          Diags),
+            nullptr);
+  LayoutDef *Main = readLayoutXml(
+      Registry, "main",
+      R"(<LinearLayout><include layout="@layout/buttons"/></LinearLayout>)",
+      Diags);
+  ASSERT_NE(Main, nullptr);
+  ASSERT_TRUE(Registry.resolveIncludes(Diags));
+  // The two buttons splice directly under main's root; no merge node.
+  ASSERT_EQ(Main->root()->children().size(), 2u);
+  EXPECT_EQ(Main->root()->children()[0]->viewIdName(), "yes");
+  EXPECT_EQ(Main->root()->children()[1]->viewIdName(), "no");
+}
+
+TEST(LayoutTest, IncludeCycleDetected) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(
+                Registry, "a",
+                R"(<LinearLayout><include layout="@layout/b"/></LinearLayout>)",
+                Diags),
+            nullptr);
+  ASSERT_NE(readLayoutXml(
+                Registry, "b",
+                R"(<LinearLayout><include layout="@layout/a"/></LinearLayout>)",
+                Diags),
+            nullptr);
+  EXPECT_FALSE(Registry.resolveIncludes(Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LayoutTest, IncludeOfUnknownLayoutIsError) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(
+                Registry, "main",
+                R"(<LinearLayout><include layout="@layout/ghost"/></LinearLayout>)",
+                Diags),
+            nullptr);
+  EXPECT_FALSE(Registry.resolveIncludes(Diags));
+}
+
+TEST(LayoutTest, IncludeWithoutLayoutAttrIsError) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  EXPECT_EQ(readLayoutXml(Registry, "main",
+                          "<LinearLayout><include/></LinearLayout>", Diags),
+            nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LayoutTest, CloneIsDeep) {
+  LayoutNode Root("LinearLayout", "root");
+  Root.addChild(std::make_unique<LayoutNode>("Button", "b"));
+  auto Copy = Root.clone();
+  ASSERT_EQ(Copy->children().size(), 1u);
+  EXPECT_NE(Copy->children()[0].get(), Root.children()[0].get());
+  EXPECT_EQ(Copy->children()[0]->viewIdName(), "b");
+}
+
+TEST(LayoutWriterTest, WriteReadRoundTrip) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  LayoutDef *Def = readLayoutXml(Registry, "main", R"(
+<LinearLayout android:id="@+id/root">
+  <Button android:id="@+id/ok" android:onClick="onOk" />
+  <FrameLayout>
+    <TextView />
+  </FrameLayout>
+</LinearLayout>
+)",
+                                 Diags);
+  ASSERT_NE(Def, nullptr);
+  std::string Xml = layoutToXml(*Def);
+
+  ResourceTable Resources2;
+  LayoutRegistry Registry2(Resources2);
+  LayoutDef *Def2 = readLayoutXml(Registry2, "main", Xml, Diags);
+  ASSERT_NE(Def2, nullptr) << Xml;
+  EXPECT_FALSE(Diags.hasErrors());
+
+  // Structure survives: same ids, handler names, and shape.
+  EXPECT_EQ(Def2->root()->viewIdName(), "root");
+  ASSERT_EQ(Def2->root()->children().size(), 2u);
+  const LayoutNode *Ok = Def2->root()->children()[0].get();
+  EXPECT_EQ(Ok->viewClassName(), "Button");
+  EXPECT_EQ(Ok->viewIdName(), "ok");
+  EXPECT_EQ(Ok->onClickHandlerName(), "onOk");
+  EXPECT_EQ(Def2->root()->subtreeSize(), 4u);
+  // A second write is a fixed point.
+  EXPECT_EQ(layoutToXml(*Def2), Xml);
+}
+
+TEST(LayoutWriterTest, WritesIncludePlaceholders) {
+  LayoutNode Root("LinearLayout", "");
+  auto Include = std::make_unique<LayoutNode>("", "override");
+  Include->setIncludeLayoutName("titlebar");
+  Root.addChild(std::move(Include));
+  std::ostringstream OS;
+  writeLayoutXml(Root, OS);
+  EXPECT_NE(OS.str().find("<include layout=\"@layout/titlebar\" "
+                          "android:id=\"@+id/override\" />"),
+            std::string::npos);
+}
+
+TEST(LayoutTest, OnClickAttributeParsed) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  LayoutDef *Def = readLayoutXml(
+      Registry, "main",
+      "<Button android:onClick=\"handleTap\"/>", Diags);
+  ASSERT_NE(Def, nullptr);
+  EXPECT_TRUE(Def->root()->hasOnClickHandler());
+  EXPECT_EQ(Def->root()->onClickHandlerName(), "handleTap");
+}
+
+TEST(LayoutTest, UnrecognizedIdAttributeWarns) {
+  ResourceTable Resources;
+  LayoutRegistry Registry(Resources);
+  DiagnosticEngine Diags;
+  ASSERT_NE(readLayoutXml(Registry, "main",
+                          "<View android:id=\"bogus\"/>", Diags),
+            nullptr);
+  EXPECT_EQ(Diags.warningCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- lexer_test.cpp - ALite lexer unit tests ------------------*- C++ -*-===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::parser;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Input, DiagnosticEngine &Diags) {
+  Lexer L(Input, "test.alite", Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Result;
+  for (const Token &T : Tokens)
+    Result.push_back(T.Kind);
+  return Result;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("", Diags);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("class interface extends implements field method var "
+                    "return new null static classof platform myName",
+                    Diags);
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::KwClass, TokenKind::KwInterface,
+                TokenKind::KwExtends, TokenKind::KwImplements,
+                TokenKind::KwField, TokenKind::KwMethod, TokenKind::KwVar,
+                TokenKind::KwReturn, TokenKind::KwNew, TokenKind::KwNull,
+                TokenKind::KwStatic, TokenKind::KwClassof,
+                TokenKind::KwPlatform, TokenKind::Identifier,
+                TokenKind::EndOfFile}));
+  EXPECT_EQ(Tokens[13].Text, "myName");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PunctuationAndAssign) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("{ } ( ) : ; , . :=", Diags);
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::LBrace, TokenKind::RBrace, TokenKind::LParen,
+                TokenKind::RParen, TokenKind::Colon, TokenKind::Semicolon,
+                TokenKind::Comma, TokenKind::Dot, TokenKind::Assign,
+                TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, ColonVersusAssign) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("x := y; v: T", Diags);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Assign);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Colon);
+}
+
+TEST(LexerTest, ResourceReferences) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("@layout/act_console @id/button_esc", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::LayoutRef);
+  EXPECT_EQ(Tokens[0].Text, "act_console");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::IdRef);
+  EXPECT_EQ(Tokens[1].Text, "button_esc");
+}
+
+TEST(LexerTest, BadResourceKindIsError) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("@drawable/icon", Diags);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, MissingSlashInResourceIsError) {
+  DiagnosticEngine Diags;
+  lex("@layout act", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a // comment to end of line\nb", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockCommentsSkipped) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a /* multi\nline\ncomment */ b", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.line(), 1u);
+  EXPECT_EQ(Tokens[0].Loc.column(), 1u);
+  EXPECT_EQ(Tokens[1].Loc.line(), 2u);
+  EXPECT_EQ(Tokens[1].Loc.column(), 3u);
+}
+
+TEST(LexerTest, QualifiedNamePiecesAreSeparateTokens) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("android.app.Activity", Diags);
+  ASSERT_EQ(Tokens.size(), 6u); // id . id . id EOF
+  EXPECT_EQ(Tokens[0].Text, "android");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[4].Text, "Activity");
+}
+
+TEST(LexerTest, DollarAndAngleIdentifiers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("lookup$cs1 <init>", Diags);
+  EXPECT_EQ(Tokens[0].Text, "lookup$cs1");
+  EXPECT_EQ(Tokens[1].Text, "<init>");
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, TokenKindNamesAreStable) {
+  EXPECT_STREQ(tokenKindName(TokenKind::Assign), "':='");
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(tokenKindName(TokenKind::EndOfFile), "end of file");
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===- lint_test.cpp - Static GUI error checker tests -----------*- C++ -*-===//
+
+#include "corpus/ConnectBot.h"
+#include "guimodel/Lint.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace gator;
+using namespace gator::guimodel;
+using namespace gator::test;
+
+namespace {
+
+std::vector<LintFinding> lint(corpus::AppBundle &App) {
+  auto R = runAnalysis(App);
+  return runLint(*R, *App.Layouts);
+}
+
+unsigned countKind(const std::vector<LintFinding> &Findings, LintKind Kind) {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Kind == Kind)
+      ++N;
+  return N;
+}
+
+const char *CleanLayout = R"(
+<LinearLayout android:id="@+id/root">
+  <Button android:id="@+id/ok" />
+</LinearLayout>
+)";
+
+TEST(LintTest, CleanAppHasNoFindings) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var bid: int;
+    var b: android.view.View;
+    var l: L;
+    lid := @layout/main;
+    this.setContentView(lid);
+    bid := @id/ok;
+    b := this.findViewById(bid);
+    l := new L;
+    b.setOnClickListener(l);
+  }
+}
+class L implements android.view.View.OnClickListener {
+  method onClick(v: android.view.View) { }
+}
+)",
+                        {{"main", CleanLayout}});
+  auto Findings = lint(*App);
+  // `root` id is declared-but-unused; everything else is clean.
+  EXPECT_EQ(countKind(Findings, LintKind::UnresolvedFind), 0u);
+  EXPECT_EQ(countKind(Findings, LintKind::BadCast), 0u);
+  EXPECT_EQ(countKind(Findings, LintKind::DeadListener), 0u);
+  EXPECT_EQ(countKind(Findings, LintKind::OrphanView), 0u);
+  EXPECT_EQ(countKind(Findings, LintKind::UnusedLayout), 0u);
+  EXPECT_EQ(countKind(Findings, LintKind::UnusedViewId), 1u);
+}
+
+TEST(LintTest, ConnectBotOnlyDeclaredButUnusedIds) {
+  // Figure 1 declares keyboard_group and terminal_overlay in the XML but
+  // never touches them from code — lint reports exactly those, and no
+  // behavioural findings.
+  auto App = corpus::buildConnectBotExample();
+  ASSERT_TRUE(App && !App->Diags.hasErrors());
+  auto Findings = lint(*App);
+  std::ostringstream OS;
+  printLintFindings(OS, Findings);
+  EXPECT_EQ(Findings.size(), 2u) << OS.str();
+  EXPECT_EQ(countKind(Findings, LintKind::UnusedViewId), 2u) << OS.str();
+  EXPECT_NE(OS.str().find("keyboard_group"), std::string::npos);
+  EXPECT_NE(OS.str().find("terminal_overlay"), std::string::npos);
+}
+
+TEST(LintTest, DetectsUnresolvedFind) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var ghost: int;
+    var v: android.view.View;
+    lid := @layout/main;
+    this.setContentView(lid);
+    ghost := @id/no_such_widget;
+    v := this.findViewById(ghost);
+  }
+}
+)",
+                        {{"main", CleanLayout}});
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::UnresolvedFind), 1u);
+}
+
+TEST(LintTest, DetectsBadCast) {
+  // The find resolves to a Button, but the destination is ImageView-typed:
+  // the cast can never succeed.
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var bid: int;
+    var img: android.widget.ImageView;
+    lid := @layout/main;
+    this.setContentView(lid);
+    bid := @id/ok;
+    img := this.findViewById(bid);
+  }
+}
+)",
+                        {{"main", CleanLayout}});
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::BadCast), 1u);
+}
+
+TEST(LintTest, CompatibleDowncastNotFlagged) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var bid: int;
+    var b: android.widget.Button;
+    lid := @layout/main;
+    this.setContentView(lid);
+    bid := @id/ok;
+    b := this.findViewById(bid);
+  }
+}
+)",
+                        {{"main", CleanLayout}});
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::BadCast), 0u);
+}
+
+TEST(LintTest, DetectsDeadListener) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var l: L;
+    l := new L;
+  }
+}
+class L implements android.view.View.OnClickListener {
+  method onClick(v: android.view.View) { }
+}
+)");
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::DeadListener), 1u);
+}
+
+TEST(LintTest, DetectsOrphanView) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var v: android.widget.Button;
+    v := new android.widget.Button;
+  }
+}
+)");
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::OrphanView), 1u);
+}
+
+TEST(LintTest, DetectsUnusedLayoutButNotIncludeTargets) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    lid := @layout/main;
+    this.setContentView(lid);
+  }
+}
+)",
+                        {{"main",
+                          "<LinearLayout>"
+                          "<include layout=\"@layout/bar\"/></LinearLayout>"},
+                         {"bar", "<TextView/>"},
+                         {"never_used", "<TextView/>"}});
+  auto Findings = lint(*App);
+  EXPECT_EQ(countKind(Findings, LintKind::UnusedLayout), 1u);
+  bool MentionsNeverUsed = false;
+  for (const LintFinding &F : Findings)
+    if (F.Message.find("never_used") != std::string::npos)
+      MentionsNeverUsed = true;
+  EXPECT_TRUE(MentionsNeverUsed);
+}
+
+TEST(LintTest, PrintedFindingsIncludeKindAndLocation) {
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var v: android.widget.Button;
+    v := new android.widget.Button;
+  }
+}
+)");
+  auto Findings = lint(*App);
+  std::ostringstream OS;
+  printLintFindings(OS, Findings);
+  EXPECT_NE(OS.str().find("orphan-view"), std::string::npos);
+  EXPECT_NE(OS.str().find("test.alite:"), std::string::npos);
+}
+
+} // namespace

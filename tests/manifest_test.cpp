@@ -1,0 +1,96 @@
+//===- manifest_test.cpp - AndroidManifest reader tests ---------*- C++ -*-===//
+
+#include "android/Manifest.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::android;
+
+namespace {
+
+const char *FullManifest = R"(
+<manifest package="com.example.app">
+  <application>
+    <activity android:name=".MainActivity">
+      <intent-filter>
+        <action android:name="android.intent.action.MAIN" />
+        <category android:name="android.intent.category.LAUNCHER" />
+      </intent-filter>
+    </activity>
+    <activity android:name="com.example.app.DetailActivity" />
+    <activity android:name=".SettingsActivity">
+      <intent-filter>
+        <action android:name="android.intent.action.VIEW" />
+      </intent-filter>
+    </activity>
+  </application>
+</manifest>
+)";
+
+TEST(ManifestTest, ParsesActivitiesAndLauncher) {
+  DiagnosticEngine Diags;
+  auto M = parseManifest(FullManifest, "AndroidManifest.xml", Diags);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(M->Package, "com.example.app");
+  ASSERT_EQ(M->Activities.size(), 3u);
+  EXPECT_EQ(M->Activities[0].ClassName, "com.example.app.MainActivity");
+  EXPECT_TRUE(M->Activities[0].IsLauncher);
+  EXPECT_EQ(M->Activities[1].ClassName, "com.example.app.DetailActivity");
+  EXPECT_FALSE(M->Activities[1].IsLauncher);
+  // VIEW-only intent filter is not a launcher.
+  EXPECT_FALSE(M->Activities[2].IsLauncher);
+  ASSERT_TRUE(M->launcherActivity().has_value());
+  EXPECT_EQ(*M->launcherActivity(), "com.example.app.MainActivity");
+}
+
+TEST(ManifestTest, RelativeNamesNeedPackage) {
+  DiagnosticEngine Diags;
+  auto M = parseManifest(R"(
+<manifest>
+  <application>
+    <activity android:name="Absolute" />
+  </application>
+</manifest>
+)",
+                         "m.xml", Diags);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->Activities[0].ClassName, "Absolute");
+  EXPECT_FALSE(M->launcherActivity().has_value());
+}
+
+TEST(ManifestTest, WrongRootIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseManifest("<application/>", "m.xml", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ManifestTest, MissingApplicationIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      parseManifest("<manifest package=\"p\"/>", "m.xml", Diags).has_value());
+}
+
+TEST(ManifestTest, ActivityWithoutNameWarns) {
+  DiagnosticEngine Diags;
+  auto M = parseManifest(R"(
+<manifest package="p">
+  <application>
+    <activity />
+  </application>
+</manifest>
+)",
+                         "m.xml", Diags);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->Activities.empty());
+  EXPECT_EQ(Diags.warningCount(), 1u);
+}
+
+TEST(ManifestTest, MalformedXmlIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseManifest("<manifest><application>", "m.xml", Diags)
+                   .has_value());
+}
+
+} // namespace

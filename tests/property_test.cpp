@@ -1,0 +1,178 @@
+//===- property_test.cpp - Cross-corpus invariants --------------*- C++ -*-===//
+//
+// Parameterized property tests over the whole 20-app corpus:
+//  - soundness: the analysis solution contains every ground-truth fact;
+//  - ablation monotonicity: removing an analysis ingredient only grows
+//    find-view result sets (the ingredients are refinements, never
+//    sources of unsoundness);
+//  - determinism: two runs produce identical metrics;
+//  - well-formedness: parent-child edges connect views, ids attach to
+//    views, roots hang off activities/dialogs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SolutionChecker.h"
+#include "corpus/Corpus.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::graph;
+using namespace gator::test;
+
+namespace {
+
+class CorpusProperty : public ::testing::TestWithParam<size_t> {
+protected:
+  const AppSpec &spec() const { return paperCorpus()[GetParam()]; }
+};
+
+TEST_P(CorpusProperty, GenerationAndAnalysisSucceed) {
+  GeneratedApp App = generateApp(spec());
+  ASSERT_FALSE(App.Bundle->Diags.hasErrors());
+  auto R = runAnalysis(*App.Bundle);
+  ASSERT_TRUE(R);
+  EXPECT_FALSE(R->Stats.HitWorkLimit);
+  EXPECT_EQ(App.Bundle->Diags.errorCount(), 0u);
+}
+
+TEST_P(CorpusProperty, SolutionIsSoundForGroundTruth) {
+  GeneratedApp App = generateApp(spec());
+  auto R = runAnalysis(*App.Bundle);
+  for (const FindViewExpectation &E : App.Finds) {
+    NodeId N = varNode(*App.Bundle, *R, E.ClassName, E.MethodName, 0,
+                       E.OutVar);
+    bool Found = false;
+    for (NodeId V : R->Sol->viewsAt(N)) {
+      const Node &Info = R->Graph->node(V);
+      if (Info.Kind == NodeKind::ViewInfl && Info.LNode &&
+          Info.LNode->viewIdName() == E.ViewIdName)
+        Found = true;
+    }
+    EXPECT_TRUE(Found) << spec().Name << ": " << E.ClassName
+                       << "::" << E.OutVar << " should see view id '"
+                       << E.ViewIdName << "'";
+  }
+}
+
+TEST_P(CorpusProperty, DirectFindsAreExact) {
+  GeneratedApp App = generateApp(spec());
+  auto R = runAnalysis(*App.Bundle);
+  for (const FindViewExpectation &E : App.Finds) {
+    if (E.ViaSharedHelper)
+      continue;
+    NodeId N = varNode(*App.Bundle, *R, E.ClassName, E.MethodName, 0,
+                       E.OutVar);
+    EXPECT_EQ(R->Sol->viewsAt(N).size(), E.ExpectedMatches)
+        << spec().Name << ": " << E.ClassName << "::" << E.OutVar;
+  }
+}
+
+TEST_P(CorpusProperty, AblationsOnlyGrowResultSets) {
+  GeneratedApp App = generateApp(spec());
+  auto Full = runAnalysis(*App.Bundle);
+
+  for (int Which = 0; Which < 2; ++Which) {
+    AnalysisOptions Ablated;
+    if (Which == 0)
+      Ablated.TrackViewIds = false;
+    else
+      Ablated.TrackHierarchy = false;
+    GeneratedApp App2 = generateApp(spec());
+    auto Coarse = runAnalysis(*App2.Bundle, Ablated);
+
+    auto FullM = Full->metrics();
+    auto CoarseM = Coarse->metrics();
+    EXPECT_GE(CoarseM.AvgReceivers + 1e-9, FullM.AvgReceivers)
+        << spec().Name << " ablation " << Which;
+    if (FullM.AvgResults && CoarseM.AvgResults) {
+      EXPECT_GE(*CoarseM.AvgResults + 1e-9, *FullM.AvgResults)
+          << spec().Name << " ablation " << Which;
+    }
+  }
+}
+
+TEST_P(CorpusProperty, DeterministicMetrics) {
+  GeneratedApp A = generateApp(spec());
+  GeneratedApp B = generateApp(spec());
+  auto RA = runAnalysis(*A.Bundle);
+  auto RB = runAnalysis(*B.Bundle);
+  auto MA = RA->metrics();
+  auto MB = RB->metrics();
+  EXPECT_DOUBLE_EQ(MA.AvgReceivers, MB.AvgReceivers);
+  EXPECT_EQ(MA.AvgResults.has_value(), MB.AvgResults.has_value());
+  if (MA.AvgResults) {
+    EXPECT_DOUBLE_EQ(*MA.AvgResults, *MB.AvgResults);
+  }
+  EXPECT_EQ(RA->Graph->size(), RB->Graph->size());
+  EXPECT_EQ(RA->Stats.InflationCount, RB->Stats.InflationCount);
+}
+
+TEST_P(CorpusProperty, StructuralEdgesAreWellFormed) {
+  GeneratedApp App = generateApp(spec());
+  auto R = runAnalysis(*App.Bundle);
+  const ConstraintGraph &G = *R->Graph;
+  for (NodeId Id = 0; Id < G.size(); ++Id) {
+    for (NodeId Child : G.children(Id)) {
+      EXPECT_TRUE(isViewNodeKind(G.node(Id).Kind));
+      EXPECT_TRUE(isViewNodeKind(G.node(Child).Kind));
+    }
+    for (NodeId IdNode : G.viewIds(Id)) {
+      EXPECT_TRUE(isViewNodeKind(G.node(Id).Kind));
+      EXPECT_EQ(G.node(IdNode).Kind, NodeKind::ViewId);
+    }
+    for (NodeId Root : G.roots(Id)) {
+      NodeKind K = G.node(Id).Kind;
+      EXPECT_TRUE(K == NodeKind::Activity || K == NodeKind::Alloc);
+      EXPECT_TRUE(isViewNodeKind(G.node(Root).Kind));
+    }
+    for (NodeId L : G.listeners(Id))
+      EXPECT_TRUE(isValueNodeKind(G.node(L).Kind));
+  }
+}
+
+TEST_P(CorpusProperty, SolutionIsAClosedFixedPoint) {
+  // The solver's result must satisfy every Section 4.2 inference rule as
+  // a closure property (nothing left to fire).
+  GeneratedApp App = generateApp(spec());
+  auto R = runAnalysis(*App.Bundle);
+  std::vector<std::string> Violations = checkSolutionClosure(*R);
+  for (const std::string &V : Violations)
+    ADD_FAILURE() << spec().Name << ": " << V;
+
+  // Also under the type filter and without the child-only refinement.
+  for (int Variant = 0; Variant < 2; ++Variant) {
+    AnalysisOptions Options;
+    if (Variant == 0)
+      Options.DeclaredTypeFilter = true;
+    else
+      Options.FindView3ChildOnly = false;
+    GeneratedApp App2 = generateApp(spec());
+    auto R2 = runAnalysis(*App2.Bundle, Options);
+    EXPECT_TRUE(checkSolutionClosure(*R2).empty())
+        << spec().Name << " variant " << Variant;
+  }
+}
+
+TEST_P(CorpusProperty, EveryInflationBelongsToARegisteredLayout) {
+  GeneratedApp App = generateApp(spec());
+  auto R = runAnalysis(*App.Bundle);
+  const ConstraintGraph &G = *R->Graph;
+  for (NodeId V : G.nodesOfKind(NodeKind::ViewInfl)) {
+    EXPECT_NE(G.node(V).LNode, nullptr);
+    EXPECT_NE(G.node(V).InflateSite, InvalidNode);
+    EXPECT_EQ(G.node(G.node(V).InflateSite).Kind, NodeKind::Op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpusApps, CorpusProperty,
+                         ::testing::Range<size_t>(0, 20),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return paperCorpus()[Info.param].Name;
+                         });
+
+} // namespace

@@ -1,0 +1,96 @@
+//===- xml_test.cpp - XML parser unit tests ---------------------*- C++ -*-===//
+
+#include "xml/Xml.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::xml;
+
+namespace {
+
+std::unique_ptr<XmlNode> parseOk(const std::string &Input) {
+  DiagnosticEngine Diags;
+  auto Doc = parseXml(Input, "t.xml", Diags);
+  if (!Doc || Diags.hasErrors()) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    ADD_FAILURE() << "xml parse failed:\n" << OS.str();
+  }
+  return Doc;
+}
+
+void parseBad(const std::string &Input) {
+  DiagnosticEngine Diags;
+  auto Doc = parseXml(Input, "t.xml", Diags);
+  EXPECT_TRUE(!Doc || Diags.hasErrors());
+}
+
+TEST(XmlTest, SelfClosingElement) {
+  auto Doc = parseOk("<Button/>");
+  EXPECT_EQ(Doc->tag(), "Button");
+  EXPECT_TRUE(Doc->children().empty());
+  EXPECT_TRUE(Doc->attrs().empty());
+}
+
+TEST(XmlTest, AttributesDoubleAndSingleQuoted) {
+  auto Doc = parseOk("<View android:id=\"@+id/a\" style='big'/>");
+  ASSERT_EQ(Doc->attrs().size(), 2u);
+  ASSERT_NE(Doc->findAttr("android:id"), nullptr);
+  EXPECT_EQ(*Doc->findAttr("android:id"), "@+id/a");
+  EXPECT_EQ(*Doc->findAttr("style"), "big");
+  EXPECT_EQ(Doc->findAttr("missing"), nullptr);
+}
+
+TEST(XmlTest, NestedElements) {
+  auto Doc = parseOk("<A><B><C/></B><D/></A>");
+  ASSERT_EQ(Doc->children().size(), 2u);
+  EXPECT_EQ(Doc->children()[0]->tag(), "B");
+  ASSERT_EQ(Doc->children()[0]->children().size(), 1u);
+  EXPECT_EQ(Doc->children()[0]->children()[0]->tag(), "C");
+  EXPECT_EQ(Doc->children()[1]->tag(), "D");
+}
+
+TEST(XmlTest, PrologAndComments) {
+  auto Doc = parseOk("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+                     "<!-- top comment -->\n"
+                     "<A><!-- inner --><B/></A>\n"
+                     "<!-- trailing -->");
+  EXPECT_EQ(Doc->tag(), "A");
+  ASSERT_EQ(Doc->children().size(), 1u);
+}
+
+TEST(XmlTest, CharacterDataPreserved) {
+  auto Doc = parseOk("<A>hello <B/>world</A>");
+  EXPECT_EQ(Doc->text(), "hello world");
+}
+
+TEST(XmlTest, MismatchedClosingTagIsError) { parseBad("<A><B></A></B>"); }
+
+TEST(XmlTest, UnterminatedElementIsError) { parseBad("<A><B/>"); }
+
+TEST(XmlTest, EmptyDocumentIsError) { parseBad("   \n  "); }
+
+TEST(XmlTest, TrailingContentIsError) { parseBad("<A/><B/>"); }
+
+TEST(XmlTest, MissingAttrValueIsError) { parseBad("<A id/>"); }
+
+TEST(XmlTest, UnquotedAttrValueIsError) { parseBad("<A id=x/>"); }
+
+TEST(XmlTest, UnterminatedCommentIsError) { parseBad("<!-- never closed"); }
+
+TEST(XmlTest, LocationsTracked) {
+  auto Doc = parseOk("<A>\n  <B/>\n</A>");
+  EXPECT_EQ(Doc->loc().line(), 1u);
+  EXPECT_EQ(Doc->children()[0]->loc().line(), 2u);
+  EXPECT_EQ(Doc->children()[0]->loc().column(), 3u);
+}
+
+TEST(XmlTest, NamespacedTagsAndDotsInNames) {
+  auto Doc = parseOk("<android.support.v4.widget.DrawerLayout "
+                     "app:layout_behavior=\"x\"/>");
+  EXPECT_EQ(Doc->tag(), "android.support.v4.widget.DrawerLayout");
+  EXPECT_NE(Doc->findAttr("app:layout_behavior"), nullptr);
+}
+
+} // namespace
