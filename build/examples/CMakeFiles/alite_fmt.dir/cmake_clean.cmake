@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alite_fmt.dir/alite_fmt.cpp.o"
+  "CMakeFiles/alite_fmt.dir/alite_fmt.cpp.o.d"
+  "alite_fmt"
+  "alite_fmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alite_fmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

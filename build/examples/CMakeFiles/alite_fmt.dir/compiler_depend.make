@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alite_fmt.
+# This may be replaced when dependencies are built.

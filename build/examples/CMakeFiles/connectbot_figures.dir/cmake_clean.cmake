@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectbot_figures.dir/connectbot_figures.cpp.o"
+  "CMakeFiles/connectbot_figures.dir/connectbot_figures.cpp.o.d"
+  "connectbot_figures"
+  "connectbot_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectbot_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

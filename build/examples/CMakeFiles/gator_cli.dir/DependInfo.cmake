@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gator_cli.cpp" "examples/CMakeFiles/gator_cli.dir/gator_cli.cpp.o" "gcc" "examples/CMakeFiles/gator_cli.dir/gator_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/gator_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gator_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gator_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/guimodel/CMakeFiles/gator_guimodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/gator_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/gator_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/gator_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gator_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/gator_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/gator_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gator_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gator_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gator_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_cli.dir/gator_cli.cpp.o"
+  "CMakeFiles/gator_cli.dir/gator_cli.cpp.o.d"
+  "gator_cli"
+  "gator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

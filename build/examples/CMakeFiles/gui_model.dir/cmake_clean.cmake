@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gui_model.dir/gui_model.cpp.o"
+  "CMakeFiles/gui_model.dir/gui_model.cpp.o.d"
+  "gui_model"
+  "gui_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gui_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AppStats.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/AppStats.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/AppStats.cpp.o.d"
+  "/root/repo/src/analysis/ContextRefinement.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/ContextRefinement.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/ContextRefinement.cpp.o.d"
+  "/root/repo/src/analysis/GraphBuilder.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/GraphBuilder.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/GraphBuilder.cpp.o.d"
+  "/root/repo/src/analysis/GuiAnalysis.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/GuiAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/GuiAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/PhasedSolver.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/PhasedSolver.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/PhasedSolver.cpp.o.d"
+  "/root/repo/src/analysis/Solution.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/Solution.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/Solution.cpp.o.d"
+  "/root/repo/src/analysis/SolutionChecker.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/SolutionChecker.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/SolutionChecker.cpp.o.d"
+  "/root/repo/src/analysis/Solver.cpp" "src/analysis/CMakeFiles/gator_analysis.dir/Solver.cpp.o" "gcc" "src/analysis/CMakeFiles/gator_analysis.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gator_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gator_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/gator_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/gator_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/gator_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gator_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gator_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_analysis.dir/AppStats.cpp.o"
+  "CMakeFiles/gator_analysis.dir/AppStats.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/ContextRefinement.cpp.o"
+  "CMakeFiles/gator_analysis.dir/ContextRefinement.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/GraphBuilder.cpp.o"
+  "CMakeFiles/gator_analysis.dir/GraphBuilder.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/GuiAnalysis.cpp.o"
+  "CMakeFiles/gator_analysis.dir/GuiAnalysis.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/PhasedSolver.cpp.o"
+  "CMakeFiles/gator_analysis.dir/PhasedSolver.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/Solution.cpp.o"
+  "CMakeFiles/gator_analysis.dir/Solution.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/SolutionChecker.cpp.o"
+  "CMakeFiles/gator_analysis.dir/SolutionChecker.cpp.o.d"
+  "CMakeFiles/gator_analysis.dir/Solver.cpp.o"
+  "CMakeFiles/gator_analysis.dir/Solver.cpp.o.d"
+  "libgator_analysis.a"
+  "libgator_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

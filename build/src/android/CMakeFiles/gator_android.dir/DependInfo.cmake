@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/AndroidModel.cpp" "src/android/CMakeFiles/gator_android.dir/AndroidModel.cpp.o" "gcc" "src/android/CMakeFiles/gator_android.dir/AndroidModel.cpp.o.d"
+  "/root/repo/src/android/Manifest.cpp" "src/android/CMakeFiles/gator_android.dir/Manifest.cpp.o" "gcc" "src/android/CMakeFiles/gator_android.dir/Manifest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gator_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gator_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gator_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

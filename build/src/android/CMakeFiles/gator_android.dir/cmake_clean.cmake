@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_android.dir/AndroidModel.cpp.o"
+  "CMakeFiles/gator_android.dir/AndroidModel.cpp.o.d"
+  "CMakeFiles/gator_android.dir/Manifest.cpp.o"
+  "CMakeFiles/gator_android.dir/Manifest.cpp.o.d"
+  "libgator_android.a"
+  "libgator_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

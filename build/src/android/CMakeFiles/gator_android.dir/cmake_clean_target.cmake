@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgator_android.a"
+)

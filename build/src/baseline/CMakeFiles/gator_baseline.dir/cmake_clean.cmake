@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_baseline.dir/Baseline.cpp.o"
+  "CMakeFiles/gator_baseline.dir/Baseline.cpp.o.d"
+  "libgator_baseline.a"
+  "libgator_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

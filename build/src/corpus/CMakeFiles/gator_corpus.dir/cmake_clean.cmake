@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_corpus.dir/ConnectBot.cpp.o"
+  "CMakeFiles/gator_corpus.dir/ConnectBot.cpp.o.d"
+  "CMakeFiles/gator_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/gator_corpus.dir/Corpus.cpp.o.d"
+  "libgator_corpus.a"
+  "libgator_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_dex.dir/DexLite.cpp.o"
+  "CMakeFiles/gator_dex.dir/DexLite.cpp.o.d"
+  "libgator_dex.a"
+  "libgator_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_graph.dir/ConstraintGraph.cpp.o"
+  "CMakeFiles/gator_graph.dir/ConstraintGraph.cpp.o.d"
+  "libgator_graph.a"
+  "libgator_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

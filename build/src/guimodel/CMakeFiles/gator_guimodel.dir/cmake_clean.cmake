@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_guimodel.dir/GuiModel.cpp.o"
+  "CMakeFiles/gator_guimodel.dir/GuiModel.cpp.o.d"
+  "CMakeFiles/gator_guimodel.dir/JsonExport.cpp.o"
+  "CMakeFiles/gator_guimodel.dir/JsonExport.cpp.o.d"
+  "CMakeFiles/gator_guimodel.dir/Lint.cpp.o"
+  "CMakeFiles/gator_guimodel.dir/Lint.cpp.o.d"
+  "libgator_guimodel.a"
+  "libgator_guimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_guimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

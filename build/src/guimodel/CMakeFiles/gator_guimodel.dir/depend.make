@@ -1,0 +1,2 @@
+# Empty dependencies file for gator_guimodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_hier.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/gator_hier.dir/ClassHierarchy.cpp.o.d"
+  "libgator_hier.a"
+  "libgator_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_ir.dir/Ir.cpp.o"
+  "CMakeFiles/gator_ir.dir/Ir.cpp.o.d"
+  "CMakeFiles/gator_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/gator_ir.dir/Verifier.cpp.o.d"
+  "libgator_ir.a"
+  "libgator_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/Layout.cpp" "src/layout/CMakeFiles/gator_layout.dir/Layout.cpp.o" "gcc" "src/layout/CMakeFiles/gator_layout.dir/Layout.cpp.o.d"
+  "/root/repo/src/layout/LayoutWriter.cpp" "src/layout/CMakeFiles/gator_layout.dir/LayoutWriter.cpp.o" "gcc" "src/layout/CMakeFiles/gator_layout.dir/LayoutWriter.cpp.o.d"
+  "/root/repo/src/layout/ResourceTable.cpp" "src/layout/CMakeFiles/gator_layout.dir/ResourceTable.cpp.o" "gcc" "src/layout/CMakeFiles/gator_layout.dir/ResourceTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gator_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gator_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_layout.dir/Layout.cpp.o"
+  "CMakeFiles/gator_layout.dir/Layout.cpp.o.d"
+  "CMakeFiles/gator_layout.dir/LayoutWriter.cpp.o"
+  "CMakeFiles/gator_layout.dir/LayoutWriter.cpp.o.d"
+  "CMakeFiles/gator_layout.dir/ResourceTable.cpp.o"
+  "CMakeFiles/gator_layout.dir/ResourceTable.cpp.o.d"
+  "libgator_layout.a"
+  "libgator_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

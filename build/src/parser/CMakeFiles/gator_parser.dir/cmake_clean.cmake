@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/gator_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gator_parser.dir/Parser.cpp.o"
+  "CMakeFiles/gator_parser.dir/Parser.cpp.o.d"
+  "CMakeFiles/gator_parser.dir/Printer.cpp.o"
+  "CMakeFiles/gator_parser.dir/Printer.cpp.o.d"
+  "libgator_parser.a"
+  "libgator_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gator_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gator_support.dir/SourceLocation.cpp.o"
+  "CMakeFiles/gator_support.dir/SourceLocation.cpp.o.d"
+  "CMakeFiles/gator_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/gator_support.dir/StringInterner.cpp.o.d"
+  "libgator_support.a"
+  "libgator_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_xml.dir/Xml.cpp.o"
+  "CMakeFiles/gator_xml.dir/Xml.cpp.o.d"
+  "libgator_xml.a"
+  "libgator_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectbot_test.dir/connectbot_test.cpp.o"
+  "CMakeFiles/connectbot_test.dir/connectbot_test.cpp.o.d"
+  "connectbot_test"
+  "connectbot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectbot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_refinement_test.dir/context_refinement_test.cpp.o"
+  "CMakeFiles/context_refinement_test.dir/context_refinement_test.cpp.o.d"
+  "context_refinement_test"
+  "context_refinement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_test.dir/dex_test.cpp.o"
+  "CMakeFiles/dex_test.dir/dex_test.cpp.o.d"
+  "dex_test"
+  "dex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guimodel_test.dir/guimodel_test.cpp.o"
+  "CMakeFiles/guimodel_test.dir/guimodel_test.cpp.o.d"
+  "guimodel_test"
+  "guimodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guimodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
