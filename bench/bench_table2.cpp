@@ -10,12 +10,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AppStats.h"
 #include "analysis/GuiAnalysis.h"
 #include "corpus/Corpus.h"
 #include "support/Timer.h"
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 using namespace gator;
 using namespace gator::analysis;
@@ -55,6 +57,7 @@ int main() {
               "receivers[paper]", "parameters", "results", "listeners");
 
   const auto &Corpus = paperCorpus();
+  std::vector<AppStats> Telemetry;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     GeneratedApp App = generateApp(Corpus[I]);
     if (App.Bundle->Diags.hasErrors()) {
@@ -81,6 +84,14 @@ int main() {
                 M.AvgReceivers, PaperTable2[I].Receivers,
                 fmtOpt(M.AvgParameters).c_str(), fmtOpt(M.AvgResults).c_str(),
                 fmtOpt(M.AvgListeners).c_str());
+    Telemetry.push_back(
+        collectAppStats(Corpus[I].Name, App.Bundle->Program, *Result));
   }
+
+  std::printf("\nSolver telemetry (difference propagation; "
+              "docs/DELTA_SOLVER.md)\n");
+  printSolverStatsHeader(std::cout);
+  for (const AppStats &S : Telemetry)
+    printSolverStatsRow(std::cout, S);
   return 0;
 }

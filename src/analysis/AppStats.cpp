@@ -73,6 +73,16 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
       break;
     }
   }
+
+  Stats.Propagations = Result.Stats.Propagations;
+  Stats.OpFirings = Result.Stats.OpFirings;
+  Stats.ValuesPushed = Result.Stats.ValuesPushed;
+  Stats.DedupHits = Result.Stats.DedupHits;
+  Stats.PeakSetSize = Result.Stats.PeakSetSize;
+  Stats.PromotedSets = Result.Stats.PromotedSets;
+  Stats.DescCacheHits = Result.Stats.DescCacheHits;
+  Stats.DescCacheMisses = Result.Stats.DescCacheMisses;
+  Stats.HierarchyRevisions = Result.Stats.HierarchyRevisions;
   return Stats;
 }
 
@@ -95,4 +105,22 @@ void gator::analysis::printAppStatsRow(std::ostream &OS,
      << std::setw(12) << Views << std::setw(10) << S.Listeners << std::setw(9)
      << S.OpInflate << std::setw(10) << S.OpFindView << std::setw(9)
      << S.OpAddView << std::setw(13) << S.OpSetListener << '\n';
+}
+
+void gator::analysis::printSolverStatsHeader(std::ostream &OS) {
+  OS << std::left << std::setw(16) << "app" << std::right << std::setw(10)
+     << "propagate" << std::setw(9) << "opFire" << std::setw(10) << "pushed"
+     << std::setw(9) << "dedup" << std::setw(9) << "peakSet" << std::setw(10)
+     << "promoted" << std::setw(10) << "descHit" << std::setw(10)
+     << "descMiss" << std::setw(9) << "hierRev" << '\n';
+}
+
+void gator::analysis::printSolverStatsRow(std::ostream &OS,
+                                          const AppStats &S) {
+  OS << std::left << std::setw(16) << S.Name << std::right << std::setw(10)
+     << S.Propagations << std::setw(9) << S.OpFirings << std::setw(10)
+     << S.ValuesPushed << std::setw(9) << S.DedupHits << std::setw(9)
+     << S.PeakSetSize << std::setw(10) << S.PromotedSets << std::setw(10)
+     << S.DescCacheHits << std::setw(10) << S.DescCacheMisses << std::setw(9)
+     << S.HierarchyRevisions << '\n';
 }

@@ -39,6 +39,18 @@ struct AppStats {
   unsigned OpAddView = 0;   ///< AddView1 + AddView2
   unsigned OpSetListener = 0;
   unsigned OpSetId = 0;
+
+  /// Solver telemetry (difference propagation; docs/DELTA_SOLVER.md),
+  /// copied from the run's SolverStats.
+  unsigned long Propagations = 0;
+  unsigned long OpFirings = 0;
+  unsigned long ValuesPushed = 0;
+  unsigned long DedupHits = 0;
+  unsigned long PeakSetSize = 0;
+  unsigned long PromotedSets = 0;
+  unsigned long DescCacheHits = 0;
+  unsigned long DescCacheMisses = 0;
+  unsigned long HierarchyRevisions = 0;
 };
 
 /// Collects statistics from a completed analysis run.
@@ -48,6 +60,11 @@ AppStats collectAppStats(const std::string &Name, const ir::Program &P,
 /// Prints the Table 1 header / one row in the paper's layout.
 void printAppStatsHeader(std::ostream &OS);
 void printAppStatsRow(std::ostream &OS, const AppStats &Stats);
+
+/// Prints the solver-telemetry header / one row (delta-propagation
+/// counters; consumed by bench_table2).
+void printSolverStatsHeader(std::ostream &OS);
+void printSolverStatsRow(std::ostream &OS, const AppStats &Stats);
 
 } // namespace analysis
 } // namespace gator

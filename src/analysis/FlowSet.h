@@ -1,0 +1,141 @@
+//===- FlowSet.h - Hybrid flowsTo set with a delta span ---------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-node flowsTo set used by the solvers. Two properties drive the
+/// design (docs/DELTA_SOLVER.md):
+///
+///  1. *Hybrid representation.* Most flowsTo sets in real apps stay tiny
+///     (a handful of views), so elements live in an insertion-ordered
+///     vector and membership is a linear scan. Once a set outgrows
+///     `SmallLimit`, a hash index is built beside the vector and takes
+///     over membership queries; the vector remains the canonical element
+///     storage, so iteration is always cache-friendly and deterministic
+///     (insertion order) in both regimes.
+///
+///  2. *Committed/delta split.* The sets are monotone (the solvers only
+///     add), so "the values that arrived since this node was last
+///     propagated" is exactly the vector suffix `[deltaBegin(), size())`.
+///     Difference propagation reads that suffix and calls `commit()`;
+///     nothing is ever copied or removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_FLOWSET_H
+#define GATOR_ANALYSIS_FLOWSET_H
+
+#include "graph/ConstraintGraph.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace gator {
+namespace analysis {
+
+class FlowSet {
+public:
+  using value_type = graph::NodeId;
+  using const_iterator = std::vector<graph::NodeId>::const_iterator;
+
+  /// Largest size served by the linear-scan small representation.
+  static constexpr size_t SmallLimit = 16;
+
+  FlowSet() = default;
+  FlowSet(FlowSet &&) = default;
+  FlowSet &operator=(FlowSet &&) = default;
+  // The hash index lives behind a unique_ptr (it exists only for promoted
+  // sets, keeping sizeof(FlowSet) small for the per-node table), so copies
+  // must clone it explicitly.
+  FlowSet(const FlowSet &Other)
+      : Elements(Other.Elements), DeltaStart(Other.DeltaStart) {
+    if (Other.Index)
+      Index = std::make_unique<std::unordered_set<graph::NodeId>>(*Other.Index);
+  }
+  FlowSet &operator=(const FlowSet &Other) {
+    if (this != &Other) {
+      Elements = Other.Elements;
+      DeltaStart = Other.DeltaStart;
+      Index.reset();
+      if (Other.Index)
+        Index =
+            std::make_unique<std::unordered_set<graph::NodeId>>(*Other.Index);
+    }
+    return *this;
+  }
+
+  /// Adds \p V; returns true when the set grew.
+  bool insert(graph::NodeId V) {
+    if (Index) {
+      if (!Index->insert(V).second)
+        return false;
+      Elements.push_back(V);
+      return true;
+    }
+    if (std::find(Elements.begin(), Elements.end(), V) != Elements.end())
+      return false;
+    Elements.push_back(V);
+    if (Elements.size() > SmallLimit) {
+      Index = std::make_unique<std::unordered_set<graph::NodeId>>(
+          Elements.begin(), Elements.end());
+    }
+    return true;
+  }
+
+  bool contains(graph::NodeId V) const {
+    if (Index)
+      return Index->count(V) != 0;
+    return std::find(Elements.begin(), Elements.end(), V) != Elements.end();
+  }
+
+  /// std::unordered_set-compatible membership query (0 or 1).
+  size_t count(graph::NodeId V) const { return contains(V) ? 1 : 0; }
+
+  size_t size() const { return Elements.size(); }
+  bool empty() const { return Elements.empty(); }
+
+  /// Iteration covers all elements in insertion order.
+  const_iterator begin() const { return Elements.begin(); }
+  const_iterator end() const { return Elements.end(); }
+  const std::vector<graph::NodeId> &values() const { return Elements; }
+
+  //===--------------------------------------------------------------------===//
+  // Delta protocol (difference propagation)
+  //===--------------------------------------------------------------------===//
+
+  /// First index of the uncommitted suffix: elements in
+  /// [deltaBegin(), size()) arrived since the last commit().
+  size_t deltaBegin() const { return DeltaStart; }
+
+  /// True when uncommitted elements exist.
+  bool hasDelta() const { return DeltaStart < Elements.size(); }
+
+  /// Marks elements below \p UpTo as committed (already pushed to all
+  /// current flow successors).
+  void commit(size_t UpTo) { DeltaStart = static_cast<uint32_t>(UpTo); }
+
+  /// True once the set left the small linear-scan representation.
+  bool promoted() const { return Index != nullptr; }
+
+private:
+  /// All elements in insertion order (monotone: never shrinks).
+  std::vector<graph::NodeId> Elements;
+  /// Membership index, allocated lazily once the set outgrows SmallLimit.
+  /// Behind a pointer so unpromoted sets (the common case) stay at 40
+  /// bytes: the per-node table is value-initialized on every solve.
+  std::unique_ptr<std::unordered_set<graph::NodeId>> Index;
+  /// Start of the uncommitted suffix of Elements.
+  uint32_t DeltaStart = 0;
+};
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_FLOWSET_H

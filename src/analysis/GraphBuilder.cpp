@@ -10,6 +10,13 @@ using namespace gator::graph;
 using namespace gator::ir;
 using namespace gator::android;
 
+const ClassDecl *GraphBuilder::findClassCached(const std::string &Name) {
+  auto [It, Inserted] = ClassCache.try_emplace(&Name, nullptr);
+  if (Inserted)
+    It->second = P.findClass(Name);
+  return It->second;
+}
+
 void GraphBuilder::buildResourceNodes(ConstraintGraph &G) {
   const layout::ResourceTable &Res = Layouts.resources();
   for (const std::string &Name : Res.layoutNames())
@@ -134,7 +141,7 @@ void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
                                const MethodDecl &M, const Stmt &S) {
   const Variable &BaseVar = M.var(S.Base);
   const ClassDecl *Recv =
-      BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+      BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
   if (!Recv)
     return; // unknown receiver type: no edges (verifier already warned)
 
@@ -181,7 +188,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       G.addFlowEdge(G.getVarNode(&M, S.Base), G.getVarNode(&M, S.Lhs));
       break;
     case StmtKind::AssignNew: {
-      const ClassDecl *C = P.findClass(S.ClassName);
+      const ClassDecl *C = findClassCached(S.ClassName);
       if (!C)
         break;
       bool IsView = AM.isViewClass(C);
@@ -218,7 +225,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
     case StmtKind::LoadField: {
       const Variable &BaseVar = M.var(S.Base);
       const ClassDecl *C =
-          BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+          BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
         G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
@@ -227,21 +234,21 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
     case StmtKind::StoreField: {
       const Variable &BaseVar = M.var(S.Base);
       const ClassDecl *C =
-          BaseVar.TypeName.empty() ? nullptr : P.findClass(BaseVar.TypeName);
+          BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
         G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
       break;
     }
     case StmtKind::LoadStaticField: {
-      const ClassDecl *C = P.findClass(S.ClassName);
+      const ClassDecl *C = findClassCached(S.ClassName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
         G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::StoreStaticField: {
-      const ClassDecl *C = P.findClass(S.ClassName);
+      const ClassDecl *C = findClassCached(S.ClassName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
         G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
@@ -266,7 +273,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       break;
     }
     case StmtKind::AssignClassConst: {
-      const ClassDecl *C = P.findClass(S.ClassName);
+      const ClassDecl *C = findClassCached(S.ClassName);
       if (C)
         G.addFlowEdge(G.getClassConstNode(C), G.getVarNode(&M, S.Lhs));
       break;
@@ -282,6 +289,23 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
 
 bool GraphBuilder::build(ConstraintGraph &G, std::vector<OpSite> &Ops) {
   unsigned ErrorsBefore = Diags.errorCount();
+  // Pre-size the graph: roughly one node per application-method variable
+  // (the dominant kind) plus slack for ops, allocs, ids, and inflations;
+  // roughly one flow edge per statement.
+  size_t VarHint = 0, StmtHint = 0;
+  for (const auto &C : P.classes()) {
+    if (C->isPlatform())
+      continue;
+    for (const auto &M : C->methods()) {
+      VarHint += M->vars().size();
+      StmtHint += M->body().size();
+    }
+  }
+  // Beyond one node per variable, statements mint op/alloc/id nodes and
+  // the solver mints ViewInfl trees per (inflate site, layout), so leave
+  // generous slack: re-reserving mid-solve moves every Node (and its
+  // SourceLocation string), which showed up heavily in profiles.
+  G.reserve(VarHint + VarHint / 2 + StmtHint / 2 + 256, StmtHint + 64);
   buildResourceNodes(G);
   buildActivityNodes(G);
   for (const auto &C : P.classes()) {

@@ -26,6 +26,7 @@
 #include "hier/ClassHierarchy.h"
 #include "layout/Layout.h"
 
+#include <unordered_map>
 #include <vector>
 
 namespace gator {
@@ -58,11 +59,20 @@ private:
                       const ir::Stmt &S,
                       const std::vector<const ir::MethodDecl *> &Targets);
 
+  /// Program::findClass memoized by the *address* of the queried name —
+  /// every caller passes a string stored in the IR (Stmt::ClassName,
+  /// Variable::TypeName), stable for the builder's lifetime, so a pointer
+  /// hash replaces a string hash on the per-statement hot path. Negative
+  /// lookups are cached too.
+  const ir::ClassDecl *findClassCached(const std::string &Name);
+
   const ir::Program &P;
   layout::LayoutRegistry &Layouts;
   const android::AndroidModel &AM;
   const hier::ClassHierarchy &CH;
   DiagnosticEngine &Diags;
+
+  std::unordered_map<const std::string *, const ir::ClassDecl *> ClassCache;
 };
 
 } // namespace analysis

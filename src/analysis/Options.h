@@ -62,6 +62,15 @@ struct AnalysisOptions {
   /// helper by the context refinement.
   unsigned ContextHelperMaxStmts = 12;
 
+  /// Difference propagation (docs/DELTA_SOLVER.md): each worklist visit
+  /// pushes only the values that arrived since the node was last
+  /// propagated, and structure-sensitive ops re-fire once per quiescent
+  /// round instead of once per structure edge. Off = the naive reference
+  /// mode (full-set re-propagation, eager op re-enqueue, full-graph
+  /// container scans) retained for differential testing; both modes
+  /// compute the identical least fixed point.
+  bool DeltaPropagation = true;
+
   /// Safety valve for the fixed-point loop.
   unsigned long MaxWorkItems = 50'000'000;
 };

@@ -38,7 +38,7 @@ public:
   }
 
 private:
-  std::vector<std::unordered_set<NodeId>> &sets() {
+  std::vector<FlowSet> &sets() {
     auto &S = Sol.flowsToSets();
     if (S.size() < G.size())
       S.resize(G.size());
@@ -85,7 +85,7 @@ private:
   bool insert(NodeId N, NodeId Value) {
     if (N == InvalidNode || !typeCompatible(N, Value))
       return false;
-    return sets()[N].insert(Value).second;
+    return sets()[N].insert(Value);
   }
 
   void seed() {

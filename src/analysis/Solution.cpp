@@ -9,7 +9,7 @@ using namespace gator::analysis;
 using namespace gator::graph;
 using namespace gator::android;
 
-const std::unordered_set<NodeId> &Solution::valuesAt(NodeId N) const {
+const FlowSet &Solution::valuesAt(NodeId N) const {
   if (N == InvalidNode || N >= FlowsTo.size())
     return Empty;
   return FlowsTo[N];
@@ -69,7 +69,11 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
   switch (Op.Spec.Kind) {
   case OpKind::FindView1:
   case OpKind::FindView3:
-    SearchRoots = viewsAt(Op.Recv);
+    // Direct filter rather than viewsAt(): roots are only iterated, so
+    // the sorted order viewsAt() guarantees is not needed here.
+    for (NodeId V : valuesAt(Op.Recv))
+      if (isViewNodeKind(G.node(V).Kind))
+        SearchRoots.push_back(V);
     break;
   case OpKind::FindView2:
     // Activity-wide search: every root associated with a receiver value.
@@ -98,45 +102,57 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
     return {};
   }
 
-  // Candidate views under the roots.
-  std::vector<NodeId> Candidates;
+  // FindView1/2 filter by the view ids reaching the id argument.
+  bool FilterByIds = TrackViewIds && (Op.Spec.Kind == OpKind::FindView1 ||
+                                      Op.Spec.Kind == OpKind::FindView2);
+
+  // Gather into a plain vector and sort+unique at the end: fire sites run
+  // this on every input growth, and the match lists are small, so the
+  // vector pass beats building a hash set per call.
+  std::vector<NodeId> Out;
   if (!TrackHierarchy) {
-    for (NodeId V : G.nodesOfKind(NodeKind::ViewAlloc))
-      Candidates.push_back(V);
-    for (NodeId V : G.nodesOfKind(NodeKind::ViewInfl))
-      Candidates.push_back(V);
+    // Every view is a candidate; with an id filter the reverse
+    // viewId -> views index yields the matches directly.
+    if (FilterByIds) {
+      for (NodeId IdVal : valuesAt(Op.IdArg))
+        if (G.node(IdVal).Kind == NodeKind::ViewId)
+          for (NodeId V : G.viewsWithId(IdVal))
+            Out.push_back(V);
+    } else {
+      const auto &Allocs = G.nodesOfKind(NodeKind::ViewAlloc);
+      const auto &Infls = G.nodesOfKind(NodeKind::ViewInfl);
+      Out.insert(Out.end(), Allocs.begin(), Allocs.end());
+      Out.insert(Out.end(), Infls.begin(), Infls.end());
+    }
   } else {
     bool ChildOnly = Op.Spec.ChildOnly && ChildOnlyRefinement;
+    std::vector<NodeId> Candidates;
     for (NodeId Root : SearchRoots) {
       if (ChildOnly) {
         for (NodeId C : G.children(Root))
           Candidates.push_back(C);
       } else {
-        for (NodeId D : G.descendantsOf(Root))
-          Candidates.push_back(D);
+        const auto &Desc = G.descendantsOf(Root);
+        Candidates.insert(Candidates.end(), Desc.begin(), Desc.end());
       }
+    }
+    if (FilterByIds) {
+      // Intersect the candidate set with the per-id view lists instead of
+      // enumerating every candidate's ids.
+      std::sort(Candidates.begin(), Candidates.end());
+      for (NodeId IdVal : valuesAt(Op.IdArg))
+        if (G.node(IdVal).Kind == NodeKind::ViewId)
+          for (NodeId V : G.viewsWithId(IdVal))
+            if (std::binary_search(Candidates.begin(), Candidates.end(), V))
+              Out.push_back(V);
+    } else {
+      Out = std::move(Candidates);
     }
   }
 
-  // FindView1/2 filter by the view ids reaching the id argument.
-  bool FilterByIds = TrackViewIds && (Op.Spec.Kind == OpKind::FindView1 ||
-                                      Op.Spec.Kind == OpKind::FindView2);
-  if (FilterByIds) {
-    std::unordered_set<NodeId> WantedIds;
-    for (NodeId V : valuesAt(Op.IdArg))
-      if (G.node(V).Kind == NodeKind::ViewId)
-        WantedIds.insert(V);
-    for (NodeId Cand : Candidates)
-      for (NodeId IdNode : G.viewIds(Cand))
-        if (WantedIds.count(IdNode))
-          Result.insert(Cand);
-  } else {
-    Result.insert(Candidates.begin(), Candidates.end());
-  }
-
-  std::vector<NodeId> Sorted(Result.begin(), Result.end());
-  std::sort(Sorted.begin(), Sorted.end());
-  return Sorted;
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
 }
 
 void Solution::dump(std::ostream &OS, bool TrackViewIds, bool TrackHierarchy,

@@ -14,6 +14,7 @@
 #ifndef GATOR_ANALYSIS_SOLUTION_H
 #define GATOR_ANALYSIS_SOLUTION_H
 
+#include "analysis/FlowSet.h"
 #include "android/AndroidModel.h"
 #include "graph/ConstraintGraph.h"
 
@@ -56,9 +57,7 @@ public:
   // Raw state (populated by the solver)
   //===--------------------------------------------------------------------===//
 
-  std::vector<std::unordered_set<graph::NodeId>> &flowsToSets() {
-    return FlowsTo;
-  }
+  std::vector<FlowSet> &flowsToSets() { return FlowsTo; }
   std::vector<OpSite> &opSites() { return Ops; }
 
   //===--------------------------------------------------------------------===//
@@ -66,7 +65,7 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Values reaching node \p N (empty for unseeded nodes).
-  const std::unordered_set<graph::NodeId> &valuesAt(graph::NodeId N) const;
+  const FlowSet &valuesAt(graph::NodeId N) const;
 
   /// Views (ViewAlloc/ViewInfl nodes) among the values reaching \p N.
   std::vector<graph::NodeId> viewsAt(graph::NodeId N) const;
@@ -137,9 +136,9 @@ public:
 private:
   const graph::ConstraintGraph &G;
   const android::AndroidModel &AM;
-  std::vector<std::unordered_set<graph::NodeId>> FlowsTo;
+  std::vector<FlowSet> FlowsTo;
   std::vector<OpSite> Ops;
-  std::unordered_set<graph::NodeId> Empty;
+  FlowSet Empty;
 };
 
 } // namespace analysis

@@ -2,6 +2,7 @@
 
 #include "analysis/Solver.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace gator;
@@ -10,12 +11,25 @@ using namespace gator::graph;
 using namespace gator::android;
 using namespace gator::ir;
 
-void Solver::ensureSets() {
+void Solver::growSets() {
+  // Grow with 50% slack: the graph keeps growing one node at a time while
+  // inflation mints view subtrees, and FlowSet/vector elements are
+  // expensive to move, so over-reserving once beats reallocating per
+  // doubling.
+  size_t N = G.size();
   auto &Sets = Sol.flowsToSets();
-  if (Sets.size() < G.size())
-    Sets.resize(G.size());
-  if (InVarWorklist.size() < G.size())
-    InVarWorklist.resize(G.size(), false);
+  if (Sets.size() < N) {
+    if (Sets.capacity() < N)
+      Sets.reserve(N + N / 2);
+    Sets.resize(N);
+  }
+  if (InVarWorklist.size() < N)
+    InVarWorklist.resize(N, false);
+  if (OpUses.size() != N) {
+    if (OpUses.capacity() < N)
+      OpUses.reserve(N + N / 2);
+    OpUses.resize(N);
+  }
 }
 
 bool Solver::typeCompatible(NodeId N, NodeId Value) const {
@@ -64,20 +78,29 @@ bool Solver::typeCompatible(NodeId N, NodeId Value) const {
 void Solver::addValue(NodeId N, NodeId Value) {
   if (N == InvalidNode)
     return;
+  ++Stats.ValuesPushed;
   if (!typeCompatible(N, Value))
     return;
   ensureSets();
   auto &Sets = Sol.flowsToSets();
-  if (!Sets[N].insert(Value).second)
+  if (!Sets[N].insert(Value)) {
+    ++Stats.DedupHits;
     return;
+  }
   if (!InVarWorklist[N]) {
     InVarWorklist[N] = true;
     VarWorklist.push_back(N);
   }
-  auto It = OpUses.find(N);
-  if (It != OpUses.end())
-    for (size_t OpIndex : It->second)
-      enqueueOp(OpIndex);
+  for (uint32_t OpIndex : OpUses[N])
+    enqueueOp(OpIndex);
+}
+
+void Solver::addOpUse(NodeId N, size_t OpIndex) {
+  ensureSets();
+  auto &Uses = OpUses[N];
+  uint32_t Idx = static_cast<uint32_t>(OpIndex);
+  if (std::find(Uses.begin(), Uses.end(), Idx) == Uses.end())
+    Uses.push_back(Idx);
 }
 
 void Solver::enqueueOp(size_t OpIndex) {
@@ -89,8 +112,13 @@ void Solver::enqueueOp(size_t OpIndex) {
 
 void Solver::noteStructureChange() {
   StructureDirty = true;
-  for (size_t OpIndex : StructureSensitiveOps)
-    enqueueOp(OpIndex);
+  // Delta mode defers the structure-sensitive re-fires to the next
+  // quiescent round (solve()); monotonicity makes the batched schedule
+  // reach the same least fixed point. The naive reference mode keeps the
+  // historical eager re-enqueue per structure edge.
+  if (!Options.DeltaPropagation)
+    for (size_t OpIndex : StructureSensitiveOps)
+      enqueueOp(OpIndex);
 }
 
 void Solver::sweepXmlOnClickHandlers() {
@@ -139,12 +167,22 @@ void Solver::seedValueNodes() {
 
 void Solver::registerOpUses() {
   auto &Ops = Sol.opSites();
+  // A Solver may be driven through several solve() calls; the op table
+  // only ever grows (GraphBuilder appends, the solver never reorders), so
+  // index-derived registrations are rebuilt here while the op-index-keyed
+  // memos (InflatedAt, FragmentWired) stay valid and MUST survive —
+  // clearing them would re-mint ViewInfl trees / re-wire fragment
+  // callbacks on every re-solve.
+  OpUses.clear();
+  StructureSensitiveOps.clear();
+  OpWorklist.clear();
   InOpWorklist.assign(Ops.size(), false);
+  ensureSets();
   for (size_t I = 0; I < Ops.size(); ++I) {
     const OpSite &Op = Ops[I];
     for (NodeId Role : {Op.Recv, Op.IdArg, Op.ValArg, Op.AttachParent})
       if (Role != InvalidNode)
-        OpUses[Role].push_back(I);
+        addOpUse(Role, I);
     switch (Op.Spec.Kind) {
     case OpKind::FindView1:
     case OpKind::FindView2:
@@ -162,12 +200,27 @@ void Solver::registerOpUses() {
 void Solver::propagate(NodeId N) {
   ++Stats.Propagations;
   auto &Sets = Sol.flowsToSets();
-  // Copy the source set: addValue may resize Sets.
-  std::vector<NodeId> Values(Sets[N].begin(), Sets[N].end());
+  // Copy the values to push into the reusable scratch: addValue may
+  // resize Sets and insert into the very set being walked.
+  if (Options.DeltaPropagation) {
+    // Difference propagation: only the suffix that arrived since this
+    // node's last visit. Committed values were already pushed to every
+    // flow successor (edges added mid-solve always source from singleton
+    // value nodes whose one value the adding rule seeds by hand — see
+    // docs/DELTA_SOLVER.md, "mid-solve edges").
+    FlowSet &Set = Sets[N];
+    if (!Set.hasDelta())
+      return; // spurious wakeup: delta drained by an earlier visit
+    PropScratch.assign(Set.begin() + Set.deltaBegin(), Set.end());
+    Set.commit(Set.size());
+    ++Stats.DeltaCommits;
+  } else {
+    PropScratch.assign(Sets[N].begin(), Sets[N].end());
+  }
   for (NodeId Succ : G.flowSuccessors(N)) {
     if (G.node(Succ).Kind == NodeKind::Op)
       continue; // operation rules read role variables directly
-    for (NodeId V : Values)
+    for (NodeId V : PropScratch)
       addValue(Succ, V);
   }
 }
@@ -198,8 +251,8 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
   // Section 4.1: "If the same layout is inflated in several places in the
   // application, a 'fresh' set of graph nodes is introduced at each
   // inflation site."
-  const ClassDecl *ViewBase = AM.program().findClass(names::View);
-  const ClassDecl *GroupBase = AM.program().findClass(names::ViewGroup);
+  const ClassDecl *ViewBase = ViewBaseClass;
+  const ClassDecl *GroupBase = GroupBaseClass;
 
   struct Frame {
     const layout::LayoutNode *LNode;
@@ -233,8 +286,12 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
       G.addParentChildEdge(F.ParentView, ViewNode);
 
     if (F.LNode->hasViewId()) {
-      layout::ResourceId VId =
-          Layouts.resources().lookupViewId(F.LNode->viewIdName());
+      layout::ResourceId VId = F.LNode->resolvedViewIdRes();
+      if (VId == layout::InvalidResourceId) {
+        VId = Layouts.resources().lookupViewId(F.LNode->viewIdName());
+        if (VId != layout::InvalidResourceId)
+          F.LNode->setResolvedViewIdRes(VId);
+      }
       if (VId != layout::InvalidResourceId)
         G.addHasIdEdge(ViewNode, G.getViewIdNode(VId));
     }
@@ -360,8 +417,12 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
 
   // 1. Wire the onCreateView callback per reaching fragment allocation,
   // and register this op on the callback's return variables so it
-  // re-fires when the returned views become known.
-  for (NodeId F : Sol.valuesAt(Op.ValArg)) {
+  // re-fires when the returned views become known. Copy the value set:
+  // addValue below may insert into the very set being walked (a factory
+  // calling tx.add on its own `this`).
+  std::vector<NodeId> FragmentValues(Sol.valuesAt(Op.ValArg).begin(),
+                                     Sol.valuesAt(Op.ValArg).end());
+  for (NodeId F : FragmentValues) {
     if (G.node(F).Kind != NodeKind::Alloc)
       continue;
     uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | F;
@@ -378,20 +439,20 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
     addValue(ThisNode, F);
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
-        OpUses[G.getVarNode(Factory, Ret.Lhs)].push_back(OpIndex);
+        addOpUse(G.getVarNode(Factory, Ret.Lhs), OpIndex);
   }
 
   // 2. Attach every known fragment root under every container view whose
   // id reaches the container-id argument.
-  std::unordered_set<NodeId> WantedIds;
+  std::vector<NodeId> WantedIds;
   for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
     if (G.node(IdVal).Kind == NodeKind::ViewId)
-      WantedIds.insert(IdVal);
+      WantedIds.push_back(IdVal);
   if (WantedIds.empty())
     return;
 
   std::vector<NodeId> FragmentRoots;
-  for (NodeId F : Sol.valuesAt(Op.ValArg)) {
+  for (NodeId F : FragmentValues) {
     if (G.node(F).Kind != NodeKind::Alloc)
       continue;
     const ClassDecl *FClass = G.node(F).Klass;
@@ -408,12 +469,29 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
   if (FragmentRoots.empty())
     return;
 
+  if (Options.DeltaPropagation) {
+    // Containers come straight from the reverse viewId -> views index.
+    for (NodeId IdNode : WantedIds) {
+      // Copy: addParentChildEdge cannot extend viewsWithId, but an id may
+      // be assigned mid-loop by a re-entrant rule in future revisions;
+      // the copy is tiny and keeps iteration sound.
+      std::vector<NodeId> Containers(G.viewsWithId(IdNode));
+      for (NodeId Container : Containers)
+        for (NodeId Root : FragmentRoots)
+          if (Container != Root && G.addParentChildEdge(Container, Root))
+            noteStructureChange();
+    }
+    return;
+  }
+
+  // Naive reference mode: the historical full-graph container scan.
+  std::unordered_set<NodeId> WantedIdSet(WantedIds.begin(), WantedIds.end());
   for (NodeId Container = 0; Container < G.size(); ++Container) {
     if (!isViewNodeKind(G.node(Container).Kind))
       continue;
     bool Matches = false;
     for (NodeId IdNode : G.viewIds(Container))
-      if (WantedIds.count(IdNode))
+      if (WantedIdSet.count(IdNode))
         Matches = true;
     if (!Matches)
       continue;
@@ -429,7 +507,11 @@ void Solver::fireSetAdapter(size_t OpIndex) {
   // child of the AdapterView.
   OpSite &Op = Sol.opSites()[OpIndex];
 
-  for (NodeId A : Sol.valuesAt(Op.ValArg)) {
+  // Copy the adapter values: addValue below may insert into the set being
+  // walked when the factory registers on its own `this`.
+  std::vector<NodeId> AdapterValues(Sol.valuesAt(Op.ValArg).begin(),
+                                    Sol.valuesAt(Op.ValArg).end());
+  for (NodeId A : AdapterValues) {
     if (G.node(A).Kind != NodeKind::Alloc)
       continue;
     uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | A;
@@ -446,10 +528,10 @@ void Solver::fireSetAdapter(size_t OpIndex) {
     addValue(ThisNode, A);
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
-        OpUses[G.getVarNode(Factory, Ret.Lhs)].push_back(OpIndex);
+        addOpUse(G.getVarNode(Factory, Ret.Lhs), OpIndex);
   }
 
-  for (NodeId A : Sol.valuesAt(Op.ValArg)) {
+  for (NodeId A : AdapterValues) {
     if (G.node(A).Kind != NodeKind::Alloc)
       continue;
     const ClassDecl *AClass = G.node(A).Klass;
@@ -520,6 +602,11 @@ void Solver::fireOp(size_t OpIndex) {
 
 SolverStats Solver::solve() {
   Stats = SolverStats();
+  ViewBaseClass = AM.program().findClass(names::View);
+  GroupBaseClass = AM.program().findClass(names::ViewGroup);
+  uint64_t StartRev = G.hierarchyRevision();
+  unsigned long StartDescHits = G.descendantsCacheHits();
+  unsigned long StartDescMisses = G.descendantsCacheMisses();
   ensureSets();
   registerOpUses();
   seedValueNodes();
@@ -527,11 +614,18 @@ SolverStats Solver::solve() {
   unsigned long Budget = Options.MaxWorkItems;
   for (;;) {
     if (VarWorklist.empty() && OpWorklist.empty()) {
-      // Quiescent: apply structure-driven models (XML onClick handlers)
-      // once per structure growth; they may seed new propagation.
+      // Quiescent: apply structure-driven models once per structure
+      // growth; they may seed new propagation. Delta mode also batches
+      // the structure-sensitive op re-fires here (noteStructureChange
+      // only marks), firing each op once per round instead of once per
+      // added edge.
       if (!StructureDirty)
         break;
       StructureDirty = false;
+      ++Stats.StructureRounds;
+      if (Options.DeltaPropagation)
+        for (size_t OpIndex : StructureSensitiveOps)
+          enqueueOp(OpIndex);
       sweepXmlOnClickHandlers();
       continue;
     }
@@ -552,5 +646,16 @@ SolverStats Solver::solve() {
     InOpWorklist[OpIndex] = false;
     fireOp(OpIndex);
   }
+
+  // Set-shape and cache telemetry for AppStats / the benches.
+  for (const FlowSet &Set : Sol.flowsToSets()) {
+    if (Set.size() > Stats.PeakSetSize)
+      Stats.PeakSetSize = Set.size();
+    if (Set.promoted())
+      ++Stats.PromotedSets;
+  }
+  Stats.HierarchyRevisions = G.hierarchyRevision() - StartRev;
+  Stats.DescCacheHits = G.descendantsCacheHits() - StartDescHits;
+  Stats.DescCacheMisses = G.descendantsCacheMisses() - StartDescMisses;
   return Stats;
 }

@@ -39,6 +39,18 @@ struct SolverStats {
   unsigned long Propagations = 0; ///< worklist pops for value propagation
   unsigned long OpFirings = 0;    ///< operation-rule evaluations
   unsigned long InflationCount = 0; ///< (site, layout) inflations performed
+
+  // Difference-propagation counters (docs/DELTA_SOLVER.md).
+  unsigned long ValuesPushed = 0; ///< (target, value) insertion attempts
+  unsigned long DedupHits = 0;    ///< attempts finding the value present
+  unsigned long DeltaCommits = 0; ///< nonempty delta spans committed
+  unsigned long StructureRounds = 0; ///< quiescent structure re-fire rounds
+  unsigned long PeakSetSize = 0;  ///< largest flowsTo set observed
+  unsigned long PromotedSets = 0; ///< sets that outgrew the small repr
+  unsigned long DescCacheHits = 0;   ///< descendantsOf cache hits
+  unsigned long DescCacheMisses = 0; ///< descendantsOf recomputes
+  unsigned long HierarchyRevisions = 0; ///< structure-edge invalidations
+
   bool HitWorkLimit = false;
 };
 
@@ -59,7 +71,16 @@ private:
 
   void seedValueNodes();
   void registerOpUses();
-  void ensureSets();
+
+  /// Keeps the per-node tables (flowsTo sets, worklist marks, op-use
+  /// lists) sized to the graph. Hot path: one size compare — OpUses is
+  /// only ever resized together with the others, so it serves as the
+  /// staleness sentinel; growSets() does the actual (rare) resizing.
+  void ensureSets() {
+    if (OpUses.size() != G.size())
+      growSets();
+  }
+  void growSets();
 
   /// Inserts \p Value into node \p N's set; enqueues propagation and
   /// dependent ops when the set grew.
@@ -110,11 +131,26 @@ private:
   std::deque<NodeId> VarWorklist;
   std::vector<bool> InVarWorklist;
 
+  /// Scratch buffer for propagate(): the values being pushed must be
+  /// copied out (addValue may grow the set vector), but the buffer itself
+  /// is reused across visits to avoid one allocation per worklist pop.
+  std::vector<NodeId> PropScratch;
+
+  /// android.view.View / android.view.ViewGroup, resolved once per solve
+  /// (inflateAt needs them per minted subtree).
+  const ir::ClassDecl *ViewBaseClass = nullptr;
+  const ir::ClassDecl *GroupBaseClass = nullptr;
+
   std::deque<size_t> OpWorklist;
   std::vector<bool> InOpWorklist;
 
-  /// Op indices depending on each variable node's set.
-  std::unordered_map<NodeId, std::vector<size_t>> OpUses;
+  /// Registers \p OpIndex as a consumer of node \p N's set (deduplicated:
+  /// aliased roles enqueue an op once per value arrival).
+  void addOpUse(NodeId N, size_t OpIndex);
+
+  /// Op indices depending on each variable node's set, indexed by node id
+  /// (sized alongside the flowsTo sets by ensureSets).
+  std::vector<std::vector<uint32_t>> OpUses;
 
   /// Ops to re-fire on hierarchy/id/root structure growth.
   std::vector<size_t> StructureSensitiveOps;

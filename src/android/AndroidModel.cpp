@@ -553,12 +553,19 @@ const FieldDecl *AndroidModel::listElementsField() const {
 
 const ClassDecl *
 AndroidModel::resolveLayoutClassName(const std::string &Name) const {
-  if (const ClassDecl *C = P->findClass(Name))
+  auto [It, Inserted] = LayoutClassCache.try_emplace(Name, nullptr);
+  if (!Inserted)
+    return It->second;
+  if (const ClassDecl *C = P->findClass(Name)) {
+    It->second = C;
     return C;
+  }
   static const std::array<const char *, 3> Prefixes = {
       "android.widget.", "android.view.", "android.webkit."};
   for (const char *Prefix : Prefixes)
-    if (const ClassDecl *C = P->findClass(std::string(Prefix) + Name))
+    if (const ClassDecl *C = P->findClass(std::string(Prefix) + Name)) {
+      It->second = C;
       return C;
+    }
   return nullptr;
 }

@@ -153,6 +153,12 @@ private:
   std::unordered_multimap<std::string, const ListenerSpec *> SpecByRegister;
   std::unordered_map<std::string, const ListenerSpec *> SpecByInterface;
 
+  /// resolveLayoutClassName memo, keyed by the spelled name. The model is
+  /// bound to one resolved program, so entries never go stale; misses are
+  /// cached too (as null) to spare the repeated prefix probing.
+  mutable std::unordered_map<std::string, const ir::ClassDecl *>
+      LayoutClassCache;
+
   const ir::ClassDecl *ActivityClass = nullptr;
   const ir::ClassDecl *DialogClass = nullptr;
   const ir::ClassDecl *ViewClass = nullptr;

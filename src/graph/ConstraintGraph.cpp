@@ -59,36 +59,50 @@ bool gator::graph::isViewNodeKind(NodeKind Kind) {
 // Node factories
 //===----------------------------------------------------------------------===//
 
+void ConstraintGraph::reserve(size_t NodeHint, size_t EdgeHint) {
+  Nodes.reserve(NodeHint);
+  FlowSucc.reserve(NodeHint);
+  KindIndex[static_cast<size_t>(NodeKind::Var)].reserve(NodeHint / 2);
+  FlowEdges.reserve(EdgeHint / 4); // only high-degree sources land here
+}
+
 NodeId ConstraintGraph::push(Node N) {
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  KindIndex[static_cast<size_t>(N.Kind)].push_back(Id);
   Nodes.push_back(std::move(N));
   FlowSucc.emplace_back();
-  return static_cast<NodeId>(Nodes.size() - 1);
+  return Id;
 }
 
 NodeId ConstraintGraph::getVarNode(const MethodDecl *M, VarId V) {
-  auto &PerMethod = VarNodes[M];
-  auto It = PerMethod.find(V);
-  if (It != PerMethod.end())
-    return It->second;
+  if (VarNodes.size() <= M->globalId())
+    VarNodes.resize(M->globalId() + 1);
+  std::vector<NodeId> &PerMethod = VarNodes[M->globalId()];
+  if (static_cast<size_t>(V) >= PerMethod.size())
+    PerMethod.resize(std::max(M->vars().size(), static_cast<size_t>(V) + 1),
+                     InvalidNode);
+  NodeId &Slot = PerMethod[V];
+  if (Slot != InvalidNode)
+    return Slot;
   Node N;
   N.Kind = NodeKind::Var;
   N.Method = M;
   N.Var = V;
-  NodeId Id = push(std::move(N));
-  PerMethod.emplace(V, Id);
-  return Id;
+  Slot = push(std::move(N));
+  return Slot;
 }
 
 NodeId ConstraintGraph::getFieldNode(const FieldDecl *F) {
-  auto It = FieldNodes.find(F);
-  if (It != FieldNodes.end())
-    return It->second;
+  if (FieldNodes.size() <= F->globalId())
+    FieldNodes.resize(F->globalId() + 1, InvalidNode);
+  NodeId &Slot = FieldNodes[F->globalId()];
+  if (Slot != InvalidNode)
+    return Slot;
   Node N;
   N.Kind = NodeKind::Field;
   N.Field = F;
-  NodeId Id = push(std::move(N));
-  FieldNodes.emplace(F, Id);
-  return Id;
+  Slot = push(std::move(N));
+  return Slot;
 }
 
 NodeId ConstraintGraph::getAllocNode(const MethodDecl *M, int32_t StmtIndex,
@@ -121,28 +135,42 @@ NodeId ConstraintGraph::getActivityNode(const ClassDecl *Klass) {
   return Id;
 }
 
-NodeId ConstraintGraph::getLayoutIdNode(layout::ResourceId Res) {
-  auto It = LayoutIdNodes.find(Res);
-  if (It != LayoutIdNodes.end())
-    return It->second;
+NodeId ConstraintGraph::getIdNode(std::vector<NodeId> &Dense,
+                                  std::unordered_map<layout::ResourceId,
+                                                     NodeId> &Overflow,
+                                  layout::ResourceId Base, NodeKind Kind,
+                                  layout::ResourceId Res) {
+  // Resource ids are interned densely from the table's fixed base; those
+  // index a flat vector. Anything else (hand-rolled ids in tests, foreign
+  // constants) takes the map fallback.
+  constexpr int64_t DenseLimit = 1 << 20;
+  int64_t Idx = static_cast<int64_t>(Res) - static_cast<int64_t>(Base);
+  NodeId *Slot;
+  if (Idx >= 0 && Idx < DenseLimit) {
+    if (static_cast<size_t>(Idx) >= Dense.size())
+      Dense.resize(Idx + 1, InvalidNode);
+    Slot = &Dense[Idx];
+  } else {
+    Slot = &Overflow.try_emplace(Res, InvalidNode).first->second;
+  }
+  if (*Slot != InvalidNode)
+    return *Slot;
   Node N;
-  N.Kind = NodeKind::LayoutId;
+  N.Kind = Kind;
   N.Res = Res;
-  NodeId Id = push(std::move(N));
-  LayoutIdNodes.emplace(Res, Id);
-  return Id;
+  *Slot = push(std::move(N));
+  return *Slot;
+}
+
+NodeId ConstraintGraph::getLayoutIdNode(layout::ResourceId Res) {
+  return getIdNode(LayoutIdNodes, LayoutIdOverflow,
+                   layout::ResourceTable::LayoutIdBase, NodeKind::LayoutId,
+                   Res);
 }
 
 NodeId ConstraintGraph::getViewIdNode(layout::ResourceId Res) {
-  auto It = ViewIdNodes.find(Res);
-  if (It != ViewIdNodes.end())
-    return It->second;
-  Node N;
-  N.Kind = NodeKind::ViewId;
-  N.Res = Res;
-  NodeId Id = push(std::move(N));
-  ViewIdNodes.emplace(Res, Id);
-  return Id;
+  return getIdNode(ViewIdNodes, ViewIdOverflow,
+                   layout::ResourceTable::ViewIdBase, NodeKind::ViewId, Res);
 }
 
 NodeId ConstraintGraph::getClassConstNode(const ClassDecl *Klass) {
@@ -180,33 +208,47 @@ NodeId ConstraintGraph::makeViewInflNode(const ClassDecl *Klass,
   return push(std::move(N));
 }
 
-std::vector<NodeId> ConstraintGraph::nodesOfKind(NodeKind Kind) const {
-  std::vector<NodeId> Result;
-  for (NodeId Id = 0; Id < Nodes.size(); ++Id)
-    if (Nodes[Id].Kind == Kind)
-      Result.push_back(Id);
-  return Result;
-}
-
 //===----------------------------------------------------------------------===//
 // Edges
 //===----------------------------------------------------------------------===//
 
 bool ConstraintGraph::addFlowEdge(NodeId From, NodeId To) {
   assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
+  std::vector<NodeId> &Succ = FlowSucc[From];
+  if (Succ.size() <= SmallFlowDegree) {
+    if (std::find(Succ.begin(), Succ.end(), To) != Succ.end())
+      return false;
+    Succ.push_back(To);
+    ++NumFlowEdges;
+    if (Succ.size() > SmallFlowDegree)
+      for (NodeId S : Succ) // degree crossed the threshold: migrate to hash
+        FlowEdges.insert(edgeKey(From, S));
+    return true;
+  }
   if (!FlowEdges.insert(edgeKey(From, To)).second)
     return false;
-  FlowSucc[From].push_back(To);
+  Succ.push_back(To);
+  ++NumFlowEdges;
   return true;
 }
 
-bool ConstraintGraph::addAssocEdge(
-    std::unordered_map<NodeId, std::vector<NodeId>> &Map,
-    std::unordered_set<uint64_t> &Dedup, NodeId From, NodeId To) {
+bool ConstraintGraph::addAssocEdge(AssocEdges &E, NodeId From, NodeId To) {
   assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
-  if (!Dedup.insert(edgeKey(From, To)).second)
+  if (E.Lists.size() <= From)
+    E.Lists.resize(std::max<size_t>(From + 1, Nodes.size()));
+  std::vector<NodeId> &List = E.Lists[From];
+  if (List.size() <= SmallFlowDegree) {
+    if (std::find(List.begin(), List.end(), To) != List.end())
+      return false;
+    List.push_back(To);
+    if (List.size() > SmallFlowDegree)
+      for (NodeId S : List)
+        E.Spill.insert(edgeKey(From, S));
+    return true;
+  }
+  if (!E.Spill.insert(edgeKey(From, To)).second)
     return false;
-  Map[From].push_back(To);
+  List.push_back(To);
   return true;
 }
 
@@ -214,83 +256,112 @@ bool ConstraintGraph::addParentChildEdge(NodeId Parent, NodeId Child) {
   assert(isViewNodeKind(Nodes[Parent].Kind) &&
          isViewNodeKind(Nodes[Child].Kind) &&
          "parent-child edges connect view nodes");
-  bool Added = addAssocEdge(ChildMap, ChildDedup, Parent, Child);
-  if (Added)
+  bool Added = addAssocEdge(ChildEdges, Parent, Child);
+  if (Added) {
     ++NumParentChild;
+    ++HierarchyRev; // invalidates every cached descendantsOf result
+  }
   return Added;
 }
 
 bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
   assert(isViewNodeKind(Nodes[View].Kind) && "has-id edge from non-view");
   assert(Nodes[ViewIdNode].Kind == NodeKind::ViewId && "target not a ViewId");
-  return addAssocEdge(HasIdMap, HasIdDedup, View, ViewIdNode);
+  bool Added = addAssocEdge(HasIdEdges, View, ViewIdNode);
+  if (Added) {
+    if (ViewsByIdTable.size() <= ViewIdNode)
+      ViewsByIdTable.resize(std::max<size_t>(ViewIdNode + 1, Nodes.size()));
+    ViewsByIdTable[ViewIdNode].push_back(View);
+  }
+  return Added;
 }
 
 bool ConstraintGraph::addRootEdge(NodeId Activity, NodeId View) {
   assert(isViewNodeKind(Nodes[View].Kind) && "root edge to non-view");
-  return addAssocEdge(RootMap, RootDedup, Activity, View);
+  bool Added = addAssocEdge(RootEdges, Activity, View);
+  if (Added)
+    ++HierarchyRev;
+  return Added;
 }
 
 bool ConstraintGraph::addListenerEdge(NodeId View, NodeId ListenerValue) {
   assert(isViewNodeKind(Nodes[View].Kind) && "listener edge from non-view");
-  return addAssocEdge(ListenerMap, ListenerDedup, View, ListenerValue);
+  return addAssocEdge(ListenerEdges, View, ListenerValue);
 }
 
 bool ConstraintGraph::addRootsLayoutEdge(NodeId View, NodeId LayoutIdNode) {
   assert(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId &&
          "target not a LayoutId");
-  return addAssocEdge(RootsLayoutMap, RootsLayoutDedup, View, LayoutIdNode);
+  return addAssocEdge(RootsLayoutEdges, View, LayoutIdNode);
 }
 
 std::vector<NodeId> ConstraintGraph::rootHolders() const {
   std::vector<NodeId> Result;
-  for (const auto &[Holder, Roots] : RootMap)
-    if (!Roots.empty())
+  for (NodeId Holder = 0; Holder < RootEdges.Lists.size(); ++Holder)
+    if (!RootEdges.Lists[Holder].empty())
       Result.push_back(Holder);
   std::sort(Result.begin(), Result.end());
   return Result;
 }
 
 const std::vector<NodeId> &ConstraintGraph::children(NodeId View) const {
-  auto It = ChildMap.find(View);
-  return It == ChildMap.end() ? EmptyList : It->second;
+  return assocList(ChildEdges, View);
 }
 
 const std::vector<NodeId> &ConstraintGraph::viewIds(NodeId View) const {
-  auto It = HasIdMap.find(View);
-  return It == HasIdMap.end() ? EmptyList : It->second;
+  return assocList(HasIdEdges, View);
 }
 
 const std::vector<NodeId> &ConstraintGraph::roots(NodeId Activity) const {
-  auto It = RootMap.find(Activity);
-  return It == RootMap.end() ? EmptyList : It->second;
+  return assocList(RootEdges, Activity);
 }
 
 const std::vector<NodeId> &ConstraintGraph::listeners(NodeId View) const {
-  auto It = ListenerMap.find(View);
-  return It == ListenerMap.end() ? EmptyList : It->second;
+  return assocList(ListenerEdges, View);
 }
 
 const std::vector<NodeId> &
 ConstraintGraph::rootsOfLayouts(NodeId View) const {
-  auto It = RootsLayoutMap.find(View);
-  return It == RootsLayoutMap.end() ? EmptyList : It->second;
+  return assocList(RootsLayoutEdges, View);
 }
 
-std::vector<NodeId> ConstraintGraph::descendantsOf(NodeId View) const {
-  std::vector<NodeId> Result;
-  std::unordered_set<NodeId> Seen;
+const std::vector<NodeId> &
+ConstraintGraph::viewsWithId(NodeId ViewIdNode) const {
+  if (ViewIdNode >= ViewsByIdTable.size())
+    return EmptyList;
+  return ViewsByIdTable[ViewIdNode];
+}
+
+const std::vector<NodeId> &ConstraintGraph::descendantsOf(NodeId View) const {
+  // unordered_map never invalidates element references on rehash, so the
+  // returned reference survives cache insertions for other views.
+  DescCacheEntry &Entry = DescCache[View];
+  if (Entry.Rev == HierarchyRev) {
+    ++DescCacheHits;
+    return Entry.Views;
+  }
+  ++DescCacheMisses;
+  Entry.Rev = HierarchyRev;
+  Entry.Views.clear();
+  if (DescSeenStamp.size() < Nodes.size())
+    DescSeenStamp.resize(Nodes.size(), 0);
+  uint32_t Gen = ++DescSeenGen;
+  if (Gen == 0) { // stamp counter wrapped: invalidate all marks
+    std::fill(DescSeenStamp.begin(), DescSeenStamp.end(), 0);
+    Gen = ++DescSeenGen;
+  }
   std::vector<NodeId> Work{View};
   while (!Work.empty()) {
     NodeId Cur = Work.back();
     Work.pop_back();
-    if (!Seen.insert(Cur).second)
+    if (DescSeenStamp[Cur] == Gen)
       continue;
-    Result.push_back(Cur);
+    DescSeenStamp[Cur] = Gen;
+    Entry.Views.push_back(Cur);
     for (NodeId Child : children(Cur))
       Work.push_back(Child);
   }
-  return Result;
+  return Entry.Views;
 }
 
 //===----------------------------------------------------------------------===//
@@ -376,24 +447,21 @@ void ConstraintGraph::dumpDot(std::ostream &OS, bool IncludeVarNodes) const {
       if (include(To))
         OS << "  n" << Id << " -> n" << To << ";\n";
   }
-  auto dumpAssoc = [&](const std::unordered_map<NodeId, std::vector<NodeId>>
-                           &Map,
-                       const char *Label) {
-    for (NodeId Id = 0; Id < Nodes.size(); ++Id) {
-      auto It = Map.find(Id);
-      if (It == Map.end() || !include(Id))
+  auto dumpAssoc = [&](const AssocEdges &E, const char *Label) {
+    for (NodeId Id = 0; Id < E.Lists.size(); ++Id) {
+      if (!include(Id))
         continue;
-      for (NodeId To : It->second)
+      for (NodeId To : E.Lists[Id])
         if (include(To))
           OS << "  n" << Id << " -> n" << To << " [style=dashed, label=\""
              << Label << "\"];\n";
     }
   };
-  dumpAssoc(ChildMap, "child");
-  dumpAssoc(HasIdMap, "id");
-  dumpAssoc(RootMap, "root");
-  dumpAssoc(ListenerMap, "listener");
-  dumpAssoc(RootsLayoutMap, "layout");
+  dumpAssoc(ChildEdges, "child");
+  dumpAssoc(HasIdEdges, "id");
+  dumpAssoc(RootEdges, "root");
+  dumpAssoc(ListenerEdges, "listener");
+  dumpAssoc(RootsLayoutEdges, "layout");
   OS << "}\n";
 }
 
@@ -409,6 +477,6 @@ void ConstraintGraph::dumpStats(std::ostream &OS) const {
       NodeKind::Op};
   for (NodeKind K : Kinds)
     OS << ' ' << nodeKindName(K) << '=' << Counts[static_cast<int>(K)];
-  OS << " flowEdges=" << FlowEdges.size()
+  OS << " flowEdges=" << NumFlowEdges
      << " parentChild=" << NumParentChild << '\n';
 }

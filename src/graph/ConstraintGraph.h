@@ -108,6 +108,11 @@ public:
   // Node creation (memoized factories)
   //===--------------------------------------------------------------------===//
 
+  /// Pre-sizes the node table and flow-edge dedup structures. \p NodeHint
+  /// and \p EdgeHint are estimates (typically from the program's variable
+  /// and statement counts); growth past them stays correct, just slower.
+  void reserve(size_t NodeHint, size_t EdgeHint);
+
   NodeId getVarNode(const ir::MethodDecl *M, ir::VarId V);
   NodeId getFieldNode(const ir::FieldDecl *F);
   NodeId getAllocNode(const ir::MethodDecl *M, int32_t StmtIndex,
@@ -134,8 +139,11 @@ public:
   const Node &node(NodeId Id) const { return Nodes[Id]; }
   size_t size() const { return Nodes.size(); }
 
-  /// All node ids of a given kind, in creation order.
-  std::vector<NodeId> nodesOfKind(NodeKind Kind) const;
+  /// All node ids of a given kind, in creation order (maintained
+  /// incrementally; O(1) per query).
+  const std::vector<NodeId> &nodesOfKind(NodeKind Kind) const {
+    return KindIndex[static_cast<size_t>(Kind)];
+  }
 
   /// Human-readable label (e.g. "ViewFlipper@act_console", "FindView1:13").
   std::string label(NodeId Id) const;
@@ -151,7 +159,7 @@ public:
     return FlowSucc[Id];
   }
 
-  size_t flowEdgeCount() const { return FlowEdges.size(); }
+  size_t flowEdgeCount() const { return NumFlowEdges; }
 
   //===--------------------------------------------------------------------===//
   // Relationship edges (=>)
@@ -178,13 +186,32 @@ public:
   const std::vector<NodeId> &listeners(NodeId View) const;
   const std::vector<NodeId> &rootsOfLayouts(NodeId View) const;
 
+  /// Reverse of viewIds(): the views carrying \p ViewIdNode (maintained
+  /// incrementally by addHasIdEdge).
+  const std::vector<NodeId> &viewsWithId(NodeId ViewIdNode) const;
+
   size_t parentChildEdgeCount() const { return NumParentChild; }
 
   /// All views reachable from \p View through parent-child edges,
   /// including \p View itself (the reflexive-transitive closure used by
   /// FindView rules; the receiver itself is included because
   /// findViewById(id) may match the receiver in Android).
-  std::vector<NodeId> descendantsOf(NodeId View) const;
+  ///
+  /// Memoized per view with generation-stamped invalidation: the cached
+  /// BFS result stays valid until addParentChildEdge/addRootEdge bumps the
+  /// hierarchy revision. The returned reference is stable across further
+  /// descendantsOf calls, but a hierarchy mutation may invalidate its
+  /// *contents* on the next query for the same view — don't hold it across
+  /// structure growth.
+  const std::vector<NodeId> &descendantsOf(NodeId View) const;
+
+  /// Monotone counter bumped by every new parent-child or root edge; a
+  /// cheap "has the hierarchy changed since I looked" probe.
+  uint64_t hierarchyRevision() const { return HierarchyRev; }
+
+  /// Descendants-cache telemetry (hits, recomputes).
+  unsigned long descendantsCacheHits() const { return DescCacheHits; }
+  unsigned long descendantsCacheMisses() const { return DescCacheMisses; }
 
   //===--------------------------------------------------------------------===//
   // Output
@@ -204,38 +231,86 @@ private:
     return (static_cast<uint64_t>(From) << 32) | To;
   }
 
-  bool addAssocEdge(std::unordered_map<NodeId, std::vector<NodeId>> &Map,
-                    std::unordered_set<uint64_t> &Dedup, NodeId From,
-                    NodeId To);
+  /// Relationship adjacency, keyed densely by source NodeId. Dedup is
+  /// hybrid like flow edges: a source's list is linear-scanned while
+  /// small; past SmallFlowDegree its edges migrate into the Spill hash.
+  struct AssocEdges {
+    std::vector<std::vector<NodeId>> Lists;
+    std::unordered_set<uint64_t> Spill;
+  };
+
+  bool addAssocEdge(AssocEdges &E, NodeId From, NodeId To);
+  const std::vector<NodeId> &assocList(const AssocEdges &E, NodeId From) const {
+    if (From >= E.Lists.size())
+      return EmptyList;
+    return E.Lists[From];
+  }
 
   std::vector<Node> Nodes;
+  /// Node ids per NodeKind, in creation order.
+  std::vector<std::vector<NodeId>> KindIndex =
+      std::vector<std::vector<NodeId>>(10);
 
   std::vector<std::vector<NodeId>> FlowSucc;
+  /// Flow-edge dedup is hybrid: nodes with few successors scan their
+  /// FlowSucc list; once a node's out-degree passes SmallFlowDegree its
+  /// edges migrate into the FlowEdges hash (high-degree sources like field
+  /// nodes stay O(1) per probe without paying a hash insert per edge of
+  /// every low-degree node).
+  static constexpr size_t SmallFlowDegree = 8;
   std::unordered_set<uint64_t> FlowEdges;
+  size_t NumFlowEdges = 0;
 
-  std::unordered_map<NodeId, std::vector<NodeId>> ChildMap;
-  std::unordered_set<uint64_t> ChildDedup;
+  AssocEdges ChildEdges;
   size_t NumParentChild = 0;
-  std::unordered_map<NodeId, std::vector<NodeId>> HasIdMap;
-  std::unordered_set<uint64_t> HasIdDedup;
-  std::unordered_map<NodeId, std::vector<NodeId>> RootMap;
-  std::unordered_set<uint64_t> RootDedup;
-  std::unordered_map<NodeId, std::vector<NodeId>> ListenerMap;
-  std::unordered_set<uint64_t> ListenerDedup;
-  std::unordered_map<NodeId, std::vector<NodeId>> RootsLayoutMap;
-  std::unordered_set<uint64_t> RootsLayoutDedup;
+  AssocEdges HasIdEdges;
+  /// Reverse id index: ViewId node -> views carrying it (deduped by
+  /// HasIdEdges, so a plain dense table suffices).
+  std::vector<std::vector<NodeId>> ViewsByIdTable;
+  AssocEdges RootEdges;
+  AssocEdges ListenerEdges;
+  AssocEdges RootsLayoutEdges;
 
-  std::unordered_map<const ir::MethodDecl *,
-                     std::unordered_map<ir::VarId, NodeId>>
-      VarNodes;
-  std::unordered_map<const ir::FieldDecl *, NodeId> FieldNodes;
+  /// Per-method variable-node tables, indexed by MethodDecl::globalId()
+  /// then VarId — two array indexes per lookup, no hashing (these are the
+  /// hottest intern calls in graph construction). The inner vector is
+  /// sized to the method's variable count on first touch, InvalidNode
+  /// marking absent entries.
+  std::vector<std::vector<NodeId>> VarNodes;
+  /// Field nodes indexed by FieldDecl::globalId(); InvalidNode when absent.
+  std::vector<NodeId> FieldNodes;
   std::unordered_map<const ir::MethodDecl *,
                      std::unordered_map<int32_t, NodeId>>
       AllocNodes;
   std::unordered_map<const ir::ClassDecl *, NodeId> ActivityNodes;
-  std::unordered_map<layout::ResourceId, NodeId> LayoutIdNodes;
-  std::unordered_map<layout::ResourceId, NodeId> ViewIdNodes;
+  /// Dense id->node tables indexed by (Res - base); resource ids are
+  /// interned sequentially from ResourceTable's fixed bases. Ids outside
+  /// the dense window land in the overflow maps.
+  std::vector<NodeId> LayoutIdNodes;
+  std::vector<NodeId> ViewIdNodes;
+  std::unordered_map<layout::ResourceId, NodeId> LayoutIdOverflow;
+  std::unordered_map<layout::ResourceId, NodeId> ViewIdOverflow;
+
+  NodeId getIdNode(std::vector<NodeId> &Dense,
+                   std::unordered_map<layout::ResourceId, NodeId> &Overflow,
+                   layout::ResourceId Base, NodeKind Kind,
+                   layout::ResourceId Res);
   std::unordered_map<const ir::ClassDecl *, NodeId> ClassConstNodes;
+
+  /// Memoized descendantsOf results, valid while Rev == HierarchyRev.
+  struct DescCacheEntry {
+    uint64_t Rev = 0; // 0 is never a live revision
+    std::vector<NodeId> Views;
+  };
+  mutable std::unordered_map<NodeId, DescCacheEntry> DescCache;
+  uint64_t HierarchyRev = 1;
+  mutable unsigned long DescCacheHits = 0;
+  mutable unsigned long DescCacheMisses = 0;
+  /// Generation-stamped visited marks for the descendantsOf BFS: node N is
+  /// visited in the current traversal iff DescSeenStamp[N] == DescSeenGen.
+  /// Avoids one hash-set allocation per recompute.
+  mutable std::vector<uint32_t> DescSeenStamp;
+  mutable uint32_t DescSeenGen = 0;
 
   std::vector<NodeId> EmptyList;
 };

@@ -14,16 +14,26 @@ ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
   assert(P.isResolved() && "ClassHierarchy requires a resolved program");
 
   // For each class, register it as a subtype of every supertype reachable
-  // through extends/implements edges (including itself).
+  // through extends/implements edges (including itself). Tables are
+  // indexed by ClassDecl::globalId(); Seen doubles as a per-walk visited
+  // stamp (stamped with the walk's origin) so no hash set is needed.
+  uint32_t MaxId = 0;
+  for (const auto &C : P.classes())
+    MaxId = std::max(MaxId, C->globalId());
+  Subtypes.resize(MaxId + 1);
+  CallCache.resize(MaxId + 1);
+  std::vector<const ClassDecl *> Seen(MaxId + 1, nullptr);
+  std::vector<const ClassDecl *> Work;
   for (const auto &C : P.classes()) {
-    std::unordered_set<const ClassDecl *> Seen;
-    std::vector<const ClassDecl *> Work{C.get()};
+    Work.assign(1, C.get());
     while (!Work.empty()) {
       const ClassDecl *Cur = Work.back();
       Work.pop_back();
-      if (!Seen.insert(Cur).second)
+      const ClassDecl *&Mark = Seen[Cur->globalId()];
+      if (Mark == C.get())
         continue;
-      Subtypes[Cur].push_back(C.get());
+      Mark = C.get();
+      Subtypes[Cur->globalId()].push_back(C.get());
       if (Cur->superClass())
         Work.push_back(Cur->superClass());
       for (const ClassDecl *I : Cur->interfaces())
@@ -34,8 +44,9 @@ ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
 
 const std::vector<const ClassDecl *> &
 ClassHierarchy::subtypesOf(const ClassDecl *C) const {
-  auto It = Subtypes.find(C);
-  return It == Subtypes.end() ? Empty : It->second;
+  if (C->globalId() >= Subtypes.size())
+    return Empty;
+  return Subtypes[C->globalId()];
 }
 
 const MethodDecl *ClassHierarchy::dispatch(const ClassDecl *ExactType,
@@ -45,10 +56,18 @@ const MethodDecl *ClassHierarchy::dispatch(const ClassDecl *ExactType,
   return (M && !M->isAbstract()) ? M : nullptr;
 }
 
-std::vector<const MethodDecl *>
+const std::vector<const MethodDecl *> &
 ClassHierarchy::resolveVirtualCall(const ClassDecl *StaticType,
                                    const std::string &Name,
                                    unsigned Arity) const {
+  if (StaticType->globalId() >= CallCache.size())
+    CallCache.resize(StaticType->globalId() + 1);
+  auto &PerType = CallCache[StaticType->globalId()];
+  std::string Key = Name + '/' + std::to_string(Arity);
+  auto It = PerType.find(Key);
+  if (It != PerType.end())
+    return It->second;
+
   std::vector<const MethodDecl *> Targets;
   std::unordered_set<const MethodDecl *> Seen;
   for (const ClassDecl *Sub : subtypesOf(StaticType)) {
@@ -58,5 +77,5 @@ ClassHierarchy::resolveVirtualCall(const ClassDecl *StaticType,
       if (Seen.insert(M).second)
         Targets.push_back(M);
   }
-  return Targets;
+  return PerType.emplace(std::move(Key), std::move(Targets)).first->second;
 }

@@ -41,8 +41,9 @@ public:
   /// CHA resolution of a virtual call through a receiver of declared type
   /// \p StaticType: the set of concrete (non-abstract) method bodies any
   /// subtype would dispatch to for name/arity. Deduplicated, in
-  /// deterministic program order.
-  std::vector<const ir::MethodDecl *>
+  /// deterministic program order. Memoized per (type, name, arity) — the
+  /// hierarchy is immutable once constructed, so entries never go stale.
+  const std::vector<const ir::MethodDecl *> &
   resolveVirtualCall(const ir::ClassDecl *StaticType, const std::string &Name,
                      unsigned Arity) const;
 
@@ -54,10 +55,17 @@ public:
 
 private:
   const ir::Program &P;
-  std::unordered_map<const ir::ClassDecl *,
-                     std::vector<const ir::ClassDecl *>>
-      Subtypes;
+  /// Subtype lists indexed by ClassDecl::globalId() — the ids of one
+  /// program's classes are dense enough that a flat table beats hashing
+  /// on both construction and lookup.
+  std::vector<std::vector<const ir::ClassDecl *>> Subtypes;
   std::vector<const ir::ClassDecl *> Empty;
+
+  /// resolveVirtualCall memo, indexed by receiver ClassDecl::globalId(),
+  /// then keyed by "name/arity".
+  mutable std::vector<std::unordered_map<
+      std::string, std::vector<const ir::MethodDecl *>>>
+      CallCache;
 };
 
 } // namespace hier

@@ -8,6 +8,29 @@
 using namespace gator;
 using namespace gator::ir;
 
+// Starts at 1 so a freshly constructed ClassDecl (epoch 0) always takes
+// the rebuild path on its first lookup.
+static uint64_t IrStructureEpochCounter = 1;
+
+uint64_t gator::ir::irStructureEpoch() { return IrStructureEpochCounter; }
+
+static void bumpIrStructureEpoch() { ++IrStructureEpochCounter; }
+
+uint32_t gator::ir::nextClassGlobalId() {
+  static uint32_t Counter = 0;
+  return Counter++;
+}
+
+uint32_t gator::ir::nextMethodGlobalId() {
+  static uint32_t Counter = 0;
+  return Counter++;
+}
+
+uint32_t gator::ir::nextFieldGlobalId() {
+  static uint32_t Counter = 0;
+  return Counter++;
+}
+
 bool gator::ir::isPrimitiveTypeName(const std::string &Name) {
   return Name == IntTypeName || Name == VoidTypeName;
 }
@@ -71,6 +94,7 @@ FieldDecl *ClassDecl::addField(std::string Name, std::string TypeName,
 
 MethodDecl *ClassDecl::addMethod(std::string Name, std::string ReturnTypeName,
                                  bool IsStatic) {
+  bumpIrStructureEpoch();
   Methods.push_back(std::make_unique<MethodDecl>(
       std::move(Name), std::move(ReturnTypeName), IsStatic, this));
   MethodDecl *M = Methods.back().get();
@@ -105,6 +129,23 @@ MethodDecl *ClassDecl::findOwnMethod(const std::string &Name,
 
 MethodDecl *ClassDecl::findMethod(const std::string &Name,
                                   unsigned Arity) const {
+  if (MethodLookupEpoch != irStructureEpoch()) {
+    MethodLookupCache.clear();
+    MethodLookupEpoch = irStructureEpoch();
+  }
+  std::string Key;
+  Key.reserve(Name.size() + 4);
+  Key = Name;
+  Key.push_back('/');
+  Key += std::to_string(Arity);
+  auto [It, Inserted] = MethodLookupCache.try_emplace(std::move(Key), nullptr);
+  if (Inserted)
+    It->second = findMethodUncached(Name, Arity);
+  return It->second;
+}
+
+MethodDecl *ClassDecl::findMethodUncached(const std::string &Name,
+                                          unsigned Arity) const {
   for (const ClassDecl *C = this; C; C = C->Super)
     if (MethodDecl *M = C->findOwnMethod(Name, Arity))
       return M;
@@ -145,6 +186,7 @@ ClassDecl *Program::findClass(const std::string &Name) const {
 }
 
 bool Program::resolve(DiagnosticEngine &Diags) {
+  bumpIrStructureEpoch(); // Super/interface links are about to change.
   bool Ok = true;
   for (const auto &C : Classes) {
     C->Super = nullptr;

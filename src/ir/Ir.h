@@ -55,6 +55,19 @@ inline constexpr const char *ObjectClassName = "java.lang.Object";
 /// Returns true if \p Name is a primitive (non-reference) type name.
 bool isPrimitiveTypeName(const std::string &Name);
 
+/// Monotone counter bumped whenever the method/supertype structure of any
+/// program changes (ClassDecl::addMethod, Program::resolve). Per-class
+/// lookup memos compare against it to detect staleness, which lets the
+/// memos survive across analysis runs over an unchanged program.
+uint64_t irStructureEpoch();
+
+/// Next process-wide dense id for the respective declaration kind (see
+/// ClassDecl/MethodDecl/FieldDecl::globalId()). Separate counters keep
+/// each kind's id space dense, so per-kind side tables stay compact.
+uint32_t nextClassGlobalId();
+uint32_t nextMethodGlobalId();
+uint32_t nextFieldGlobalId();
+
 /// A local variable or formal parameter.
 struct Variable {
   std::string Name;
@@ -72,12 +85,15 @@ public:
   FieldDecl(std::string Name, std::string TypeName, bool IsStatic,
             const ClassDecl *Owner)
       : Name(std::move(Name)), TypeName(std::move(TypeName)),
-        IsStatic(IsStatic), Owner(Owner) {}
+        IsStatic(IsStatic), Owner(Owner), GlobalId(nextFieldGlobalId()) {}
 
   const std::string &name() const { return Name; }
   const std::string &typeName() const { return TypeName; }
   bool isStatic() const { return IsStatic; }
   const ClassDecl *owner() const { return Owner; }
+
+  /// Process-wide dense id (creation order); see MethodDecl::globalId().
+  uint32_t globalId() const { return GlobalId; }
 
   /// Qualified "Class.field" spelling for diagnostics and dumps.
   std::string qualifiedName() const;
@@ -87,6 +103,7 @@ private:
   std::string TypeName;
   bool IsStatic;
   const ClassDecl *Owner;
+  uint32_t GlobalId;
 };
 
 /// Statement kinds, mirroring the grammar of ALite in Section 3 plus the
@@ -141,7 +158,7 @@ public:
   MethodDecl(std::string Name, std::string ReturnTypeName, bool IsStatic,
              ClassDecl *Owner)
       : Name(std::move(Name)), ReturnTypeName(std::move(ReturnTypeName)),
-        IsStatic(IsStatic), Owner(Owner) {
+        IsStatic(IsStatic), Owner(Owner), GlobalId(nextMethodGlobalId()) {
     if (!IsStatic) {
       Variable This;
       This.Name = "this";
@@ -197,6 +214,11 @@ public:
   bool isAbstract() const { return Abstract; }
   void setAbstract(bool Value) { Abstract = Value; }
 
+  /// Process-wide dense id (creation order across all programs). Lets
+  /// consumers key per-method side tables with flat vectors instead of
+  /// pointer-keyed hash maps on hot paths.
+  uint32_t globalId() const { return GlobalId; }
+
 private:
   friend class ClassDecl;
 
@@ -205,6 +227,7 @@ private:
   bool IsStatic;
   bool Abstract = false;
   ClassDecl *Owner;
+  uint32_t GlobalId = 0;
   unsigned NumParams = 0;
   std::vector<Variable> Vars;
   std::vector<Stmt> Body;
@@ -215,10 +238,13 @@ class ClassDecl {
 public:
   ClassDecl(std::string Name, bool IsInterface, bool IsPlatform)
       : Name(std::move(Name)), IsInterface(IsInterface),
-        IsPlatform(IsPlatform) {}
+        IsPlatform(IsPlatform), GlobalId(nextClassGlobalId()) {}
 
   const std::string &name() const { return Name; }
   bool isInterface() const { return IsInterface; }
+
+  /// Process-wide dense id (creation order); see MethodDecl::globalId().
+  uint32_t globalId() const { return GlobalId; }
 
   /// Platform classes model the Android framework; their method bodies are
   /// not part of the analyzed program (Section 3.1: "the bodies of methods
@@ -263,14 +289,21 @@ public:
   /// this class (no inheritance walk).
   MethodDecl *findOwnMethod(const std::string &Name, unsigned Arity) const;
   /// Finds a method on this class, superclasses, or implemented interfaces.
+  /// Memoized per class; the cache is dropped whenever any class gains a
+  /// method or the program is (re-)resolved (see irStructureEpoch()).
   MethodDecl *findMethod(const std::string &Name, unsigned Arity) const;
 
 private:
   friend class Program;
 
+  /// Uncached inheritance/interface walk backing findMethod().
+  MethodDecl *findMethodUncached(const std::string &Name,
+                                 unsigned Arity) const;
+
   std::string Name;
   bool IsInterface;
   bool IsPlatform;
+  uint32_t GlobalId;
   std::string SuperName;
   std::vector<std::string> InterfaceNames;
 
@@ -279,6 +312,13 @@ private:
 
   std::vector<std::unique_ptr<FieldDecl>> Fields;
   std::vector<std::unique_ptr<MethodDecl>> Methods;
+
+  /// Lazy name/arity -> resolved method memo for findMethod(). Keyed by
+  /// "name/arity". A lookup result depends on this class, its supertype
+  /// chain, and its interfaces, so staleness is tracked against the global
+  /// irStructureEpoch() rather than per-class state.
+  mutable std::unordered_map<std::string, MethodDecl *> MethodLookupCache;
+  mutable uint64_t MethodLookupEpoch = 0;
 };
 
 /// A whole ALite program: the set Class of Section 3.1, comprising both

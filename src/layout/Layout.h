@@ -49,7 +49,17 @@ public:
   /// special value `no_id`).
   const std::string &viewIdName() const { return ViewIdName; }
   bool hasViewId() const { return !ViewIdName.empty(); }
-  void setViewIdName(std::string Name) { ViewIdName = std::move(Name); }
+  void setViewIdName(std::string Name) {
+    ViewIdName = std::move(Name);
+    ResolvedViewIdRes = InvalidResourceId;
+  }
+
+  /// Memoized result of resolving viewIdName() against the owning
+  /// registry's ResourceTable. Only successful lookups are cached (name ->
+  /// id bindings are append-only, so a valid id never goes stale);
+  /// InvalidResourceId means "not resolved yet — look it up".
+  ResourceId resolvedViewIdRes() const { return ResolvedViewIdRes; }
+  void setResolvedViewIdRes(ResourceId Res) const { ResolvedViewIdRes = Res; }
 
   const SourceLocation &loc() const { return Loc; }
 
@@ -97,6 +107,7 @@ public:
 private:
   std::string ViewClassName;
   std::string ViewIdName;
+  mutable ResourceId ResolvedViewIdRes = InvalidResourceId;
   SourceLocation Loc;
   std::vector<std::unique_ptr<LayoutNode>> Children;
   std::string IncludeLayoutName;

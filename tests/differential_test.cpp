@@ -15,6 +15,7 @@
 #include "corpus/ConnectBot.h"
 #include "corpus/Corpus.h"
 
+#include "DifferentialHelpers.h"
 #include "TestHelpers.h"
 
 #include <gtest/gtest.h>
@@ -29,66 +30,6 @@ using namespace gator::graph;
 using namespace gator::test;
 
 namespace {
-
-/// A node-id-independent fingerprint of one solution: for every variable
-/// and field node (identified by stable names), the multiset of value
-/// labels reaching it, with ViewInfl labels normalized to
-/// (class, layoutNodeId-name) — site identity folded away only in the
-/// label, which is enough because both solvers mint per (site, layout).
-std::map<std::string, std::multiset<std::string>>
-fingerprint(const AnalysisResult &R) {
-  const ConstraintGraph &G = *R.Graph;
-  std::map<std::string, std::multiset<std::string>> Print;
-  for (NodeId N = 0; N < G.size(); ++N) {
-    NodeKind K = G.node(N).Kind;
-    if (K != NodeKind::Var && K != NodeKind::Field)
-      continue;
-    auto &Labels = Print[G.label(N)];
-    for (NodeId V : R.Sol->valuesAt(N))
-      Labels.insert(G.label(V));
-  }
-  return Print;
-}
-
-struct EdgeCounts {
-  size_t ParentChild, Flow, Nodes, ViewInfl;
-};
-
-EdgeCounts edgeCounts(const AnalysisResult &R) {
-  return EdgeCounts{R.Graph->parentChildEdgeCount(),
-                    R.Graph->flowEdgeCount(), R.Graph->size(),
-                    R.Graph->nodesOfKind(NodeKind::ViewInfl).size()};
-}
-
-void expectSameSolution(const AnalysisResult &Fused,
-                        const AnalysisResult &Phased,
-                        const std::string &Context) {
-  EdgeCounts A = edgeCounts(Fused), B = edgeCounts(Phased);
-  EXPECT_EQ(A.ParentChild, B.ParentChild) << Context;
-  EXPECT_EQ(A.Nodes, B.Nodes) << Context;
-  EXPECT_EQ(A.ViewInfl, B.ViewInfl) << Context;
-  EXPECT_EQ(A.Flow, B.Flow) << Context;
-
-  auto FA = fingerprint(Fused);
-  auto FB = fingerprint(Phased);
-  ASSERT_EQ(FA.size(), FB.size()) << Context;
-  for (const auto &[Name, Labels] : FA) {
-    auto It = FB.find(Name);
-    ASSERT_NE(It, FB.end()) << Context << ": node " << Name;
-    EXPECT_EQ(Labels, It->second) << Context << ": values at " << Name;
-  }
-
-  auto MA = Fused.metrics();
-  auto MB = Phased.metrics();
-  EXPECT_DOUBLE_EQ(MA.AvgReceivers, MB.AvgReceivers) << Context;
-  EXPECT_EQ(MA.AvgResults.has_value(), MB.AvgResults.has_value()) << Context;
-  if (MA.AvgResults) {
-    EXPECT_DOUBLE_EQ(*MA.AvgResults, *MB.AvgResults) << Context;
-  }
-  if (MA.AvgListeners && MB.AvgListeners) {
-    EXPECT_DOUBLE_EQ(*MA.AvgListeners, *MB.AvgListeners) << Context;
-  }
-}
 
 TEST(DifferentialTest, ConnectBotSolversAgree) {
   auto App1 = buildConnectBotExample();

@@ -1,0 +1,297 @@
+//===- solver_delta_test.cpp - Delta vs. naive propagation ------*- C++ -*-===//
+//
+// The difference-propagation solver core (docs/DELTA_SOLVER.md) must be a
+// pure performance transformation: with AnalysisOptions::DeltaPropagation
+// off, the solver falls back to the naive reference mode (full-set
+// re-propagation, eager op re-enqueue), and both modes must compute the
+// identical least fixed point on every app and under every option combo.
+// Also covers the FlowSet representation (small/promoted regimes, delta
+// spans, deep copies) and solver re-solve hygiene.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowSet.h"
+#include "analysis/SolutionChecker.h"
+#include "analysis/Solver.h"
+#include "corpus/ConnectBot.h"
+#include "corpus/Corpus.h"
+
+#include "DifferentialHelpers.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::graph;
+using namespace gator::test;
+
+namespace {
+
+AnalysisOptions naive(AnalysisOptions Options = {}) {
+  Options.DeltaPropagation = false;
+  return Options;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: delta == naive on every paper-corpus app
+//===----------------------------------------------------------------------===//
+
+class DeltaCorpusDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DeltaCorpusDifferential, DeltaMatchesNaive) {
+  const AppSpec &Spec = paperCorpus()[GetParam()];
+
+  GeneratedApp App1 = generateApp(Spec);
+  auto Delta = runAnalysis(*App1.Bundle);
+
+  GeneratedApp App2 = generateApp(Spec);
+  auto Naive = runAnalysis(*App2.Bundle, naive());
+
+  expectSameSolution(*Delta, *Naive, Spec.Name);
+
+  // Both reach a closed fixed point.
+  EXPECT_TRUE(checkSolutionClosure(*Delta).empty()) << Spec.Name;
+  EXPECT_TRUE(checkSolutionClosure(*Naive).empty()) << Spec.Name;
+
+  // Counter sanity: commits only exist in delta mode. (ValuesPushed is
+  // NOT compared: batched structure rounds can attempt a few redundant
+  // inserts the eager mode avoids, and vice versa — only the resulting
+  // sets are the invariant.)
+  EXPECT_GT(Delta->Stats.DeltaCommits, 0u) << Spec.Name;
+  EXPECT_EQ(Naive->Stats.DeltaCommits, 0u) << Spec.Name;
+  EXPECT_GT(Delta->Stats.ValuesPushed, 0u) << Spec.Name;
+  EXPECT_GT(Naive->Stats.ValuesPushed, 0u) << Spec.Name;
+  EXPECT_FALSE(Delta->Stats.HitWorkLimit) << Spec.Name;
+  EXPECT_FALSE(Naive->Stats.HitWorkLimit) << Spec.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpusApps, DeltaCorpusDifferential,
+                         ::testing::Range<size_t>(0, 20),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return paperCorpus()[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Options matrix: the equivalence holds under every option combination
+//===----------------------------------------------------------------------===//
+
+/// One bit per option; 5 options = 32 combinations (DeltaPropagation
+/// itself is the variable under test, so it is not part of the index).
+AnalysisOptions optionsFromIndex(unsigned Index) {
+  AnalysisOptions Options;
+  Options.TrackViewIds = (Index & 1) != 0;
+  Options.TrackHierarchy = (Index & 2) != 0;
+  Options.FindView3ChildOnly = (Index & 4) != 0;
+  Options.ModelListenerCallbacks = (Index & 8) != 0;
+  Options.DeclaredTypeFilter = (Index & 16) != 0;
+  return Options;
+}
+
+class DeltaOptionsMatrix : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeltaOptionsMatrix, DeltaMatchesNaiveOnConnectBot) {
+  AnalysisOptions Options = optionsFromIndex(GetParam());
+
+  auto App1 = buildConnectBotExample();
+  ASSERT_TRUE(App1 && !App1->Diags.hasErrors());
+  auto Delta = runAnalysis(*App1, Options);
+
+  auto App2 = buildConnectBotExample();
+  auto Naive = runAnalysis(*App2, naive(Options));
+
+  expectSameSolution(*Delta, *Naive,
+                     "combo " + std::to_string(GetParam()));
+}
+
+TEST_P(DeltaOptionsMatrix, DeltaMatchesNaiveOnExtensionOps) {
+  // Fragments + adapters + xml onClick: the structure-sensitive ops whose
+  // firing discipline differs most between the two modes.
+  const char *Source = R"(
+class RowAdapter extends android.widget.BaseAdapter {
+  method getView(inflater: android.view.LayoutInflater): android.view.View {
+    var v: android.view.View;
+    var lid: int;
+    lid := @layout/row;
+    v := inflater.inflate(lid);
+    return v;
+  }
+}
+class HeaderFragment extends android.app.Fragment {
+  method onCreateView(inflater: android.view.LayoutInflater): android.view.View {
+    var v: android.widget.Button;
+    v := new android.widget.Button;
+    return v;
+  }
+}
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var lvid: int;
+    var lv: android.widget.ListView;
+    var ad: RowAdapter;
+    var fm: android.app.FragmentManager;
+    var tx: android.app.FragmentTransaction;
+    var fg: HeaderFragment;
+    var cid: int;
+    lid := @layout/main;
+    this.setContentView(lid);
+    lvid := @id/list;
+    lv := this.findViewById(lvid);
+    ad := new RowAdapter;
+    lv.setAdapter(ad);
+    fm := this.getFragmentManager();
+    tx := fm.beginTransaction();
+    fg := new HeaderFragment;
+    cid := @id/root;
+    tx.add(cid, fg);
+  }
+  method onTap(v: android.view.View) { }
+}
+)";
+  const std::vector<std::pair<std::string, std::string>> Layouts = {
+      {"main", R"(
+<LinearLayout android:id="@+id/root">
+  <TextView android:onClick="onTap" />
+  <ListView android:id="@+id/list" />
+</LinearLayout>
+)"},
+      {"row", "<TextView android:id=\"@+id/row_text\"/>"}};
+
+  AnalysisOptions Options = optionsFromIndex(GetParam());
+
+  auto App1 = makeBundle(Source, Layouts);
+  auto Delta = runAnalysis(*App1, Options);
+
+  auto App2 = makeBundle(Source, Layouts);
+  auto Naive = runAnalysis(*App2, naive(Options));
+
+  expectSameSolution(*Delta, *Naive,
+                     "ext combo " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, DeltaOptionsMatrix,
+                         ::testing::Range(0u, 32u));
+
+//===----------------------------------------------------------------------===//
+// Re-solve hygiene: registerOpUses starts from a clean slate
+//===----------------------------------------------------------------------===//
+
+TEST(SolverReuse, SecondSolveIsStable) {
+  // Calling solve() twice on the same Solver must leave the saturated
+  // solution untouched: registerOpUses and the per-node tables may not
+  // accumulate stale state across solves. (A *fresh* Solver on an
+  // already-solved graph is a different contract: its InflatedAt memo is
+  // empty, so it re-mints ViewInfl trees per inflation site by design.)
+  auto App = buildConnectBotExample();
+  ASSERT_TRUE(App && !App->Diags.hasErrors());
+  auto R = runAnalysis(*App);
+  ASSERT_TRUE(R);
+
+  AnalysisOptions Options;
+  Solver Again(*R->Graph, *R->Sol, *App->Layouts, App->Android, Options,
+               App->Diags);
+  SolverStats Stats1 = Again.solve();
+  EXPECT_FALSE(Stats1.HitWorkLimit);
+
+  auto Fingerprint1 = fingerprint(*R);
+  EdgeCounts Counts1 = edgeCounts(*R);
+
+  SolverStats Stats2 = Again.solve();
+  EXPECT_FALSE(Stats2.HitWorkLimit);
+
+  EdgeCounts Counts2 = edgeCounts(*R);
+  EXPECT_EQ(Counts1.Nodes, Counts2.Nodes);
+  EXPECT_EQ(Counts1.Flow, Counts2.Flow);
+  EXPECT_EQ(Counts1.ParentChild, Counts2.ParentChild);
+  EXPECT_EQ(Counts1.ViewInfl, Counts2.ViewInfl);
+  EXPECT_EQ(Fingerprint1, fingerprint(*R));
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// FlowSet representation
+//===----------------------------------------------------------------------===//
+
+TEST(FlowSetTest, SmallRegimeDedupAndOrder) {
+  FlowSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(7));
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_FALSE(S.insert(7)); // duplicate
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_FALSE(S.promoted());
+  // Insertion order is preserved.
+  std::vector<NodeId> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<NodeId>{7, 3}));
+}
+
+TEST(FlowSetTest, PromotionAtSmallLimit) {
+  FlowSet S;
+  for (NodeId V = 0; V < FlowSet::SmallLimit; ++V)
+    EXPECT_TRUE(S.insert(V));
+  EXPECT_FALSE(S.promoted()) << "promotion only past SmallLimit";
+  EXPECT_TRUE(S.insert(FlowSet::SmallLimit));
+  EXPECT_TRUE(S.promoted());
+  EXPECT_EQ(S.size(), FlowSet::SmallLimit + 1);
+  // Dedup and order still hold in the promoted regime.
+  EXPECT_FALSE(S.insert(0));
+  EXPECT_TRUE(S.insert(1000));
+  EXPECT_TRUE(S.contains(1000));
+  std::vector<NodeId> Got(S.begin(), S.end());
+  ASSERT_EQ(Got.size(), FlowSet::SmallLimit + 2);
+  EXPECT_EQ(Got.front(), 0u);
+  EXPECT_EQ(Got.back(), 1000u);
+}
+
+TEST(FlowSetTest, DeltaSpanLifecycle) {
+  FlowSet S;
+  EXPECT_FALSE(S.hasDelta());
+  S.insert(1);
+  S.insert(2);
+  EXPECT_TRUE(S.hasDelta());
+  EXPECT_EQ(S.deltaBegin(), 0u);
+
+  S.commit(S.size());
+  EXPECT_FALSE(S.hasDelta());
+  EXPECT_EQ(S.deltaBegin(), 2u);
+
+  S.insert(3);
+  EXPECT_TRUE(S.hasDelta());
+  // The uncommitted suffix is exactly the values since the last commit.
+  std::vector<NodeId> DeltaVals(S.begin() + S.deltaBegin(), S.end());
+  EXPECT_EQ(DeltaVals, (std::vector<NodeId>{3}));
+  S.commit(S.size());
+  EXPECT_FALSE(S.hasDelta());
+}
+
+TEST(FlowSetTest, CopyIsDeepInBothRegimes) {
+  FlowSet Small;
+  Small.insert(1);
+  Small.insert(2);
+  FlowSet SmallCopy = Small;
+  Small.insert(3);
+  EXPECT_EQ(SmallCopy.size(), 2u);
+  EXPECT_FALSE(SmallCopy.contains(3));
+
+  FlowSet Big;
+  for (NodeId V = 0; V <= FlowSet::SmallLimit; ++V)
+    Big.insert(V);
+  ASSERT_TRUE(Big.promoted());
+  FlowSet BigCopy = Big;
+  EXPECT_TRUE(BigCopy.promoted());
+  Big.insert(500);
+  EXPECT_FALSE(BigCopy.contains(500));
+  EXPECT_FALSE(BigCopy.insert(3)) << "copied index must dedup";
+  EXPECT_TRUE(BigCopy.insert(501));
+  EXPECT_TRUE(BigCopy.contains(501));
+
+  Big = SmallCopy; // copy-assign promoted <- small
+  EXPECT_FALSE(Big.promoted());
+  EXPECT_EQ(Big.size(), 2u);
+}
+
+} // namespace
