@@ -9,18 +9,90 @@
 // Exercises both serialization directions of the frontend (the printer
 // round-trips with the parser; the layout writer with the layout reader).
 //
+// Apps are exported in crash isolation: a failure in one app (generation
+// diagnostics, I/O, or an escaped exception) is reported and the remaining
+// apps still export. Exit codes follow the gator_cli contract — 0 clean,
+// 1 diagnostics/I/O failures, 2 internal errors — taking the maximum over
+// all apps.
+//
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
 #include "layout/LayoutWriter.h"
 #include "parser/Printer.h"
 
+#include <algorithm>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 using namespace gator;
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Exports one corpus app; returns 0/1 per the exit-code contract.
+int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir) {
+  corpus::GeneratedApp App = corpus::generateApp(Spec);
+  if (App.Bundle->Diags.hasErrors()) {
+    App.Bundle->Diags.print(std::cerr);
+    return 1;
+  }
+
+  fs::path AppDir = OutDir / Spec.Name;
+  std::error_code EC;
+  fs::create_directories(AppDir, EC);
+  if (EC) {
+    std::cerr << "error: cannot create " << AppDir << ": " << EC.message()
+              << "\n";
+    return 1;
+  }
+
+  {
+    std::ofstream Out(AppDir / "app.alite");
+    if (!Out) {
+      std::cerr << "error: cannot write app.alite for " << Spec.Name << "\n";
+      return 1;
+    }
+    parser::printProgram(App.Bundle->Program, Out);
+  }
+  for (const auto &Def : App.Bundle->Layouts->layouts()) {
+    std::ofstream Out(AppDir / (Def->name() + ".xml"));
+    Out << layout::layoutToXml(*Def);
+  }
+  {
+    // Manifest: every activity declared, Activity0 as the launcher.
+    std::ofstream Out(AppDir / "AndroidManifest.xml");
+    Out << "<manifest package=\"corpus." << Spec.Name << "\">\n"
+        << "  <application>\n";
+    for (unsigned I = 0; I < Spec.Activities; ++I) {
+      Out << "    <activity android:name=\"" << Spec.Name << "Activity"
+          << I << "\"";
+      if (I == 0)
+        Out << ">\n"
+            << "      <intent-filter>\n"
+            << "        <action android:name=\"android.intent.action."
+               "MAIN\" />\n"
+            << "        <category android:name=\"android.intent.category."
+               "LAUNCHER\" />\n"
+            << "      </intent-filter>\n"
+            << "    </activity>\n";
+      else
+        Out << " />\n";
+    }
+    Out << "  </application>\n</manifest>\n";
+  }
+  std::cout << Spec.Name << ": "
+            << App.Bundle->Program.appClassCount() << " classes, "
+            << App.Bundle->Layouts->layouts().size() << " layouts -> "
+            << AppDir.string() << "\n";
+  return 0;
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   if (argc != 2) {
@@ -29,61 +101,29 @@ int main(int argc, char **argv) {
   }
   fs::path OutDir = argv[1];
 
+  int Worst = 0;
+  std::vector<std::string> Failed;
   for (const corpus::AppSpec &Spec : corpus::paperCorpus()) {
-    corpus::GeneratedApp App = corpus::generateApp(Spec);
-    if (App.Bundle->Diags.hasErrors()) {
-      App.Bundle->Diags.print(std::cerr);
-      return 1;
+    int Code;
+    try {
+      Code = exportOneApp(Spec, OutDir);
+    } catch (const std::exception &E) {
+      std::cerr << "internal error exporting '" << Spec.Name
+                << "': " << E.what() << "\n";
+      Code = 2;
+    } catch (...) {
+      std::cerr << "internal error exporting '" << Spec.Name << "'\n";
+      Code = 2;
     }
-
-    fs::path AppDir = OutDir / Spec.Name;
-    std::error_code EC;
-    fs::create_directories(AppDir, EC);
-    if (EC) {
-      std::cerr << "error: cannot create " << AppDir << ": " << EC.message()
-                << "\n";
-      return 1;
-    }
-
-    {
-      std::ofstream Out(AppDir / "app.alite");
-      if (!Out) {
-        std::cerr << "error: cannot write app.alite for " << Spec.Name
-                  << "\n";
-        return 1;
-      }
-      parser::printProgram(App.Bundle->Program, Out);
-    }
-    for (const auto &Def : App.Bundle->Layouts->layouts()) {
-      std::ofstream Out(AppDir / (Def->name() + ".xml"));
-      Out << layout::layoutToXml(*Def);
-    }
-    {
-      // Manifest: every activity declared, Activity0 as the launcher.
-      std::ofstream Out(AppDir / "AndroidManifest.xml");
-      Out << "<manifest package=\"corpus." << Spec.Name << "\">\n"
-          << "  <application>\n";
-      for (unsigned I = 0; I < Spec.Activities; ++I) {
-        Out << "    <activity android:name=\"" << Spec.Name << "Activity"
-            << I << "\"";
-        if (I == 0)
-          Out << ">\n"
-              << "      <intent-filter>\n"
-              << "        <action android:name=\"android.intent.action."
-                 "MAIN\" />\n"
-              << "        <category android:name=\"android.intent.category."
-                 "LAUNCHER\" />\n"
-              << "      </intent-filter>\n"
-              << "    </activity>\n";
-        else
-          Out << " />\n";
-      }
-      Out << "  </application>\n</manifest>\n";
-    }
-    std::cout << Spec.Name << ": "
-              << App.Bundle->Program.appClassCount() << " classes, "
-              << App.Bundle->Layouts->layouts().size() << " layouts -> "
-              << AppDir.string() << "\n";
+    if (Code != 0)
+      Failed.push_back(Spec.Name);
+    Worst = std::max(Worst, Code);
   }
-  return 0;
+  if (!Failed.empty()) {
+    std::cerr << "failed apps (" << Failed.size() << "):";
+    for (const std::string &Name : Failed)
+      std::cerr << " " << Name;
+    std::cerr << "\n";
+  }
+  return Worst;
 }

@@ -8,10 +8,20 @@
 //
 // Usage:
 //   gator_cli <dir> [--dot <file>] [--tuples] [--hierarchy] [--atg]
-//             [--solution] [--sequences <ActivityClass>] [--reach] [--json <file>] [--lint]
+//             [--solution] [--sequences <ActivityClass>] [--reach]
+//             [--json <file>] [--lint] [--batch]
+//             [--max-seconds <s>] [--max-work <n>]
+//             [--max-nodes <n>] [--max-edges <n>]
 //
 // Prints Table 2-style precision metrics by default; the flags add the
-// Section 6 client outputs.
+// Section 6 client outputs. `--batch` treats every immediate subdirectory
+// of <dir> as one app and analyzes each in crash isolation. The --max-*
+// flags set resource budgets (docs/ROBUSTNESS.md); a tripped budget yields
+// a partial solution marked truncated, not a failure.
+//
+// Exit codes: 0 = clean run, 1 = input diagnostics (parse/resolve errors),
+// 2 = internal error (and usage errors). In batch mode the exit code is
+// the maximum over the per-app codes.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +36,7 @@
 #include "parser/Parser.h"
 
 #include <algorithm>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -51,17 +62,13 @@ bool readFile(const fs::path &Path, std::string &Out) {
 int usage() {
   std::cerr << "usage: gator_cli <dir> [--dot <file>] [--tuples] "
                "[--hierarchy] [--atg] [--solution] "
-               "[--sequences <ActivityClass>] [--reach] [--json <file>] [--lint]\n";
+               "[--sequences <ActivityClass>] [--reach] [--json <file>] "
+               "[--lint] [--batch] [--max-seconds <s>] [--max-work <n>] "
+               "[--max-nodes <n>] [--max-edges <n>]\n";
   return 2;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  if (argc < 2)
-    return usage();
-
-  std::string InputDir;
+struct CliConfig {
   std::string DotFile;
   bool WantTuples = false, WantHierarchy = false, WantAtg = false;
   bool WantSolution = false;
@@ -69,41 +76,15 @@ int main(int argc, char **argv) {
   std::string SequencesFrom;
   std::string JsonFile;
   bool WantLint = false;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--dot") {
-      if (++I >= argc)
-        return usage();
-      DotFile = argv[I];
-    } else if (Arg == "--tuples") {
-      WantTuples = true;
-    } else if (Arg == "--hierarchy") {
-      WantHierarchy = true;
-    } else if (Arg == "--atg") {
-      WantAtg = true;
-    } else if (Arg == "--solution") {
-      WantSolution = true;
-    } else if (Arg == "--sequences") {
-      if (++I >= argc)
-        return usage();
-      SequencesFrom = argv[I];
-    } else if (Arg == "--reach") {
-      WantReach = true;
-    } else if (Arg == "--json") {
-      if (++I >= argc)
-        return usage();
-      JsonFile = argv[I];
-    } else if (Arg == "--lint") {
-      WantLint = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      return usage();
-    } else {
-      InputDir = Arg;
-    }
-  }
-  if (InputDir.empty())
-    return usage();
+  bool Batch = false;
+  analysis::AnalysisOptions Options;
+};
 
+/// Analyzes one application directory end to end. Fail-soft: parse
+/// diagnostics do not abort the run — the analysis still executes and its
+/// solution carries a fidelity marker. Returns 0 (clean), 1 (input
+/// diagnostics), or 2 (internal error).
+int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   corpus::AppBundle App;
   App.Android.install(App.Program);
 
@@ -163,7 +144,8 @@ int main(int argc, char **argv) {
     Ok &= layout::readLayoutXml(*App.Layouts, Path.stem().string(), Text,
                                 App.Diags) != nullptr;
   }
-  Ok &= App.finalize();
+  bool Finalized = App.finalize();
+  Ok &= Finalized;
 
   // Manifest (optional): validates declared activities and provides the
   // default start point for --sequences.
@@ -183,15 +165,19 @@ int main(int argc, char **argv) {
   }
 
   App.Diags.print(std::cerr);
-  if (!Ok || App.Diags.hasErrors())
+  // An unresolved program has no coherent hierarchy to analyze; anything
+  // short of that proceeds fail-soft, with diagnostics reflected in the
+  // exit code and the fidelity marker.
+  if (!Finalized)
     return 1;
+  bool HadInputErrors = !Ok || App.Diags.hasErrors();
 
-  auto Result = analysis::GuiAnalysis::run(
-      App.Program, *App.Layouts, App.Android, analysis::AnalysisOptions(),
-      App.Diags);
+  auto Result = analysis::GuiAnalysis::run(App.Program, *App.Layouts,
+                                           App.Android, Cfg.Options,
+                                           App.Diags);
   if (!Result) {
     App.Diags.print(std::cerr);
-    return 1;
+    return 2; // the facade contract is "always a result"
   }
 
   std::cout << "classes: " << App.Program.appClassCount()
@@ -209,25 +195,34 @@ int main(int argc, char **argv) {
     std::cout << " listeners=" << *M.AvgListeners;
   std::cout << "\ntime: build=" << Result->BuildSeconds * 1000
             << "ms solve=" << Result->SolveSeconds * 1000 << "ms\n";
+  std::cout << "fidelity: " << analysis::fidelityName(Result->Sol->fidelity());
+  if (Result->Sol->fidelity() == analysis::Fidelity::TruncatedBudget)
+    std::cout << " (budget: "
+              << support::budgetReasonName(Result->Sol->truncationReason())
+              << ")";
+  if (!Result->Sol->unresolvedOps().empty())
+    std::cout << " unresolved-ops=" << Result->Sol->unresolvedOps().size();
+  std::cout << "\n";
 
-  if (WantSolution) {
+  if (Cfg.WantSolution) {
     std::cout << "\nper-operation solution:\n";
     Result->Sol->dump(std::cout);
   }
-  if (WantTuples) {
+  if (Cfg.WantTuples) {
     std::cout << "\n(activity, view, event, handler) tuples:\n";
     guimodel::printHandlerTuples(std::cout, *Result,
                                  guimodel::extractHandlerTuples(*Result));
   }
-  if (WantHierarchy) {
+  if (Cfg.WantHierarchy) {
     std::cout << "\nview hierarchies:\n";
     guimodel::printViewHierarchies(std::cout, *Result);
   }
-  if (WantAtg) {
+  if (Cfg.WantAtg) {
     std::cout << "\nactivity transition graph:\n";
     guimodel::printTransitionsDot(
         std::cout, guimodel::buildActivityTransitionGraph(*Result));
   }
+  std::string SequencesFrom = Cfg.SequencesFrom;
   if (Manifest) {
     std::cout << "manifest: package=" << Manifest->Package;
     if (auto Launcher = Manifest->launcherActivity())
@@ -251,33 +246,162 @@ int main(int argc, char **argv) {
         std::cout, *Result,
         guimodel::enumerateEventSequences(*Result, Start, 5, 64));
   }
-  if (WantReach) {
+  if (Cfg.WantReach) {
     std::cout << "\nEditText view-reach report:\n";
     guimodel::printViewReach(std::cout, *Result,
                              guimodel::computeViewReach(*Result));
   }
-  if (WantLint) {
+  if (Cfg.WantLint) {
     std::cout << "\nlint findings:\n";
     guimodel::printLintFindings(std::cout,
                                 guimodel::runLint(*Result, *App.Layouts));
   }
-  if (!JsonFile.empty()) {
-    std::ofstream Json(JsonFile);
+  if (!Cfg.JsonFile.empty()) {
+    std::ofstream Json(Cfg.JsonFile);
     if (!Json) {
-      std::cerr << "error: cannot write " << JsonFile << "\n";
+      std::cerr << "error: cannot write " << Cfg.JsonFile << "\n";
       return 1;
     }
     guimodel::writeAnalysisJson(Json, *Result);
-    std::cout << "analysis JSON written to " << JsonFile << "\n";
+    std::cout << "analysis JSON written to " << Cfg.JsonFile << "\n";
   }
-  if (!DotFile.empty()) {
-    std::ofstream Dot(DotFile);
+  if (!Cfg.DotFile.empty()) {
+    std::ofstream Dot(Cfg.DotFile);
     if (!Dot) {
-      std::cerr << "error: cannot write " << DotFile << "\n";
+      std::cerr << "error: cannot write " << Cfg.DotFile << "\n";
       return 1;
     }
     Result->Graph->dumpDot(Dot);
-    std::cout << "constraint graph written to " << DotFile << "\n";
+    std::cout << "constraint graph written to " << Cfg.DotFile << "\n";
   }
-  return 0;
+  return HadInputErrors ? 1 : 0;
+}
+
+/// Crash isolation: a C++ exception escaping one app's analysis is an
+/// internal error (exit 2) for that app, not a process abort — in batch
+/// mode the remaining apps still run.
+int runOneApp(const std::string &InputDir, const CliConfig &Cfg) {
+  try {
+    return runOneAppUnguarded(InputDir, Cfg);
+  } catch (const std::exception &E) {
+    std::cerr << "internal error analyzing '" << InputDir
+              << "': " << E.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error analyzing '" << InputDir << "'\n";
+    return 2;
+  }
+}
+
+/// Parses a non-negative number for a --max-* flag; false on garbage.
+bool parseCount(const std::string &Text, unsigned long &Out) {
+  if (Text.empty() ||
+      !std::all_of(Text.begin(), Text.end(), [](unsigned char C) {
+        return std::isdigit(C);
+      }))
+    return false;
+  try {
+    Out = std::stoul(Text);
+  } catch (const std::exception &) {
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string InputDir;
+  CliConfig Cfg;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dot") {
+      if (++I >= argc)
+        return usage();
+      Cfg.DotFile = argv[I];
+    } else if (Arg == "--tuples") {
+      Cfg.WantTuples = true;
+    } else if (Arg == "--hierarchy") {
+      Cfg.WantHierarchy = true;
+    } else if (Arg == "--atg") {
+      Cfg.WantAtg = true;
+    } else if (Arg == "--solution") {
+      Cfg.WantSolution = true;
+    } else if (Arg == "--sequences") {
+      if (++I >= argc)
+        return usage();
+      Cfg.SequencesFrom = argv[I];
+    } else if (Arg == "--reach") {
+      Cfg.WantReach = true;
+    } else if (Arg == "--json") {
+      if (++I >= argc)
+        return usage();
+      Cfg.JsonFile = argv[I];
+    } else if (Arg == "--lint") {
+      Cfg.WantLint = true;
+    } else if (Arg == "--batch") {
+      Cfg.Batch = true;
+    } else if (Arg == "--max-seconds") {
+      if (++I >= argc)
+        return usage();
+      try {
+        Cfg.Options.Budget.MaxWallSeconds = std::stod(argv[I]);
+      } catch (const std::exception &) {
+        return usage();
+      }
+      if (Cfg.Options.Budget.MaxWallSeconds < 0)
+        return usage();
+    } else if (Arg == "--max-work") {
+      if (++I >= argc || !parseCount(argv[I], Cfg.Options.Budget.MaxWorkItems))
+        return usage();
+    } else if (Arg == "--max-nodes") {
+      unsigned long N = 0;
+      if (++I >= argc || !parseCount(argv[I], N))
+        return usage();
+      Cfg.Options.Budget.MaxGraphNodes = N;
+    } else if (Arg == "--max-edges") {
+      unsigned long N = 0;
+      if (++I >= argc || !parseCount(argv[I], N))
+        return usage();
+      Cfg.Options.Budget.MaxGraphEdges = N;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      InputDir = Arg;
+    }
+  }
+  if (InputDir.empty())
+    return usage();
+
+  if (!Cfg.Batch)
+    return runOneApp(InputDir, Cfg);
+
+  // Batch mode: every immediate subdirectory is one app; the process exit
+  // code is the worst per-app code.
+  std::vector<fs::path> AppDirs;
+  std::error_code EC;
+  for (const auto &Entry : fs::directory_iterator(InputDir, EC))
+    if (Entry.is_directory())
+      AppDirs.push_back(Entry.path());
+  if (EC) {
+    std::cerr << "error: cannot read directory '" << InputDir
+              << "': " << EC.message() << "\n";
+    return 1;
+  }
+  if (AppDirs.empty()) {
+    std::cerr << "error: no app subdirectories under '" << InputDir << "'\n";
+    return 1;
+  }
+  std::sort(AppDirs.begin(), AppDirs.end());
+  int Worst = 0;
+  for (const fs::path &Dir : AppDirs) {
+    std::cout << "=== app: " << Dir.filename().string() << " ===\n";
+    int Code = runOneApp(Dir.string(), Cfg);
+    std::cout << "=== exit: " << Code << " ===\n";
+    Worst = std::max(Worst, Code);
+  }
+  return Worst;
 }

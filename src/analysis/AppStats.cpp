@@ -83,6 +83,9 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
   Stats.DescCacheHits = Result.Stats.DescCacheHits;
   Stats.DescCacheMisses = Result.Stats.DescCacheMisses;
   Stats.HierarchyRevisions = Result.Stats.HierarchyRevisions;
+  Stats.SolutionFidelity = Result.Sol->fidelity();
+  Stats.UnresolvedOps = Result.Sol->unresolvedOps().size();
+  Stats.WorkCharged = Result.Stats.WorkCharged;
   return Stats;
 }
 
@@ -112,7 +115,8 @@ void gator::analysis::printSolverStatsHeader(std::ostream &OS) {
      << "propagate" << std::setw(9) << "opFire" << std::setw(10) << "pushed"
      << std::setw(9) << "dedup" << std::setw(9) << "peakSet" << std::setw(10)
      << "promoted" << std::setw(10) << "descHit" << std::setw(10)
-     << "descMiss" << std::setw(9) << "hierRev" << '\n';
+     << "descMiss" << std::setw(9) << "hierRev" << std::setw(18)
+     << "fidelity" << std::setw(11) << "unresolved" << '\n';
 }
 
 void gator::analysis::printSolverStatsRow(std::ostream &OS,
@@ -122,5 +126,7 @@ void gator::analysis::printSolverStatsRow(std::ostream &OS,
      << S.ValuesPushed << std::setw(9) << S.DedupHits << std::setw(9)
      << S.PeakSetSize << std::setw(10) << S.PromotedSets << std::setw(10)
      << S.DescCacheHits << std::setw(10) << S.DescCacheMisses << std::setw(9)
-     << S.HierarchyRevisions << '\n';
+     << S.HierarchyRevisions << std::setw(18)
+     << fidelityName(S.SolutionFidelity) << std::setw(11) << S.UnresolvedOps
+     << '\n';
 }

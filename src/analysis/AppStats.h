@@ -51,6 +51,12 @@ struct AppStats {
   unsigned long DescCacheHits = 0;
   unsigned long DescCacheMisses = 0;
   unsigned long HierarchyRevisions = 0;
+
+  /// Fail-soft telemetry (docs/ROBUSTNESS.md): the solution's fidelity
+  /// marker, number of op sites left unresolved, and budget work charged.
+  Fidelity SolutionFidelity = Fidelity::Complete;
+  unsigned long UnresolvedOps = 0;
+  unsigned long WorkCharged = 0;
 };
 
 /// Collects statistics from a completed analysis run.

@@ -18,16 +18,24 @@ GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
   Result->Graph = std::make_unique<graph::ConstraintGraph>();
   Result->Sol = std::make_unique<Solution>(*Result->Graph, AM);
 
+  unsigned CheckFailuresBefore = Diags.checkFailureCount();
+
   Timer BuildTimer;
-  hier::ClassHierarchy CH(P);
+  Result->Graph->setDiagnostics(&Diags);
+  hier::ClassHierarchy CH(P, &Diags);
   GraphBuilder Builder(P, Layouts, AM, CH, Diags);
   if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
-    return nullptr;
+    Result->Sol->markDegraded();
   Result->BuildSeconds = BuildTimer.seconds();
 
   Timer SolveTimer;
   Solver S(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags);
   Result->Stats = S.solve();
   Result->SolveSeconds = SolveTimer.seconds();
+
+  // Any recoverable-invariant failure during this run (graph edge drops,
+  // hierarchy degradations) means facts may have been discarded.
+  if (Diags.checkFailureCount() != CheckFailuresBefore)
+    Result->Sol->markDegraded();
   return Result;
 }

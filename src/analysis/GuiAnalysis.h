@@ -57,7 +57,9 @@ struct AnalysisResult {
 class GuiAnalysis {
 public:
   /// Runs the full pipeline. \p P must be resolved and \p AM bound to it.
-  /// Returns null if graph construction reported errors.
+  /// Fail-soft (docs/ROBUSTNESS.md): always returns a result; build errors
+  /// or recoverable-invariant failures mark the solution DegradedInput and
+  /// budget exhaustion marks it TruncatedBudget.
   static std::unique_ptr<AnalysisResult>
   run(const ir::Program &P, layout::LayoutRegistry &Layouts,
       const android::AndroidModel &AM, const AnalysisOptions &Options,

@@ -15,6 +15,8 @@
 #ifndef GATOR_ANALYSIS_OPTIONS_H
 #define GATOR_ANALYSIS_OPTIONS_H
 
+#include "support/Budget.h"
+
 namespace gator {
 namespace analysis {
 
@@ -71,8 +73,11 @@ struct AnalysisOptions {
   /// compute the identical least fixed point.
   bool DeltaPropagation = true;
 
-  /// Safety valve for the fixed-point loop.
-  unsigned long MaxWorkItems = 50'000'000;
+  /// Resource budgets (docs/ROBUSTNESS.md): work items (the historical
+  /// MaxWorkItems safety valve), wall-clock deadline, graph size caps,
+  /// cooperative cancellation. Exhaustion yields a consistent partial
+  /// Solution marked TruncatedBudget rather than an aborted run.
+  support::BudgetPolicy Budget;
 };
 
 } // namespace analysis

@@ -4,9 +4,10 @@
 
 #include "analysis/GraphBuilder.h"
 #include "hier/ClassHierarchy.h"
+#include "support/Budget.h"
+#include "support/Check.h"
 #include "support/Timer.h"
 
-#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -27,13 +28,25 @@ public:
                const layout::LayoutRegistry &Layouts, const AndroidModel &AM,
                const AnalysisOptions &Options, DiagnosticEngine &Diags)
       : G(G), Sol(Sol), Layouts(Layouts), AM(AM), Options(Options),
-        Diags(Diags) {}
+        Diags(Diags), Tracker(Options.Budget) {}
 
   PhasedStats run() {
     seed();
     phaseReachability();
-    phaseInflation();
-    phasePropagation();
+    if (!Tracker.exhausted())
+      phaseInflation();
+    if (!Tracker.exhausted())
+      phasePropagation();
+    if (Tracker.exhausted()) {
+      // Round-based evaluation has no per-op settled/pending distinction,
+      // so every op site is conservatively recorded as unresolved.
+      for (size_t I = 0, E = Sol.opSites().size(); I < E; ++I)
+        Sol.noteUnresolvedOp(static_cast<uint32_t>(I));
+      Sol.markTruncated(Tracker.reason());
+      Diags.warning(std::string("solver budget exhausted (") +
+                    support::budgetReasonName(Tracker.reason()) +
+                    "); solution is a partial under-approximation");
+    }
     return Stats;
   }
 
@@ -106,6 +119,8 @@ private:
       auto &S = sets();
       if (S[N].empty())
         continue;
+      if (!Tracker.charge())
+        return Changed;
       std::vector<NodeId> Values(S[N].begin(), S[N].end());
       for (NodeId Succ : G.flowSuccessors(N)) {
         if (G.node(Succ).Kind == NodeKind::Op)
@@ -121,7 +136,7 @@ private:
   }
 
   void phaseReachability() {
-    while (sweepFlowEdges(/*ViewsToo=*/false))
+    while (!Tracker.exhausted() && sweepFlowEdges(/*ViewsToo=*/false))
       ++Stats.ReachabilitySteps;
   }
 
@@ -129,7 +144,7 @@ private:
   // Phase I: inflation
   //===--------------------------------------------------------------------===//
 
-  NodeId inflate(const OpSite &Op, NodeId LayoutIdNode) {
+  NodeId inflate(const OpSite &Op, size_t OpIndex, NodeId LayoutIdNode) {
     uint64_t Key = (static_cast<uint64_t>(Op.OpNode) << 32) | LayoutIdNode;
     auto It = Minted.find(Key);
     if (It != Minted.end())
@@ -140,6 +155,25 @@ private:
     if (!Def) {
       Diags.warning(G.node(Op.OpNode).Loc,
                     "inflation of unknown layout id; site skipped");
+      Minted.emplace(Key, InvalidNode);
+      return InvalidNode;
+    }
+
+    // Mirrors Solver::inflateAt's degenerate-layout handling so both
+    // engines stay differentially equivalent on degraded input.
+    const layout::LayoutNode *RootDef = Def->root();
+    bool EmptyMerge = RootDef && RootDef->viewClassName().empty() &&
+                      RootDef->children().empty();
+    if (!GATOR_CHECK(RootDef != nullptr, &Diags,
+                     "layout definition with no root node; site skipped") ||
+        EmptyMerge) {
+      if (EmptyMerge)
+        Diags.warning(G.node(Op.OpNode).Loc,
+                      "layout '" + Def->name() +
+                          "' is an empty <merge/> with no inflatable root; "
+                          "site skipped");
+      Sol.markDegraded();
+      Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
       Minted.emplace(Key, InvalidNode);
       return InvalidNode;
     }
@@ -175,19 +209,19 @@ private:
       return ViewNode;
     };
 
-    NodeId Root = Build(Build, *Def->root());
+    NodeId Root = Build(Build, *RootDef);
     G.addRootsLayoutEdge(Root, LayoutIdNode);
     Minted.emplace(Key, Root);
     return Root;
   }
 
-  bool fireInflate(const OpSite &Op) {
+  bool fireInflate(const OpSite &Op, size_t OpIndex) {
     bool Changed = false;
     for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
       if (G.node(IdVal).Kind != NodeKind::LayoutId)
         continue;
       size_t Before = Minted.size();
-      NodeId Root = inflate(Op, IdVal);
+      NodeId Root = inflate(Op, OpIndex, IdVal);
       Changed |= Minted.size() != Before;
       if (Root == InvalidNode)
         continue;
@@ -208,10 +242,15 @@ private:
   }
 
   void phaseInflation() {
-    for (const OpSite &Op : Sol.opSites())
-      if (Op.Spec.Kind == OpKind::Inflate1 ||
-          Op.Spec.Kind == OpKind::Inflate2)
-        fireInflate(Op);
+    const auto &Ops = Sol.opSites();
+    for (size_t I = 0, E = Ops.size(); I < E; ++I) {
+      const OpSite &Op = Ops[I];
+      if (Op.Spec.Kind != OpKind::Inflate1 && Op.Spec.Kind != OpKind::Inflate2)
+        continue;
+      if (!Tracker.charge())
+        break;
+      fireInflate(Op, I);
+    }
   }
 
   //===--------------------------------------------------------------------===//
@@ -293,11 +332,12 @@ private:
     return Changed;
   }
 
-  bool fireOp(const OpSite &Op) {
+  bool fireOp(size_t OpIndex) {
+    const OpSite &Op = Sol.opSites()[OpIndex];
     switch (Op.Spec.Kind) {
     case OpKind::Inflate1:
     case OpKind::Inflate2:
-      return fireInflate(Op);
+      return fireInflate(Op, OpIndex);
     case OpKind::AddView1: {
       bool Changed = false;
       for (NodeId W : Sol.valuesAt(Op.Recv)) {
@@ -326,6 +366,12 @@ private:
       return Changed;
     }
     case OpKind::SetListener: {
+      if (!GATOR_CHECK(Op.Spec.Listener != nullptr, &Diags,
+                       "set-listener op without listener spec; site skipped")) {
+        Sol.markDegraded();
+        Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+        return false;
+      }
       bool Changed = false;
       for (NodeId V : Sol.viewsAt(Op.Recv))
         for (NodeId L : Sol.listenerValuesAt(Op.ValArg)) {
@@ -460,13 +506,21 @@ private:
   void phasePropagation() {
     bool Changed = true;
     while (Changed) {
+      if (!Tracker.checkpoint(G.size(), G.flowEdgeCount() +
+                                            G.parentChildEdgeCount()))
+        break;
       ++Stats.PropagationRounds;
       Changed = false;
       while (sweepFlowEdges(/*ViewsToo=*/true))
         Changed = true;
-      for (const OpSite &Op : Sol.opSites())
-        Changed |= fireOp(Op);
+      for (size_t I = 0, E = Sol.opSites().size(); I < E; ++I) {
+        if (!Tracker.charge())
+          break;
+        Changed |= fireOp(I);
+      }
       Changed |= sweepXmlOnClick();
+      if (Tracker.exhausted())
+        break;
     }
   }
 
@@ -476,6 +530,7 @@ private:
   const AndroidModel &AM;
   const AnalysisOptions &Options;
   DiagnosticEngine &Diags;
+  support::BudgetTracker Tracker;
   std::unordered_map<uint64_t, NodeId> Minted;
   PhasedStats Stats;
 };
@@ -500,10 +555,11 @@ std::unique_ptr<AnalysisResult> gator::analysis::runPhasedAnalysis(
   Result->Sol = std::make_unique<Solution>(*Result->Graph, AM);
 
   Timer BuildTimer;
-  hier::ClassHierarchy CH(P);
+  Result->Graph->setDiagnostics(&Diags);
+  hier::ClassHierarchy CH(P, &Diags);
   GraphBuilder Builder(P, Layouts, AM, CH, Diags);
   if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
-    return nullptr;
+    Result->Sol->markDegraded();
   Result->BuildSeconds = BuildTimer.seconds();
 
   Timer SolveTimer;

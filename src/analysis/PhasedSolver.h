@@ -64,7 +64,8 @@ PhasedStats solvePhased(graph::ConstraintGraph &G, Solution &Sol,
                         DiagnosticEngine &Diags);
 
 /// Convenience facade mirroring GuiAnalysis::run but using the phased
-/// solver. Returns null on graph-construction errors.
+/// solver. Fail-soft: graph-construction errors yield a result whose
+/// solution is marked DegradedInput rather than a null pointer.
 std::unique_ptr<AnalysisResult>
 runPhasedAnalysis(const ir::Program &P, layout::LayoutRegistry &Layouts,
                   const android::AndroidModel &AM,

@@ -9,6 +9,24 @@ using namespace gator::analysis;
 using namespace gator::graph;
 using namespace gator::android;
 
+const char *gator::analysis::fidelityName(Fidelity F) {
+  switch (F) {
+  case Fidelity::Complete:
+    return "complete";
+  case Fidelity::DegradedInput:
+    return "degraded-input";
+  case Fidelity::TruncatedBudget:
+    return "truncated-budget";
+  }
+  return "unknown";
+}
+
+void Solution::noteUnresolvedOp(uint32_t OpIndex) {
+  auto It = std::lower_bound(Unresolved.begin(), Unresolved.end(), OpIndex);
+  if (It == Unresolved.end() || *It != OpIndex)
+    Unresolved.insert(It, OpIndex);
+}
+
 const FlowSet &Solution::valuesAt(NodeId N) const {
   if (N == InvalidNode || N >= FlowsTo.size())
     return Empty;

@@ -17,7 +17,9 @@
 #include "analysis/FlowSet.h"
 #include "android/AndroidModel.h"
 #include "graph/ConstraintGraph.h"
+#include "support/Budget.h"
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -25,6 +27,20 @@
 
 namespace gator {
 namespace analysis {
+
+/// How trustworthy a Solution is (docs/ROBUSTNESS.md). Ordered by
+/// precedence: a budget trip outranks input degradation outranks clean.
+enum class Fidelity : uint8_t {
+  Complete,        ///< full fixed point over well-formed input
+  DegradedInput,   ///< recoverable invariants fired / degenerate input
+                   ///< skipped; the solution is consistent but may be
+                   ///< missing facts the skipped constraints implied
+  TruncatedBudget, ///< a resource budget stopped the solver early; the
+                   ///< solution is a consistent under-approximation
+};
+
+/// Human-readable label ("complete", "degraded-input", ...).
+const char *fidelityName(Fidelity F);
 
 /// One occurrence of an Android operation with the variable nodes playing
 /// each role. Roles not applicable to the op kind are InvalidNode.
@@ -59,6 +75,36 @@ public:
 
   std::vector<FlowSet> &flowsToSets() { return FlowsTo; }
   std::vector<OpSite> &opSites() { return Ops; }
+
+  //===--------------------------------------------------------------------===//
+  // Fidelity (docs/ROBUSTNESS.md)
+  //===--------------------------------------------------------------------===//
+
+  Fidelity fidelity() const { return Fid; }
+  bool isComplete() const { return Fid == Fidelity::Complete; }
+
+  /// Why the budget tripped (None unless fidelity is TruncatedBudget).
+  support::BudgetReason truncationReason() const { return TruncReason; }
+
+  /// Marks the solution truncated by a budget (highest precedence).
+  void markTruncated(support::BudgetReason Reason) {
+    Fid = Fidelity::TruncatedBudget;
+    TruncReason = Reason;
+  }
+
+  /// Marks the solution degraded by malformed/degenerate input; does not
+  /// downgrade an existing TruncatedBudget marker.
+  void markDegraded() {
+    if (Fid == Fidelity::Complete)
+      Fid = Fidelity::DegradedInput;
+  }
+
+  /// Records an operation site whose rule was skipped or left unfinished
+  /// (degraded inflation, budget cut). Deduplicated, kept sorted.
+  void noteUnresolvedOp(uint32_t OpIndex);
+
+  /// Sorted indices into ops() of unresolved operation sites.
+  const std::vector<uint32_t> &unresolvedOps() const { return Unresolved; }
 
   //===--------------------------------------------------------------------===//
   // flowsTo queries
@@ -139,6 +185,9 @@ private:
   std::vector<FlowSet> FlowsTo;
   std::vector<OpSite> Ops;
   FlowSet Empty;
+  Fidelity Fid = Fidelity::Complete;
+  support::BudgetReason TruncReason = support::BudgetReason::None;
+  std::vector<uint32_t> Unresolved;
 };
 
 } // namespace analysis

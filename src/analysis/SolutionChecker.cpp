@@ -219,6 +219,76 @@ private:
 } // namespace
 
 std::vector<std::string>
+gator::analysis::checkSolutionConsistency(const AnalysisResult &Result) {
+  const ConstraintGraph &G = *Result.Graph;
+  const Solution &Sol = *Result.Sol;
+  std::vector<std::string> V;
+  auto violation = [&](const std::string &Message) {
+    if (V.size() < 50)
+      V.push_back(Message);
+  };
+
+  for (NodeId N = 0; N < G.size(); ++N) {
+    for (NodeId Val : Sol.valuesAt(N)) {
+      if (Val >= G.size()) {
+        violation("consistency: out-of-range value node in set of " +
+                  G.label(N));
+        continue;
+      }
+      if (!isValueNodeKind(G.node(Val).Kind))
+        violation("consistency: non-value node " + G.label(Val) +
+                  " in set of " + G.label(N));
+    }
+    for (NodeId C : G.children(N))
+      if (C >= G.size() || !isViewNodeKind(G.node(C).Kind))
+        violation("consistency: non-view child under " + G.label(N));
+    for (NodeId Id : G.viewIds(N))
+      if (Id >= G.size() || G.node(Id).Kind != NodeKind::ViewId)
+        violation("consistency: has-id target of " + G.label(N) +
+                  " is not a ViewId");
+    for (NodeId R : G.roots(N))
+      if (R >= G.size() || !isViewNodeKind(G.node(R).Kind))
+        violation("consistency: non-view root under " + G.label(N));
+    for (NodeId L : G.listeners(N))
+      if (L >= G.size())
+        violation("consistency: out-of-range listener under " + G.label(N));
+    for (NodeId LId : G.rootsOfLayouts(N))
+      if (LId >= G.size() || G.node(LId).Kind != NodeKind::LayoutId)
+        violation("consistency: roots-layout target of " + G.label(N) +
+                  " is not a LayoutId");
+  }
+
+  // Minted views are self-seeded at mint time regardless of where a budget
+  // later stopped the run.
+  for (NodeId View : G.nodesOfKind(NodeKind::ViewInfl))
+    if (!Sol.valuesAt(View).count(View))
+      violation("consistency: minted view " + G.label(View) +
+                " not in its own set");
+
+  for (uint32_t OpIndex : Sol.unresolvedOps())
+    if (OpIndex >= Sol.ops().size())
+      violation("consistency: unresolved op index " +
+                std::to_string(OpIndex) + " out of range");
+  if (Sol.isComplete() && !Sol.unresolvedOps().empty())
+    violation("consistency: complete solution records unresolved ops");
+  if (Sol.fidelity() == Fidelity::TruncatedBudget &&
+      Sol.truncationReason() == support::BudgetReason::None)
+    violation("consistency: truncated solution without a budget reason");
+  if (Sol.fidelity() != Fidelity::TruncatedBudget &&
+      Sol.truncationReason() != support::BudgetReason::None)
+    violation("consistency: budget reason on a non-truncated solution");
+  return V;
+}
+
+std::vector<std::string>
 gator::analysis::checkSolutionClosure(const AnalysisResult &Result) {
-  return Checker(Result).run();
+  std::vector<std::string> V = checkSolutionConsistency(Result);
+  // Partial solutions are deliberate under-approximations: the closure
+  // properties quantify over the *final* state and do not hold mid-run, so
+  // only Complete solutions are held to them.
+  if (Result.Sol->isComplete()) {
+    std::vector<std::string> Closure = Checker(Result).run();
+    V.insert(V.end(), Closure.begin(), Closure.end());
+  }
+  return V;
 }

@@ -29,6 +29,14 @@
 /// Used by the property tests across the whole corpus; failures indicate
 /// solver bugs (premature termination, missed re-firing).
 ///
+/// Partial solutions (docs/ROBUSTNESS.md): a solution marked
+/// TruncatedBudget or DegradedInput is deliberately not a fixed point, so
+/// the closure properties above do not apply. Such solutions are instead
+/// held to the weaker *consistency* contract — every recorded fact is
+/// well-formed (valid node ids of the right kinds, in-range unresolved-op
+/// indices, coherent fidelity markers, minted views self-seeded) even
+/// though facts may be missing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GATOR_ANALYSIS_SOLUTIONCHECKER_H
@@ -42,9 +50,16 @@
 namespace gator {
 namespace analysis {
 
-/// Checks all closure properties; returns the list of violations (empty
-/// when the solution is a genuine fixed point).
+/// Checks a solution against the contract its fidelity marker promises:
+/// full closure (plus consistency) for Complete solutions, consistency
+/// only for partial ones. Returns the list of violations (empty when the
+/// solution honors its contract).
 std::vector<std::string> checkSolutionClosure(const AnalysisResult &Result);
+
+/// The structural-consistency half alone: valid for any solution,
+/// including truncated and degraded ones.
+std::vector<std::string>
+checkSolutionConsistency(const AnalysisResult &Result);
 
 } // namespace analysis
 } // namespace gator

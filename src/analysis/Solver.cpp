@@ -2,8 +2,9 @@
 
 #include "analysis/Solver.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 
 using namespace gator;
 using namespace gator::analysis;
@@ -245,6 +246,27 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
     return InvalidNode;
   }
 
+  // Degenerate layouts must not crash the pipeline: a missing root (the
+  // registry normally rejects these) or an empty <merge/> root has
+  // nothing to inflate — diagnose, mark the solution degraded, and skip
+  // the site (docs/ROBUSTNESS.md).
+  const layout::LayoutNode *RootDef = Def->root();
+  bool EmptyMerge = RootDef && RootDef->viewClassName().empty() &&
+                    RootDef->children().empty();
+  if (!GATOR_CHECK(RootDef != nullptr, &Diags,
+                   "layout definition with no root node; site skipped") ||
+      EmptyMerge) {
+    if (EmptyMerge)
+      Diags.warning(G.node(Op.OpNode).Loc,
+                    "layout '" + Def->name() +
+                        "' is an empty <merge/> with no inflatable root; "
+                        "site skipped");
+    Sol.markDegraded();
+    Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+    InflatedAt.emplace(Key, InvalidNode);
+    return InvalidNode;
+  }
+
   ++Stats.InflationCount;
 
   // Mint a fresh subtree of ViewInfl nodes for this (site, layout) pair.
@@ -300,7 +322,13 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
       Work.push_back({Child.get(), ViewNode});
   }
 
-  assert(Root != InvalidNode && "layout with no root");
+  if (!GATOR_CHECK(Root != InvalidNode, &Diags,
+                   "layout walk minted no root view; site skipped")) {
+    Sol.markDegraded();
+    Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+    InflatedAt.emplace(Key, InvalidNode);
+    return InvalidNode;
+  }
   // Record the inflation origin: view => layoutId, per Section 4.1.
   G.addRootsLayoutEdge(Root, LayoutIdNode);
 
@@ -402,7 +430,13 @@ void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
 
 void Solver::fireSetListener(OpSite &Op) {
   // Rule SETLISTENER: view.setOnXListener(listener).
-  assert(Op.Spec.Listener && "SetListener op without spec");
+  if (!GATOR_CHECK(Op.Spec.Listener != nullptr, &Diags,
+                   "SetListener op without listener spec; site skipped")) {
+    Sol.markDegraded();
+    Sol.noteUnresolvedOp(
+        static_cast<uint32_t>(&Op - Sol.opSites().data()));
+    return;
+  }
   for (NodeId V : Sol.viewsAt(Op.Recv))
     for (NodeId L : Sol.listenerValuesAt(Op.ValArg))
       if (G.addListenerEdge(V, L) && Options.ModelListenerCallbacks)
@@ -611,7 +645,7 @@ SolverStats Solver::solve() {
   registerOpUses();
   seedValueNodes();
 
-  unsigned long Budget = Options.MaxWorkItems;
+  support::BudgetTracker Tracker(Options.Budget);
   for (;;) {
     if (VarWorklist.empty() && OpWorklist.empty()) {
       // Quiescent: apply structure-driven models once per structure
@@ -621,6 +655,9 @@ SolverStats Solver::solve() {
       // added edge.
       if (!StructureDirty)
         break;
+      if (!Tracker.checkpoint(G.size(), G.flowEdgeCount() +
+                                            G.parentChildEdgeCount()))
+        break;
       StructureDirty = false;
       ++Stats.StructureRounds;
       if (Options.DeltaPropagation)
@@ -629,11 +666,8 @@ SolverStats Solver::solve() {
       sweepXmlOnClickHandlers();
       continue;
     }
-    if (Budget-- == 0) {
-      Stats.HitWorkLimit = true;
-      Diags.warning("solver work limit reached; solution may be incomplete");
+    if (!Tracker.charge())
       break;
-    }
     if (!VarWorklist.empty()) {
       NodeId N = VarWorklist.front();
       VarWorklist.pop_front();
@@ -641,10 +675,30 @@ SolverStats Solver::solve() {
       propagate(N);
       continue;
     }
+    // Op firings grow the graph (inflation mints whole subtrees), so the
+    // node/edge caps are probed here rather than per propagation.
+    if (!Tracker.checkpoint(G.size(),
+                            G.flowEdgeCount() + G.parentChildEdgeCount()))
+      break;
     size_t OpIndex = OpWorklist.front();
     OpWorklist.pop_front();
     InOpWorklist[OpIndex] = false;
     fireOp(OpIndex);
+  }
+
+  Stats.WorkCharged = Tracker.workCharged();
+  if (Tracker.exhausted()) {
+    // Fail-soft: keep everything computed so far, mark the solution as a
+    // truncated under-approximation, and record which op sites were
+    // still pending so clients can see what is unresolved.
+    Stats.HitWorkLimit = true;
+    Stats.BudgetTripped = Tracker.reason();
+    for (size_t OpIndex : OpWorklist)
+      Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+    Sol.markTruncated(Tracker.reason());
+    Diags.warning(std::string("solver budget exhausted (") +
+                  support::budgetReasonName(Tracker.reason()) +
+                  "); solution is a partial under-approximation");
   }
 
   // Set-shape and cache telemetry for AppStats / the benches.

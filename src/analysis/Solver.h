@@ -25,6 +25,7 @@
 #include "graph/ConstraintGraph.h"
 #include "hier/ClassHierarchy.h"
 #include "layout/Layout.h"
+#include "support/Budget.h"
 
 #include <deque>
 #include <unordered_map>
@@ -51,7 +52,13 @@ struct SolverStats {
   unsigned long DescCacheMisses = 0; ///< descendantsOf recomputes
   unsigned long HierarchyRevisions = 0; ///< structure-edge invalidations
 
+  /// Work items successfully charged against the budget.
+  unsigned long WorkCharged = 0;
+
+  /// True when any budget limit stopped the solver early (kept under the
+  /// historical name; BudgetTripped carries the specific reason).
   bool HitWorkLimit = false;
+  support::BudgetReason BudgetTripped = support::BudgetReason::None;
 };
 
 /// Runs the fixed point over an already-built constraint graph.
@@ -163,7 +170,6 @@ private:
   std::unordered_set<uint64_t> FragmentWired;
 
   SolverStats Stats;
-  unsigned long WorkBudget = 0;
   /// Set by structure growth; triggers the XML onClick sweep when the
   /// worklists drain.
   bool StructureDirty = false;

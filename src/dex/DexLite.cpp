@@ -2,6 +2,8 @@
 
 #include "dex/DexLite.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
 #include <cctype>
 #include <optional>
@@ -52,7 +54,14 @@ struct RawMethod {
   bool IsStatic = false;
   SourceLocation Loc;
   std::vector<RawInstr> Instrs;
+  /// Count from a '.registers N' directive; -1 when not declared.
+  long DeclaredRegs = -1;
 };
+
+/// The dex format caps both the '.registers' count and register indexes
+/// at 16 bits; anything larger in the text is a corrupt/oversized length
+/// field and is rejected rather than trusted.
+constexpr long MaxRegisterCount = 65535;
 
 struct RawField {
   std::string Name;
@@ -168,11 +177,29 @@ private:
            });
   }
 
-  /// Expects Tokens[I] to be a register; reports otherwise.
+  /// Expects Tokens[I] to be a register; reports otherwise. The index must
+  /// fit the 16-bit dex limit and, when the method declared '.registers N',
+  /// a vX index must lie below N.
   bool takeReg(const std::vector<std::string> &Tokens, size_t &I,
                std::string &Out) {
     if (I >= Tokens.size() || !isRegister(Tokens[I])) {
       error("expected register operand");
+      return false;
+    }
+    const std::string &Tok = Tokens[I];
+    // isRegister guarantees all digits after the v/p prefix; the length
+    // guard keeps stol well away from overflow.
+    long Index = Tok.size() - 1 > 6 ? MaxRegisterCount + 1
+                                    : std::stol(Tok.substr(1));
+    if (Index > MaxRegisterCount) {
+      error("register '" + Tok + "' exceeds the dex index limit of " +
+            std::to_string(MaxRegisterCount));
+      return false;
+    }
+    if (CurMethod && CurMethod->DeclaredRegs >= 0 && Tok[0] == 'v' &&
+        Index >= CurMethod->DeclaredRegs) {
+      error("register '" + Tok + "' outside the declared '.registers " +
+            std::to_string(CurMethod->DeclaredRegs) + "' range");
       return false;
     }
     Out = Tokens[I++];
@@ -337,9 +364,36 @@ private:
     }
 
     if (Head == ".registers") {
-      if (!CurMethod)
+      if (!CurMethod) {
         error("'.registers' outside a method");
-      return; // informational; registers materialize on demand
+        return;
+      }
+      if (Tokens.size() < 2) {
+        error("'.registers' missing a count");
+        return;
+      }
+      const std::string &Count = Tokens[1];
+      bool Numeric = !Count.empty() &&
+                     std::all_of(Count.begin(), Count.end(), [](char C) {
+                       return std::isdigit(static_cast<unsigned char>(C));
+                     });
+      if (!Numeric) {
+        error("'.registers' count '" + Count + "' is not a number");
+        return;
+      }
+      long N = Count.size() > 6 ? MaxRegisterCount + 1 : std::stol(Count);
+      if (N > MaxRegisterCount) {
+        error("'.registers' count '" + Count +
+              "' exceeds the dex limit of " +
+              std::to_string(MaxRegisterCount));
+        return;
+      }
+      if (CurMethod->DeclaredRegs >= 0) {
+        error("duplicate '.registers' directive");
+        return;
+      }
+      CurMethod->DeclaredRegs = N;
+      return;
     }
 
     if (!CurMethod) {
@@ -522,7 +576,12 @@ private:
   void lowerMethod(ClassDecl &C, const RawMethod &RM) {
     MethodDecl *M = C.findOwnMethod(
         RM.Name, static_cast<unsigned>(RM.ParamTypes.size()));
-    assert(M && "method declared in phase A");
+    if (!GATOR_CHECK(M != nullptr, &Diags,
+                     "method vanished between declaration and lowering; "
+                     "body skipped")) {
+      Ok = false;
+      return;
+    }
     if (RM.Instrs.empty()) {
       M->setAbstract(true);
       return;

@@ -2,8 +2,9 @@
 
 #include "graph/ConstraintGraph.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
 using namespace gator;
@@ -213,7 +214,11 @@ NodeId ConstraintGraph::makeViewInflNode(const ClassDecl *Klass,
 //===----------------------------------------------------------------------===//
 
 bool ConstraintGraph::addFlowEdge(NodeId From, NodeId To) {
-  assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
+  if (!GATOR_CHECK(From < Nodes.size() && To < Nodes.size(), Diags,
+                   "dangling node id on flow edge; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   std::vector<NodeId> &Succ = FlowSucc[From];
   if (Succ.size() <= SmallFlowDegree) {
     if (std::find(Succ.begin(), Succ.end(), To) != Succ.end())
@@ -233,7 +238,11 @@ bool ConstraintGraph::addFlowEdge(NodeId From, NodeId To) {
 }
 
 bool ConstraintGraph::addAssocEdge(AssocEdges &E, NodeId From, NodeId To) {
-  assert(From < Nodes.size() && To < Nodes.size() && "dangling node id");
+  if (!GATOR_CHECK(From < Nodes.size() && To < Nodes.size(), Diags,
+                   "dangling node id on relationship edge; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   if (E.Lists.size() <= From)
     E.Lists.resize(std::max<size_t>(From + 1, Nodes.size()));
   std::vector<NodeId> &List = E.Lists[From];
@@ -253,9 +262,16 @@ bool ConstraintGraph::addAssocEdge(AssocEdges &E, NodeId From, NodeId To) {
 }
 
 bool ConstraintGraph::addParentChildEdge(NodeId Parent, NodeId Child) {
-  assert(isViewNodeKind(Nodes[Parent].Kind) &&
-         isViewNodeKind(Nodes[Child].Kind) &&
-         "parent-child edges connect view nodes");
+  // Bounds before kinds: indexing Nodes with a dangling id is UB.
+  if (!GATOR_CHECK(Parent < Nodes.size() && Child < Nodes.size(), Diags,
+                   "dangling node id on parent-child edge; edge dropped") ||
+      !GATOR_CHECK(isViewNodeKind(Nodes[Parent].Kind) &&
+                       isViewNodeKind(Nodes[Child].Kind),
+                   Diags,
+                   "parent-child edge endpoints must be views; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   bool Added = addAssocEdge(ChildEdges, Parent, Child);
   if (Added) {
     ++NumParentChild;
@@ -265,8 +281,15 @@ bool ConstraintGraph::addParentChildEdge(NodeId Parent, NodeId Child) {
 }
 
 bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
-  assert(isViewNodeKind(Nodes[View].Kind) && "has-id edge from non-view");
-  assert(Nodes[ViewIdNode].Kind == NodeKind::ViewId && "target not a ViewId");
+  if (!GATOR_CHECK(View < Nodes.size() && ViewIdNode < Nodes.size(), Diags,
+                   "dangling node id on has-id edge; edge dropped") ||
+      !GATOR_CHECK(isViewNodeKind(Nodes[View].Kind), Diags,
+                   "has-id edge from non-view; edge dropped") ||
+      !GATOR_CHECK(Nodes[ViewIdNode].Kind == NodeKind::ViewId, Diags,
+                   "has-id edge target is not a ViewId; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   bool Added = addAssocEdge(HasIdEdges, View, ViewIdNode);
   if (Added) {
     if (ViewsByIdTable.size() <= ViewIdNode)
@@ -277,7 +300,13 @@ bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
 }
 
 bool ConstraintGraph::addRootEdge(NodeId Activity, NodeId View) {
-  assert(isViewNodeKind(Nodes[View].Kind) && "root edge to non-view");
+  if (!GATOR_CHECK(Activity < Nodes.size() && View < Nodes.size(), Diags,
+                   "dangling node id on root edge; edge dropped") ||
+      !GATOR_CHECK(isViewNodeKind(Nodes[View].Kind), Diags,
+                   "root edge to non-view; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   bool Added = addAssocEdge(RootEdges, Activity, View);
   if (Added)
     ++HierarchyRev;
@@ -285,13 +314,24 @@ bool ConstraintGraph::addRootEdge(NodeId Activity, NodeId View) {
 }
 
 bool ConstraintGraph::addListenerEdge(NodeId View, NodeId ListenerValue) {
-  assert(isViewNodeKind(Nodes[View].Kind) && "listener edge from non-view");
+  if (!GATOR_CHECK(View < Nodes.size() && ListenerValue < Nodes.size(), Diags,
+                   "dangling node id on listener edge; edge dropped") ||
+      !GATOR_CHECK(isViewNodeKind(Nodes[View].Kind), Diags,
+                   "listener edge from non-view; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   return addAssocEdge(ListenerEdges, View, ListenerValue);
 }
 
 bool ConstraintGraph::addRootsLayoutEdge(NodeId View, NodeId LayoutIdNode) {
-  assert(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId &&
-         "target not a LayoutId");
+  if (!GATOR_CHECK(View < Nodes.size() && LayoutIdNode < Nodes.size(), Diags,
+                   "dangling node id on roots-layout edge; edge dropped") ||
+      !GATOR_CHECK(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId, Diags,
+                   "roots-layout edge target is not a LayoutId; edge dropped")) {
+    ++DroppedInvariants;
+    return false;
+  }
   return addAssocEdge(RootsLayoutEdges, View, LayoutIdNode);
 }
 

@@ -38,6 +38,9 @@
 #include <vector>
 
 namespace gator {
+
+class DiagnosticEngine;
+
 namespace graph {
 
 using NodeId = uint32_t;
@@ -147,6 +150,18 @@ public:
 
   /// Human-readable label (e.g. "ViewFlipper@act_console", "FindView1:13").
   std::string label(NodeId Id) const;
+
+  //===--------------------------------------------------------------------===//
+  // Recoverable invariants (docs/ROBUSTNESS.md)
+  //===--------------------------------------------------------------------===//
+
+  /// Routes recoverable-invariant reports (edge drops on dangling ids or
+  /// kind mismatches) through \p D. Not owned; null silences reporting but
+  /// malformed edges are still dropped and counted.
+  void setDiagnostics(DiagnosticEngine *D) { Diags = D; }
+
+  /// Edges rejected because a recoverable invariant failed.
+  unsigned long droppedInvariants() const { return DroppedInvariants; }
 
   //===--------------------------------------------------------------------===//
   // Flow edges (->)
@@ -313,6 +328,9 @@ private:
   mutable uint32_t DescSeenGen = 0;
 
   std::vector<NodeId> EmptyList;
+
+  DiagnosticEngine *Diags = nullptr;
+  unsigned long DroppedInvariants = 0;
 };
 
 } // namespace graph

@@ -2,16 +2,21 @@
 
 #include "hier/ClassHierarchy.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
 
 using namespace gator;
 using namespace gator::hier;
 using namespace gator::ir;
 
-ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
-  assert(P.isResolved() && "ClassHierarchy requires a resolved program");
+ClassHierarchy::ClassHierarchy(const Program &P, DiagnosticEngine *Diags)
+    : P(P) {
+  if (!GATOR_CHECK(P.isResolved(), Diags,
+                   "ClassHierarchy built over an unresolved program; "
+                   "hierarchy left empty"))
+    return;
 
   // For each class, register it as a subtype of every supertype reachable
   // through extends/implements edges (including itself). Tables are

@@ -23,13 +23,20 @@
 #include <vector>
 
 namespace gator {
+
+class DiagnosticEngine;
+
 namespace hier {
 
 /// Precomputed subtype sets and CHA call resolution.
 class ClassHierarchy {
 public:
-  /// Builds the hierarchy index. \p P must be resolved.
-  explicit ClassHierarchy(const ir::Program &P);
+  /// Builds the hierarchy index. \p P must be resolved; an unresolved
+  /// program is a recoverable invariant failure (reported through \p Diags
+  /// when non-null) that yields an empty hierarchy — every query then
+  /// returns the conservative empty answer instead of invoking UB.
+  explicit ClassHierarchy(const ir::Program &P,
+                          DiagnosticEngine *Diags = nullptr);
 
   const ir::Program &program() const { return P; }
 

@@ -1,0 +1,42 @@
+//===- Check.cpp - Recoverable invariant checks -----------------*- C++ -*-===//
+
+#include "support/Check.h"
+
+#include "support/Diagnostics.h"
+
+#include <atomic>
+#include <string>
+
+using namespace gator;
+
+namespace {
+std::atomic<unsigned long> TotalCheckFailures{0};
+} // namespace
+
+bool gator::support::checkFailed(DiagnosticEngine *Diags,
+                                 const char *Condition, const char *File,
+                                 int Line, const char *Message) {
+  TotalCheckFailures.fetch_add(1, std::memory_order_relaxed);
+  if (Diags) {
+    std::string Text = "recoverable invariant violated: ";
+    Text += Message;
+    Text += " [";
+    Text += Condition;
+    Text += " at ";
+    // Strip the directory: the file:line is for maintainers, not users.
+    const char *Base = File;
+    for (const char *P = File; *P; ++P)
+      if (*P == '/' || *P == '\\')
+        Base = P + 1;
+    Text += Base;
+    Text += ':';
+    Text += std::to_string(Line);
+    Text += ']';
+    Diags->noteCheckFailure(std::move(Text));
+  }
+  return false;
+}
+
+unsigned long gator::support::checkFailureTotal() {
+  return TotalCheckFailures.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,56 @@
+//===- Check.h - Recoverable invariant checks -------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GATOR_CHECK: the recoverable replacement for `assert()` on invariants
+/// that malformed *input* can violate (docs/ROBUSTNESS.md). A plain
+/// assert is undefined behavior in Release builds; GATOR_CHECK instead
+/// reports through the DiagnosticEngine (when one is reachable) and
+/// evaluates to the condition, so the caller can degrade — skip the op,
+/// drop the edge — and the pipeline keeps its fail-soft contract.
+///
+/// Usage:
+/// \code
+///   if (!GATOR_CHECK(From < Nodes.size(), Diags, "dangling node id"))
+///     return false; // drop the edge instead of indexing out of bounds
+/// \endcode
+///
+/// The second argument is a `DiagnosticEngine *` and may be null; every
+/// failure additionally bumps a process-wide counter so test harnesses
+/// can assert no invariant fired even where no engine was wired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_CHECK_H
+#define GATOR_SUPPORT_CHECK_H
+
+namespace gator {
+
+class DiagnosticEngine;
+
+namespace support {
+
+/// Reports one failed recoverable invariant: a warning-severity
+/// diagnostic on \p Diags (when non-null) plus the process-wide counter.
+/// Always returns false so it composes as `(Cond) || checkFailed(...)`.
+bool checkFailed(DiagnosticEngine *Diags, const char *Condition,
+                 const char *File, int Line, const char *Message);
+
+/// Total GATOR_CHECK failures in this process (monotone; never reset).
+unsigned long checkFailureTotal();
+
+} // namespace support
+} // namespace gator
+
+/// Evaluates to \p Cond; on failure reports through \p DiagsPtr (a
+/// possibly-null DiagnosticEngine*) and returns false so the caller can
+/// degrade instead of hitting undefined behavior.
+#define GATOR_CHECK(Cond, DiagsPtr, Msg)                                       \
+  ((Cond) || ::gator::support::checkFailed((DiagsPtr), #Cond, __FILE__,        \
+                                           __LINE__, (Msg)))
+
+#endif // GATOR_SUPPORT_CHECK_H

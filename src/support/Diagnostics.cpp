@@ -37,4 +37,5 @@ void DiagnosticEngine::clear() {
   Diags.clear();
   ErrorCount = 0;
   WarningCount = 0;
+  CheckFailures = 0;
 }

@@ -57,9 +57,18 @@ public:
     report(DiagSeverity::Note, std::move(Loc), std::move(Message));
   }
 
+  /// Records one failed recoverable invariant (GATOR_CHECK): a warning
+  /// plus a dedicated counter so fidelity marking can distinguish
+  /// degraded-input runs from merely chatty ones.
+  void noteCheckFailure(std::string Message) {
+    ++CheckFailures;
+    warning(std::move(Message));
+  }
+
   bool hasErrors() const { return ErrorCount != 0; }
   unsigned errorCount() const { return ErrorCount; }
   unsigned warningCount() const { return WarningCount; }
+  unsigned checkFailureCount() const { return CheckFailures; }
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
@@ -73,6 +82,7 @@ private:
   std::vector<Diagnostic> Diags;
   unsigned ErrorCount = 0;
   unsigned WarningCount = 0;
+  unsigned CheckFailures = 0;
 };
 
 } // namespace gator

@@ -1,0 +1,50 @@
+//===- FaultInjection.cpp - Deterministic fault injection -------*- C++ -*-===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+
+using namespace gator;
+using namespace gator::support;
+
+std::string gator::support::truncateInput(std::string_view Input,
+                                          uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  size_t Keep = static_cast<size_t>(Rng.below(Input.size() + 1));
+  return std::string(Input.substr(0, Keep));
+}
+
+std::string gator::support::corruptInput(std::string_view Input,
+                                         uint64_t Seed, unsigned Flips) {
+  std::string Out(Input);
+  if (Out.empty())
+    return Out;
+  SplitMix64 Rng(Seed);
+  for (unsigned I = 0; I < Flips; ++I) {
+    size_t Pos = static_cast<size_t>(Rng.below(Out.size()));
+    unsigned Bit = static_cast<unsigned>(Rng.below(8));
+    Out[Pos] = static_cast<char>(static_cast<unsigned char>(Out[Pos]) ^
+                                 (1u << Bit));
+  }
+  return Out;
+}
+
+namespace {
+/// 0 = disarmed; otherwise the armed step + 1 (so step 0 is expressible).
+std::atomic<unsigned long> ForcedTripPlusOne{0};
+} // namespace
+
+void gator::support::armForcedBudgetTrip(unsigned long StepN) {
+  ForcedTripPlusOne.store(StepN + 1, std::memory_order_relaxed);
+}
+
+void gator::support::disarmForcedBudgetTrip() {
+  ForcedTripPlusOne.store(0, std::memory_order_relaxed);
+}
+
+std::optional<unsigned long> gator::support::forcedBudgetTripStep() {
+  unsigned long V = ForcedTripPlusOne.load(std::memory_order_relaxed);
+  if (V == 0)
+    return std::nullopt;
+  return V - 1;
+}

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 using namespace gator;
 using namespace gator::analysis;
 using namespace gator::graph;
@@ -286,6 +288,85 @@ TEST(DexLiteTest, MissingEndMethodIsError) {
 
 TEST(DexLiteTest, DuplicateClassIsError) {
   expectDexError(".class A\n.end class\n.class A\n.end class\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Register-bounds and truncation hardening (docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+
+TEST(DexLiteTest, RegistersDirectiveOutsideMethodIsError) {
+  expectDexError(".class A\n  .registers 4\n.end class\n");
+}
+
+TEST(DexLiteTest, RegistersDirectiveMissingCountIsError) {
+  expectDexError(".class A\n.method m() void\n  .registers\n"
+                 ".end method\n.end class\n");
+}
+
+TEST(DexLiteTest, RegistersDirectiveNonNumericCountIsError) {
+  expectDexError(".class A\n.method m() void\n  .registers lots\n"
+                 ".end method\n.end class\n");
+}
+
+TEST(DexLiteTest, RegistersDirectiveOversizedCountIsError) {
+  // The dex format caps a method at 65535 registers; a length field above
+  // that (or wildly above, overflowing a naive parse) must be rejected.
+  expectDexError(".class A\n.method m() void\n  .registers 65536\n"
+                 ".end method\n.end class\n");
+  expectDexError(".class A\n.method m() void\n"
+                 "  .registers 99999999999999999999\n"
+                 ".end method\n.end class\n");
+}
+
+TEST(DexLiteTest, DuplicateRegistersDirectiveIsError) {
+  expectDexError(".class A\n.method m() void\n  .registers 2\n"
+                 "  .registers 2\n.end method\n.end class\n");
+}
+
+TEST(DexLiteTest, RegisterIndexOverDexLimitIsError) {
+  expectDexError(".class A\n.method m() void\n  const-null v70000\n"
+                 ".end method\n.end class\n");
+  expectDexError(".class A\n.method m() void\n"
+                 "  const-null v99999999999999999999\n"
+                 ".end method\n.end class\n");
+}
+
+TEST(DexLiteTest, RegisterOutsideDeclaredRangeIsError) {
+  expectDexError(".class A\n.method m() void\n  .registers 2\n"
+                 "  const-null v2\n.end method\n.end class\n");
+}
+
+TEST(DexLiteTest, RegistersWithinDeclaredRangeParse) {
+  auto App = makeDexBundle(R"(
+.class A extends android.app.Activity
+  .method onCreate() void
+    .registers 2
+    const-null v0
+    move v1, v0
+    return-void
+  .end method
+.end class
+)");
+  EXPECT_NE(App->Program.findClass("A"), nullptr);
+}
+
+TEST(DexLiteTest, MalformedFixturesDiagnoseNotCrash) {
+  // Every fixture is a distinct early-exit path of the reader; each must
+  // produce an error diagnostic, never UB or a crash.
+  const char *Fixtures[] = {
+      "truncated_method.dexlite",   "truncated_class.dexlite",
+      "oversized_registers.dexlite", "register_out_of_range.dexlite",
+      "duplicate_registers.dexlite",
+  };
+  for (const char *Name : Fixtures) {
+    SCOPED_TRACE(Name);
+    std::ifstream In(std::string(GATOR_SOURCE_DIR) + "/tests/fixtures/" +
+                     Name);
+    ASSERT_TRUE(In.good()) << "missing fixture " << Name;
+    std::ostringstream OS;
+    OS << In.rdbuf();
+    expectDexError(OS.str());
+  }
 }
 
 } // namespace

@@ -27,11 +27,13 @@ TEST(EdgeCaseTest, WorkLimitStopsSolverGracefully) {
   auto App = corpus::buildConnectBotExample();
   ASSERT_TRUE(App && !App->Diags.hasErrors());
   AnalysisOptions Options;
-  Options.MaxWorkItems = 3; // absurdly small
+  Options.Budget.MaxWorkItems = 3; // absurdly small
   auto R = analysis::GuiAnalysis::run(App->Program, *App->Layouts,
                                       App->Android, Options, App->Diags);
   ASSERT_TRUE(R);
   EXPECT_TRUE(R->Stats.HitWorkLimit);
+  EXPECT_EQ(R->Stats.BudgetTripped, support::BudgetReason::WorkItems);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
   EXPECT_GE(App->Diags.warningCount(), 1u);
 }
 

@@ -1,0 +1,356 @@
+//===- fault_injection_test.cpp - Fail-soft robustness harness --*- C++ -*-===//
+//
+// Deterministic fault-injection sweep over the analysis pipeline
+// (docs/ROBUSTNESS.md). Every test enforces the same contract: no input
+// and no budget may crash the pipeline; the result is always an
+// internally consistent Solution whose fidelity marker says how much to
+// trust it.
+//
+//  - degenerate layouts (empty <merge/>) degrade, identically in both
+//    solver engines;
+//  - work/node/edge budgets and cooperative cancellation truncate, in
+//    both DeltaPropagation modes, and SolutionChecker accepts the
+//    partial solution;
+//  - a forced budget trip swept over cut points 0..N exercises arbitrary
+//    partial-solution states;
+//  - seeded (SplitMix64) truncation and bit-flip corruption of the
+//    sample_full_app inputs (ALite, DexLite, layout XML, manifest) must
+//    surface as diagnostics, never as crashes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PhasedSolver.h"
+#include "analysis/SolutionChecker.h"
+#include "android/Manifest.h"
+#include "corpus/Corpus.h"
+#include "dex/DexLite.h"
+#include "support/FaultInjection.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::graph;
+using namespace gator::support;
+using namespace gator::test;
+
+namespace {
+
+/// An activity that inflates an empty <merge/> layout: the degenerate
+/// input of the Solver "layout with no root" regression.
+const char *EmptyMergeSource = R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    lid := @layout/empty;
+    this.setContentView(lid);
+  }
+}
+)";
+
+const std::vector<std::pair<std::string, std::string>> EmptyMergeLayouts = {
+    {"empty", "<merge/>"}};
+
+void expectEmptyMergeDegradation(corpus::AppBundle &App,
+                                 const AnalysisResult &R) {
+  EXPECT_EQ(R.Sol->fidelity(), Fidelity::DegradedInput);
+  EXPECT_EQ(R.Sol->unresolvedOps().size(), 1u);
+  EXPECT_GE(App.Diags.warningCount(), 1u);
+  bool SawWarning = false;
+  for (const Diagnostic &D : App.Diags.diagnostics())
+    SawWarning |= D.Message.find("empty <merge/>") != std::string::npos;
+  EXPECT_TRUE(SawWarning) << "expected an empty-merge diagnostic";
+  // The skipped site minted nothing: no inflated views anywhere.
+  for (NodeId Id = 0; Id < R.Graph->size(); ++Id)
+    EXPECT_NE(R.Graph->node(Id).Kind, NodeKind::ViewInfl);
+  EXPECT_TRUE(checkSolutionClosure(R).empty());
+}
+
+TEST(EmptyMergeTest, FusedEngineSkipsSiteWithDiagnostic) {
+  auto App = makeBundle(EmptyMergeSource, EmptyMergeLayouts);
+  auto R = runAnalysis(*App);
+  ASSERT_TRUE(R);
+  expectEmptyMergeDegradation(*App, *R);
+}
+
+TEST(EmptyMergeTest, PhasedEngineSkipsSiteWithDiagnostic) {
+  auto App = makeBundle(EmptyMergeSource, EmptyMergeLayouts);
+  auto R = runPhasedAnalysis(App->Program, *App->Layouts, App->Android,
+                             AnalysisOptions(), App->Diags);
+  ASSERT_TRUE(R);
+  expectEmptyMergeDegradation(*App, *R);
+}
+
+TEST(EmptyMergeTest, HealthyLayoutsStillResolveAlongside) {
+  // A degenerate layout must not poison sibling sites: the good layout
+  // inflates normally while the empty merge is skipped.
+  auto App = makeBundle(R"(
+class A extends android.app.Activity {
+  method onCreate() {
+    var good: int;
+    var bad: int;
+    good := @layout/main;
+    this.setContentView(good);
+    bad := @layout/empty;
+    this.setContentView(bad);
+  }
+}
+)",
+                        {{"main", "<LinearLayout/>"}, {"empty", "<merge/>"}});
+  auto R = runAnalysis(*App);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::DegradedInput);
+  EXPECT_EQ(R->Sol->unresolvedOps().size(), 1u);
+  unsigned InflViews = 0;
+  for (NodeId Id = 0; Id < R->Graph->size(); ++Id)
+    InflViews += R->Graph->node(Id).Kind == NodeKind::ViewInfl;
+  EXPECT_EQ(InflViews, 1u);
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Budget trips
+//===----------------------------------------------------------------------===//
+
+AnalysisOptions withMode(bool Delta, AnalysisOptions Options = {}) {
+  Options.DeltaPropagation = Delta;
+  return Options;
+}
+
+class BudgetTrip : public ::testing::TestWithParam<bool> {
+protected:
+  bool delta() const { return GetParam(); }
+};
+
+TEST_P(BudgetTrip, WorkBudgetMarksTruncated) {
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  AnalysisOptions Options = withMode(delta());
+  Options.Budget.MaxWorkItems = 8;
+  auto R = runAnalysis(*App.Bundle, Options);
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Stats.HitWorkLimit);
+  EXPECT_EQ(R->Stats.BudgetTripped, BudgetReason::WorkItems);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
+  EXPECT_EQ(R->Sol->truncationReason(), BudgetReason::WorkItems);
+  EXPECT_LE(R->Stats.WorkCharged, 8ul);
+  EXPECT_FALSE(R->Sol->unresolvedOps().empty());
+  EXPECT_TRUE(checkSolutionClosure(*R).empty())
+      << "checker must accept the truncated solution";
+}
+
+TEST_P(BudgetTrip, NodeCapMarksTruncated) {
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  AnalysisOptions Options = withMode(delta());
+  Options.Budget.MaxGraphNodes = 4; // far below any built graph
+  auto R = runAnalysis(*App.Bundle, Options);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
+  EXPECT_EQ(R->Sol->truncationReason(), BudgetReason::GraphNodes);
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+TEST_P(BudgetTrip, EdgeCapMarksTruncated) {
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  AnalysisOptions Options = withMode(delta());
+  Options.Budget.MaxGraphEdges = 1;
+  auto R = runAnalysis(*App.Bundle, Options);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
+  EXPECT_EQ(R->Sol->truncationReason(), BudgetReason::GraphEdges);
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+TEST_P(BudgetTrip, CancellationMarksTruncated) {
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  std::atomic<bool> Cancel{true};
+  AnalysisOptions Options = withMode(delta());
+  Options.Budget.CancelFlag = &Cancel;
+  auto R = runAnalysis(*App.Bundle, Options);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
+  EXPECT_EQ(R->Sol->truncationReason(), BudgetReason::Cancelled);
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+TEST_P(BudgetTrip, GenerousBudgetStaysComplete) {
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  AnalysisOptions Options = withMode(delta());
+  Options.Budget.MaxWorkItems = 50'000'000;
+  auto R = runAnalysis(*App.Bundle, Options);
+  ASSERT_TRUE(R);
+  EXPECT_FALSE(R->Stats.HitWorkLimit);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::Complete);
+  EXPECT_TRUE(R->Sol->unresolvedOps().empty());
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BudgetTrip, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &Info) {
+                           return Info.param ? "Delta" : "Naive";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Forced budget trips: cut the solver at every early step
+//===----------------------------------------------------------------------===//
+
+TEST(ForcedTripSweep, EveryCutPointYieldsConsistentSolution) {
+  for (bool Delta : {true, false}) {
+    for (unsigned long Step = 0; Step <= 64; Step += Delta ? 1 : 4) {
+      ScopedForcedBudgetTrip Trip(Step);
+      GeneratedApp App = generateApp(paperCorpus()[0]);
+      auto R = runAnalysis(*App.Bundle, withMode(Delta));
+      ASSERT_TRUE(R);
+      EXPECT_LE(R->Stats.WorkCharged, Step);
+      EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget)
+          << "mode=" << (Delta ? "delta" : "naive") << " step=" << Step;
+      EXPECT_TRUE(checkSolutionClosure(*R).empty())
+          << "mode=" << (Delta ? "delta" : "naive") << " step=" << Step;
+    }
+  }
+}
+
+TEST(ForcedTripSweep, DisarmRestoresCompleteRuns) {
+  armForcedBudgetTrip(0);
+  disarmForcedBudgetTrip();
+  EXPECT_FALSE(forcedBudgetTripStep().has_value());
+  GeneratedApp App = generateApp(paperCorpus()[0]);
+  auto R = runAnalysis(*App.Bundle);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Sol->fidelity(), Fidelity::Complete);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus budget sweep: both engines' fused modes over every paper app
+//===----------------------------------------------------------------------===//
+
+class CorpusBudgetSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorpusBudgetSweep, TruncatedSolutionsStayConsistent) {
+  const AppSpec &Spec = paperCorpus()[GetParam()];
+  for (bool Delta : {true, false}) {
+    for (unsigned long Work : {1ul, 16ul, 256ul}) {
+      GeneratedApp App = generateApp(Spec);
+      AnalysisOptions Options = withMode(Delta);
+      Options.Budget.MaxWorkItems = Work;
+      auto R = runAnalysis(*App.Bundle, Options);
+      ASSERT_TRUE(R);
+      if (R->Stats.HitWorkLimit)
+        EXPECT_EQ(R->Sol->fidelity(), Fidelity::TruncatedBudget);
+      else
+        EXPECT_EQ(R->Sol->fidelity(), Fidelity::Complete);
+      EXPECT_TRUE(checkSolutionClosure(*R).empty())
+          << Spec.Name << " mode=" << (Delta ? "delta" : "naive")
+          << " work=" << Work;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCorpus, CorpusBudgetSweep, ::testing::Range<size_t>(0, 20),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return paperCorpus()[Info.param].Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Seeded input-mutation sweep over examples/sample_full_app
+//===----------------------------------------------------------------------===//
+
+std::string readFileOrFail(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+std::string sampleAppPath(const std::string &File) {
+  return std::string(GATOR_SOURCE_DIR) + "/examples/sample_full_app/" + File;
+}
+
+enum class InputKind { Alite, DexLite, LayoutXml, ManifestXml };
+
+struct SampleInput {
+  const char *File;
+  InputKind Kind;
+};
+
+const SampleInput SampleInputs[] = {
+    {"app.alite", InputKind::Alite},
+    {"rows.dexlite", InputKind::DexLite},
+    {"home.xml", InputKind::LayoutXml},
+    {"results.xml", InputKind::LayoutXml},
+    {"row.xml", InputKind::LayoutXml},
+    {"AndroidManifest.xml", InputKind::ManifestXml},
+};
+
+/// Feeds one (possibly mutated) input through the full pipeline: parse,
+/// finalize, analyze. The contract under test is crash-freedom plus
+/// consistency, not acceptance — a mutation may happen to stay legal.
+void runPipelineOnMutatedInput(const SampleInput &Input,
+                               const std::string &Text, uint64_t Seed) {
+  SCOPED_TRACE(std::string(Input.File) + " seed=" + std::to_string(Seed));
+  corpus::AppBundle App;
+  App.Android.install(App.Program);
+  bool Ok = true;
+  switch (Input.Kind) {
+  case InputKind::Alite:
+    Ok = parser::parseAlite(Text, Input.File, App.Program, App.Diags);
+    break;
+  case InputKind::DexLite:
+    Ok = dex::parseDexLite(Text, Input.File, App.Program, App.Diags);
+    break;
+  case InputKind::LayoutXml:
+    Ok = layout::readLayoutXml(*App.Layouts, "mutated", Text, App.Diags) !=
+         nullptr;
+    break;
+  case InputKind::ManifestXml:
+    Ok = android::parseManifest(Text, Input.File, App.Diags).has_value();
+    break;
+  }
+  if (!Ok || App.Diags.hasErrors()) {
+    // Rejected input must say why.
+    EXPECT_TRUE(App.Diags.hasErrors());
+    return;
+  }
+  if (!App.finalize())
+    return; // degraded but diagnosed; not analyzable
+  auto R = GuiAnalysis::run(App.Program, *App.Layouts, App.Android,
+                            AnalysisOptions(), App.Diags);
+  ASSERT_TRUE(R) << "pipeline must be fail-soft";
+  EXPECT_TRUE(checkSolutionClosure(*R).empty());
+}
+
+TEST(MutationSweep, TruncatedInputsDiagnoseNotCrash) {
+  for (const SampleInput &Input : SampleInputs) {
+    std::string Original = readFileOrFail(sampleAppPath(Input.File));
+    for (uint64_t Seed = 0; Seed < 24; ++Seed)
+      runPipelineOnMutatedInput(Input, truncateInput(Original, Seed), Seed);
+  }
+}
+
+TEST(MutationSweep, CorruptedInputsDiagnoseNotCrash) {
+  for (const SampleInput &Input : SampleInputs) {
+    std::string Original = readFileOrFail(sampleAppPath(Input.File));
+    for (uint64_t Seed = 0; Seed < 24; ++Seed)
+      runPipelineOnMutatedInput(Input, corruptInput(Original, Seed), Seed);
+  }
+}
+
+TEST(MutationSweep, MutatorsAreDeterministic) {
+  std::string Original = readFileOrFail(sampleAppPath("app.alite"));
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    EXPECT_EQ(truncateInput(Original, Seed), truncateInput(Original, Seed));
+    EXPECT_EQ(corruptInput(Original, Seed), corruptInput(Original, Seed));
+  }
+}
+
+} // namespace
