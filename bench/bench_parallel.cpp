@@ -1,0 +1,147 @@
+//===- bench_parallel.cpp - Strong-scaling sweep of the batch engine ------===//
+//
+// Measures the parallel batch-analysis engine (docs/PARALLEL.md) end to
+// end: the 20-app paper corpus and a synthetic 200-app batch, each swept
+// over 1/2/4/8 workers. Reports wall time, speedup vs -j 1, parallel
+// efficiency, and the per-worker task split, and cross-checks that the
+// aggregate solver counters are identical at every job count (the
+// determinism contract — parallelism must never change a result).
+//
+// Results are recorded in bench/BENCH_parallel.json. On a single-core
+// container the sweep degenerates to an overhead measurement: every job
+// count should take about the -j 1 time (the scheduler just interleaves),
+// and the counter cross-check is the meaningful signal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BatchRunner.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::corpus;
+using namespace gator::support;
+
+namespace {
+
+/// The synthetic 200-app batch: small apps (a few activities each) whose
+/// per-app solve is quick, so scheduling overhead is a visible fraction —
+/// the stress case for the task queue rather than the solver.
+std::vector<AppSpec> syntheticBatch(unsigned Count) {
+  std::vector<AppSpec> Specs;
+  Specs.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    AppSpec Spec;
+    Spec.Name = "Synth" + std::to_string(I);
+    Spec.Seed = 1000 + I;
+    Spec.Activities = 2 + I % 3;
+    Spec.FillerClasses = 4;
+    Spec.ViewsPerLayout = 6;
+    Spec.IdsPerLayout = 4;
+    Spec.DirectFindsPerActivity = 2;
+    Spec.ListenersPerActivity = 1;
+    Spec.ProgViewsPerActivity = 1;
+    Specs.push_back(Spec);
+  }
+  return Specs;
+}
+
+/// One counter line summing the whole batch; any divergence across job
+/// counts is a determinism bug.
+std::string aggregateLine(const std::vector<BatchAppResult> &Batch) {
+  std::vector<AppStats> PerApp;
+  for (const BatchAppResult &R : Batch)
+    if (!R.GenerationFailed)
+      PerApp.push_back(R.Stats);
+  AppStats A = aggregateAppStats("TOTAL", PerApp);
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "apps=%zu propagate=%lu opFire=%lu pushed=%lu work=%lu "
+                "unresolved=%lu",
+                PerApp.size(), A.Propagations, A.OpFirings, A.ValuesPushed,
+                A.WorkCharged, A.UnresolvedOps);
+  return Buf;
+}
+
+struct SweepPoint {
+  unsigned Jobs = 1;
+  double Seconds = 0.0;
+  std::vector<unsigned long> TasksPerWorker;
+  std::string Counters;
+};
+
+std::vector<SweepPoint> sweep(const char *Label,
+                              const std::vector<AppSpec> &Specs,
+                              const std::vector<unsigned> &JobValues) {
+  std::printf("%s (%zu apps)\n", Label, Specs.size());
+  std::printf("%6s %10s %9s %11s  %s\n", "jobs", "time(s)", "speedup",
+              "efficiency", "tasks/worker");
+  std::vector<SweepPoint> Points;
+  double Baseline = 0.0;
+  for (unsigned Jobs : JobValues) {
+    AnalysisOptions Options;
+    Options.Jobs = Jobs;
+    ParallelForStats Stats;
+    Timer T;
+    std::vector<BatchAppResult> Batch =
+        analyzeCorpus(Specs, Options, &Stats, /*KeepArtifacts=*/false);
+    SweepPoint P;
+    P.Jobs = Jobs;
+    P.Seconds = T.seconds();
+    P.TasksPerWorker = Stats.TasksPerWorker;
+    P.Counters = aggregateLine(Batch);
+    if (Points.empty())
+      Baseline = P.Seconds;
+    double Speedup = Baseline / P.Seconds;
+    std::string Split;
+    for (unsigned long C : P.TasksPerWorker)
+      Split += (Split.empty() ? "" : "/") + std::to_string(C);
+    std::printf("%6u %10.3f %8.2fx %10.0f%%  %s\n", Jobs, P.Seconds, Speedup,
+                100.0 * Speedup / Stats.WorkersUsed, Split.c_str());
+    Points.push_back(std::move(P));
+  }
+  bool CountersAgree = true;
+  for (const SweepPoint &P : Points)
+    CountersAgree &= P.Counters == Points.front().Counters;
+  std::printf("counters: %s -> %s\n\n", Points.front().Counters.c_str(),
+              CountersAgree ? "identical at every job count"
+                            : "DIVERGED (determinism bug!)");
+  return Points;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Strong-scaling sweep of the parallel batch engine "
+              "(docs/PARALLEL.md)\n");
+  std::printf("hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const std::vector<unsigned> JobValues = {1, 2, 4, 8};
+  std::vector<SweepPoint> Corpus =
+      sweep("paper corpus", paperCorpus(), JobValues);
+  std::vector<SweepPoint> Synthetic =
+      sweep("synthetic batch", syntheticBatch(200), JobValues);
+
+  // Machine-readable tail for bench/BENCH_parallel.json.
+  std::printf("json: {");
+  const char *Sep = "";
+  for (const auto *Points : {&Corpus, &Synthetic}) {
+    std::printf("%s\"%s\": {", Sep,
+                Points == &Corpus ? "corpus20" : "synthetic200");
+    const char *Inner = "";
+    for (const SweepPoint &P : *Points) {
+      std::printf("%s\"j%u\": %.4f", Inner, P.Jobs, P.Seconds);
+      Inner = ", ";
+    }
+    std::printf("}");
+    Sep = ", ";
+  }
+  std::printf("}\n");
+  return 0;
+}

@@ -14,9 +14,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AppStats.h"
-#include "analysis/GuiAnalysis.h"
-#include "corpus/Corpus.h"
+#include "corpus/BatchRunner.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace gator;
@@ -31,26 +31,27 @@ int main() {
   unsigned AppsWithAllocViews = 0;
   unsigned AppsWithAddView = 0;
 
-  for (const AppSpec &Spec : paperCorpus()) {
-    GeneratedApp App = generateApp(Spec);
-    if (App.Bundle->Diags.hasErrors()) {
-      std::cerr << "generation failed for " << Spec.Name << "\n";
-      App.Bundle->Diags.print(std::cerr);
+  // The corpus-wide run goes through the parallel batch layer
+  // (docs/PARALLEL.md); GATOR_JOBS picks the worker count and never
+  // changes a single number below.
+  AnalysisOptions Options;
+  if (const char *Env = std::getenv("GATOR_JOBS"))
+    Options.Jobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  // Stats-only consumer: drop each app's bundle and solution inside the
+  // task so at most one app is resident per worker (KeepArtifacts=false).
+  std::vector<BatchAppResult> Batch =
+      analyzeCorpus(paperCorpus(), Options, nullptr, /*KeepArtifacts=*/false);
+
+  for (const BatchAppResult &R : Batch) {
+    if (R.GenerationFailed) {
+      std::cerr << "generation failed for " << R.Name << "\n";
+      R.App.Bundle->Diags.print(std::cerr);
       return 1;
     }
-    auto Result =
-        GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
-                         App.Bundle->Android, AnalysisOptions(),
-                         App.Bundle->Diags);
-    if (!Result) {
-      std::cerr << "analysis failed for " << Spec.Name << "\n";
-      return 1;
-    }
-    AppStats Stats = collectAppStats(Spec.Name, App.Bundle->Program, *Result);
-    printAppStatsRow(std::cout, Stats);
-    if (Stats.AllocViews > 0)
+    printAppStatsRow(std::cout, R.Stats);
+    if (R.Stats.AllocViews > 0)
       ++AppsWithAllocViews;
-    if (Stats.OpAddView > 0)
+    if (R.Stats.OpAddView > 0)
       ++AppsWithAddView;
   }
 

@@ -11,11 +11,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AppStats.h"
-#include "analysis/GuiAnalysis.h"
-#include "corpus/Corpus.h"
-#include "support/Timer.h"
+#include "corpus/BatchRunner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -56,36 +55,35 @@ int main() {
   std::printf("%-16s %14s %18s %12s %10s %11s\n", "app", "time(s)[paper]",
               "receivers[paper]", "parameters", "results", "listeners");
 
-  const auto &Corpus = paperCorpus();
+  // Corpus-wide run over the parallel batch layer (docs/PARALLEL.md):
+  // GATOR_JOBS picks the worker count; the printed per-app time is the
+  // analysis's own build+solve clock, so it stays meaningful (and the
+  // precision columns stay identical) at every job count.
+  AnalysisOptions Options;
+  if (const char *Env = std::getenv("GATOR_JOBS"))
+    Options.Jobs = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  // Stats/metrics-only consumer: drop each app's bundle and solution
+  // inside the task (KeepArtifacts=false) so at most one app is resident
+  // per worker, matching the memory profile of a serial loop.
+  std::vector<BatchAppResult> Batch =
+      analyzeCorpus(paperCorpus(), Options, nullptr, /*KeepArtifacts=*/false);
+
   std::vector<AppStats> Telemetry;
-  for (size_t I = 0; I < Corpus.size(); ++I) {
-    GeneratedApp App = generateApp(Corpus[I]);
-    if (App.Bundle->Diags.hasErrors()) {
-      std::fprintf(stderr, "generation failed for %s\n",
-                   Corpus[I].Name.c_str());
-      App.Bundle->Diags.print(std::cerr);
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const BatchAppResult &R = Batch[I];
+    if (R.GenerationFailed) {
+      std::fprintf(stderr, "generation failed for %s\n", R.Name.c_str());
+      R.App.Bundle->Diags.print(std::cerr);
       return 1;
     }
-
-    Timer T;
-    auto Result =
-        GuiAnalysis::run(App.Bundle->Program, *App.Bundle->Layouts,
-                         App.Bundle->Android, AnalysisOptions(),
-                         App.Bundle->Diags);
-    double Elapsed = T.seconds();
-    if (!Result) {
-      std::fprintf(stderr, "analysis failed for %s\n", Corpus[I].Name.c_str());
-      return 1;
-    }
-
-    auto M = Result->metrics();
+    double Elapsed = R.BuildSeconds + R.SolveSeconds;
+    const auto &M = R.Metrics;
     std::printf("%-16s %6.3f [%4.2f] %8.2f [%5.2f] %12s %10s %11s\n",
-                Corpus[I].Name.c_str(), Elapsed, PaperTable2[I].TimeSec,
+                R.Name.c_str(), Elapsed, PaperTable2[I].TimeSec,
                 M.AvgReceivers, PaperTable2[I].Receivers,
                 fmtOpt(M.AvgParameters).c_str(), fmtOpt(M.AvgResults).c_str(),
                 fmtOpt(M.AvgListeners).c_str());
-    Telemetry.push_back(
-        collectAppStats(Corpus[I].Name, App.Bundle->Program, *Result));
+    Telemetry.push_back(R.Stats);
   }
 
   std::printf("\nSolver telemetry (difference propagation; "

@@ -3,8 +3,12 @@
 // Serializes every corpus application to ALite text plus layout XML under
 // an output directory, one subdirectory per app:
 //
-//   export_corpus <outdir>
+//   export_corpus [-j <n>] <outdir>
 //   gator_cli <outdir>/XBMC --solution    # analyze any exported app
+//
+// `-j N` exports apps on N worker threads (0 = hardware concurrency);
+// apps write into disjoint subdirectories and per-app console text is
+// merged in corpus order, so the output is identical for every -j.
 //
 // Exercises both serialization directions of the frontend (the printer
 // round-trips with the parser; the layout writer with the layout reader).
@@ -20,12 +24,15 @@
 #include "corpus/Corpus.h"
 #include "layout/LayoutWriter.h"
 #include "parser/Printer.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cctype>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,11 +41,28 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/// Parses a non-negative number; false on garbage.
+bool parseCount(const std::string &Text, unsigned long &Out) {
+  if (Text.empty() ||
+      !std::all_of(Text.begin(), Text.end(),
+                   [](unsigned char C) { return std::isdigit(C); }))
+    return false;
+  try {
+    Out = std::stoul(Text);
+  } catch (const std::exception &) {
+    return false;
+  }
+  return true;
+}
+
 /// Exports one corpus app; returns 0/1 per the exit-code contract.
-int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir) {
+/// \p Log and \p Err buffer the task's stdout/stderr text; the driver
+/// merges them in corpus order so output is identical for every -j.
+int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir,
+                 std::ostream &Log, std::ostream &Err) {
   corpus::GeneratedApp App = corpus::generateApp(Spec);
   if (App.Bundle->Diags.hasErrors()) {
-    App.Bundle->Diags.print(std::cerr);
+    App.Bundle->Diags.print(Err);
     return 1;
   }
 
@@ -46,7 +70,7 @@ int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir) {
   std::error_code EC;
   fs::create_directories(AppDir, EC);
   if (EC) {
-    std::cerr << "error: cannot create " << AppDir << ": " << EC.message()
+    Err << "error: cannot create " << AppDir << ": " << EC.message()
               << "\n";
     return 1;
   }
@@ -54,7 +78,7 @@ int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir) {
   {
     std::ofstream Out(AppDir / "app.alite");
     if (!Out) {
-      std::cerr << "error: cannot write app.alite for " << Spec.Name << "\n";
+      Err << "error: cannot write app.alite for " << Spec.Name << "\n";
       return 1;
     }
     parser::printProgram(App.Bundle->Program, Out);
@@ -85,39 +109,76 @@ int exportOneApp(const corpus::AppSpec &Spec, const fs::path &OutDir) {
     }
     Out << "  </application>\n</manifest>\n";
   }
-  std::cout << Spec.Name << ": "
-            << App.Bundle->Program.appClassCount() << " classes, "
-            << App.Bundle->Layouts->layouts().size() << " layouts -> "
-            << AppDir.string() << "\n";
+  Log << Spec.Name << ": "
+      << App.Bundle->Program.appClassCount() << " classes, "
+      << App.Bundle->Layouts->layouts().size() << " layouts -> "
+      << AppDir.string() << "\n";
   return 0;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc != 2) {
-    std::cerr << "usage: export_corpus <outdir>\n";
+  fs::path OutDir;
+  unsigned Jobs = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-j" || Arg == "--jobs") {
+      unsigned long N = 0;
+      if (++I >= argc || !parseCount(argv[I], N) ||
+          N > support::MaxReasonableJobs) {
+        std::cerr << "error: invalid jobs value (expected 0.."
+                  << support::MaxReasonableJobs
+                  << "; 0 = hardware concurrency)\n";
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (OutDir.empty() && (Arg.empty() || Arg[0] != '-')) {
+      OutDir = Arg;
+    } else {
+      std::cerr << "usage: export_corpus [-j <n>] <outdir>\n";
+      return 2;
+    }
+  }
+  if (OutDir.empty()) {
+    std::cerr << "usage: export_corpus [-j <n>] <outdir>\n";
     return 2;
   }
-  fs::path OutDir = argv[1];
+
+  // Each task exports into its own app subdirectory, so the fan-out is
+  // write-disjoint; per-task text is merged in corpus order below.
+  const std::vector<corpus::AppSpec> &Specs = corpus::paperCorpus();
+  struct ExportRecord {
+    std::string LogText, ErrText;
+    int Code = 0;
+  };
+  std::vector<ExportRecord> Records =
+      support::parallelMap<ExportRecord>(Jobs, Specs.size(), [&](size_t I) {
+        ExportRecord R;
+        std::ostringstream Log, Err;
+        try {
+          R.Code = exportOneApp(Specs[I], OutDir, Log, Err);
+        } catch (const std::exception &E) {
+          Err << "internal error exporting '" << Specs[I].Name
+              << "': " << E.what() << "\n";
+          R.Code = 2;
+        } catch (...) {
+          Err << "internal error exporting '" << Specs[I].Name << "'\n";
+          R.Code = 2;
+        }
+        R.LogText = Log.str();
+        R.ErrText = Err.str();
+        return R;
+      });
 
   int Worst = 0;
   std::vector<std::string> Failed;
-  for (const corpus::AppSpec &Spec : corpus::paperCorpus()) {
-    int Code;
-    try {
-      Code = exportOneApp(Spec, OutDir);
-    } catch (const std::exception &E) {
-      std::cerr << "internal error exporting '" << Spec.Name
-                << "': " << E.what() << "\n";
-      Code = 2;
-    } catch (...) {
-      std::cerr << "internal error exporting '" << Spec.Name << "'\n";
-      Code = 2;
-    }
-    if (Code != 0)
-      Failed.push_back(Spec.Name);
-    Worst = std::max(Worst, Code);
+  for (size_t I = 0; I < Records.size(); ++I) {
+    std::cout << Records[I].LogText;
+    std::cerr << Records[I].ErrText;
+    if (Records[I].Code != 0)
+      Failed.push_back(Specs[I].Name);
+    Worst = std::max(Worst, Records[I].Code);
   }
   if (!Failed.empty()) {
     std::cerr << "failed apps (" << Failed.size() << "):";

@@ -9,15 +9,21 @@
 // Usage:
 //   gator_cli <dir> [--dot <file>] [--tuples] [--hierarchy] [--atg]
 //             [--solution] [--sequences <ActivityClass>] [--reach]
-//             [--json <file>] [--lint] [--batch]
+//             [--json <file>] [--lint] [--batch] [-j <n>]
 //             [--max-seconds <s>] [--max-work <n>]
-//             [--max-nodes <n>] [--max-edges <n>]
+//             [--max-nodes <n>] [--max-edges <n>] [--help]
 //
 // Prints Table 2-style precision metrics by default; the flags add the
 // Section 6 client outputs. `--batch` treats every immediate subdirectory
-// of <dir> as one app and analyzes each in crash isolation. The --max-*
-// flags set resource budgets (docs/ROBUSTNESS.md); a tripped budget yields
-// a partial solution marked truncated, not a failure.
+// of <dir> as one app and analyzes each in crash isolation; `-j N` runs
+// the batch on N worker threads (0 = hardware concurrency; default 1, or
+// the GATOR_JOBS environment variable). Output is byte-identical for
+// every job count: each app's output is captured and merged in input
+// order (docs/PARALLEL.md). The --max-* flags set resource budgets
+// (docs/ROBUSTNESS.md); a tripped budget yields a partial solution marked
+// truncated, not a failure. In batch mode --max-seconds is a deadline
+// shared by the whole batch, while --max-work/--max-nodes/--max-edges
+// stay per-app.
 //
 // Exit codes: 0 = clean run, 1 = input diagnostics (parse/resolve errors),
 // 2 = internal error (and usage errors). In batch mode the exit code is
@@ -34,8 +40,10 @@
 #include "guimodel/Lint.h"
 #include "layout/Layout.h"
 #include "parser/Parser.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -59,12 +67,28 @@ bool readFile(const fs::path &Path, std::string &Out) {
   return true;
 }
 
+void printUsage(std::ostream &OS) {
+  OS << "usage: gator_cli <dir> [--dot <file>] [--tuples] "
+        "[--hierarchy] [--atg] [--solution] "
+        "[--sequences <ActivityClass>] [--reach] [--json <file>] "
+        "[--lint] [--batch] [-j <n>] [--max-seconds <s>] [--max-work <n>] "
+        "[--max-nodes <n>] [--max-edges <n>] [--help]\n"
+        "  --batch        analyze every immediate subdirectory of <dir> "
+        "as one app\n"
+        "  -j, --jobs <n> batch worker threads; 0 = hardware concurrency "
+        "(default: 1,\n"
+        "                 or $GATOR_JOBS); output is byte-identical for "
+        "every value\n"
+        "  --max-seconds  wall-clock budget; in batch mode one deadline "
+        "shared by the\n"
+        "                 whole batch (per-app caps below stay per-app)\n"
+        "  --no-times     omit the wall-clock time line (for byte-exact "
+        "output\n"
+        "                 comparison; see the determinism harness)\n";
+}
+
 int usage() {
-  std::cerr << "usage: gator_cli <dir> [--dot <file>] [--tuples] "
-               "[--hierarchy] [--atg] [--solution] "
-               "[--sequences <ActivityClass>] [--reach] [--json <file>] "
-               "[--lint] [--batch] [--max-seconds <s>] [--max-work <n>] "
-               "[--max-nodes <n>] [--max-edges <n>]\n";
+  printUsage(std::cerr);
   return 2;
 }
 
@@ -77,6 +101,11 @@ struct CliConfig {
   std::string JsonFile;
   bool WantLint = false;
   bool Batch = false;
+  /// Suppresses the wall-clock "time:" line — the one output line that
+  /// differs between any two runs. With it, batch output is literally
+  /// byte-identical across runs and across every -j value; the
+  /// determinism harness compares with this on.
+  bool NoTimes = false;
   analysis::AnalysisOptions Options;
 };
 
@@ -84,7 +113,12 @@ struct CliConfig {
 /// diagnostics do not abort the run — the analysis still executes and its
 /// solution carries a fidelity marker. Returns 0 (clean), 1 (input
 /// diagnostics), or 2 (internal error).
-int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
+/// \p Out and \p Err receive what a serial run would write to stdout and
+/// stderr. The parallel batch driver passes per-task string buffers and
+/// merges them in input order, which is what makes batch output
+/// byte-identical for every job count.
+int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
+                       std::ostream &Out, std::ostream &Err) {
   corpus::AppBundle App;
   App.Android.install(App.Program);
 
@@ -105,7 +139,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
       XmlFiles.push_back(Entry.path());
   }
   if (EC) {
-    std::cerr << "error: cannot read directory '" << InputDir
+    Err << "error: cannot read directory '" << InputDir
               << "': " << EC.message() << "\n";
     return 1;
   }
@@ -113,7 +147,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   std::sort(DexFiles.begin(), DexFiles.end());
   std::sort(XmlFiles.begin(), XmlFiles.end());
   if (AliteFiles.empty() && DexFiles.empty()) {
-    std::cerr << "error: no .alite or .dexlite files under '" << InputDir
+    Err << "error: no .alite or .dexlite files under '" << InputDir
               << "'\n";
     return 1;
   }
@@ -122,7 +156,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   for (const fs::path &Path : AliteFiles) {
     std::string Text;
     if (!readFile(Path, Text)) {
-      std::cerr << "error: cannot read " << Path << "\n";
+      Err << "error: cannot read " << Path << "\n";
       return 1;
     }
     Ok &= parser::parseAlite(Text, Path.string(), App.Program, App.Diags);
@@ -130,7 +164,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   for (const fs::path &Path : DexFiles) {
     std::string Text;
     if (!readFile(Path, Text)) {
-      std::cerr << "error: cannot read " << Path << "\n";
+      Err << "error: cannot read " << Path << "\n";
       return 1;
     }
     Ok &= dex::parseDexLite(Text, Path.string(), App.Program, App.Diags);
@@ -138,7 +172,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   for (const fs::path &Path : XmlFiles) {
     std::string Text;
     if (!readFile(Path, Text)) {
-      std::cerr << "error: cannot read " << Path << "\n";
+      Err << "error: cannot read " << Path << "\n";
       return 1;
     }
     Ok &= layout::readLayoutXml(*App.Layouts, Path.stem().string(), Text,
@@ -153,7 +187,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   if (!ManifestFile.empty()) {
     std::string Text;
     if (!readFile(ManifestFile, Text)) {
-      std::cerr << "error: cannot read " << ManifestFile << "\n";
+      Err << "error: cannot read " << ManifestFile << "\n";
       return 1;
     }
     Manifest = android::parseManifest(Text, ManifestFile.string(), App.Diags);
@@ -164,7 +198,7 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
                             A.ClassName + "'");
   }
 
-  App.Diags.print(std::cerr);
+  App.Diags.print(Err);
   // An unresolved program has no coherent hierarchy to analyze; anything
   // short of that proceeds fail-soft, with diagnostics reflected in the
   // exit code and the fidelity marker.
@@ -176,58 +210,60 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
                                            App.Android, Cfg.Options,
                                            App.Diags);
   if (!Result) {
-    App.Diags.print(std::cerr);
+    App.Diags.print(Err);
     return 2; // the facade contract is "always a result"
   }
 
-  std::cout << "classes: " << App.Program.appClassCount()
+  Out << "classes: " << App.Program.appClassCount()
             << "  methods: " << App.Program.appMethodCount()
             << "  layouts: " << App.Resources.layoutCount()
             << "  view ids: " << App.Resources.viewIdCount() << "\n";
-  Result->Graph->dumpStats(std::cout);
+  Result->Graph->dumpStats(Out);
   auto M = Result->metrics();
-  std::cout << "precision: receivers=" << M.AvgReceivers;
+  Out << "precision: receivers=" << M.AvgReceivers;
   if (M.AvgParameters)
-    std::cout << " parameters=" << *M.AvgParameters;
+    Out << " parameters=" << *M.AvgParameters;
   if (M.AvgResults)
-    std::cout << " results=" << *M.AvgResults;
+    Out << " results=" << *M.AvgResults;
   if (M.AvgListeners)
-    std::cout << " listeners=" << *M.AvgListeners;
-  std::cout << "\ntime: build=" << Result->BuildSeconds * 1000
-            << "ms solve=" << Result->SolveSeconds * 1000 << "ms\n";
-  std::cout << "fidelity: " << analysis::fidelityName(Result->Sol->fidelity());
+    Out << " listeners=" << *M.AvgListeners;
+  Out << "\n";
+  if (!Cfg.NoTimes)
+    Out << "time: build=" << Result->BuildSeconds * 1000
+        << "ms solve=" << Result->SolveSeconds * 1000 << "ms\n";
+  Out << "fidelity: " << analysis::fidelityName(Result->Sol->fidelity());
   if (Result->Sol->fidelity() == analysis::Fidelity::TruncatedBudget)
-    std::cout << " (budget: "
+    Out << " (budget: "
               << support::budgetReasonName(Result->Sol->truncationReason())
               << ")";
   if (!Result->Sol->unresolvedOps().empty())
-    std::cout << " unresolved-ops=" << Result->Sol->unresolvedOps().size();
-  std::cout << "\n";
+    Out << " unresolved-ops=" << Result->Sol->unresolvedOps().size();
+  Out << "\n";
 
   if (Cfg.WantSolution) {
-    std::cout << "\nper-operation solution:\n";
-    Result->Sol->dump(std::cout);
+    Out << "\nper-operation solution:\n";
+    Result->Sol->dump(Out);
   }
   if (Cfg.WantTuples) {
-    std::cout << "\n(activity, view, event, handler) tuples:\n";
-    guimodel::printHandlerTuples(std::cout, *Result,
+    Out << "\n(activity, view, event, handler) tuples:\n";
+    guimodel::printHandlerTuples(Out, *Result,
                                  guimodel::extractHandlerTuples(*Result));
   }
   if (Cfg.WantHierarchy) {
-    std::cout << "\nview hierarchies:\n";
-    guimodel::printViewHierarchies(std::cout, *Result);
+    Out << "\nview hierarchies:\n";
+    guimodel::printViewHierarchies(Out, *Result);
   }
   if (Cfg.WantAtg) {
-    std::cout << "\nactivity transition graph:\n";
+    Out << "\nactivity transition graph:\n";
     guimodel::printTransitionsDot(
-        std::cout, guimodel::buildActivityTransitionGraph(*Result));
+        Out, guimodel::buildActivityTransitionGraph(*Result));
   }
   std::string SequencesFrom = Cfg.SequencesFrom;
   if (Manifest) {
-    std::cout << "manifest: package=" << Manifest->Package;
+    Out << "manifest: package=" << Manifest->Package;
     if (auto Launcher = Manifest->launcherActivity())
-      std::cout << " launcher=" << *Launcher;
-    std::cout << "\n";
+      Out << " launcher=" << *Launcher;
+    Out << "\n";
     if (SequencesFrom.empty())
       if (auto Launcher = Manifest->launcherActivity())
         SequencesFrom = *Launcher;
@@ -236,43 +272,43 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
   if (!SequencesFrom.empty()) {
     const ir::ClassDecl *Start = App.Program.findClass(SequencesFrom);
     if (!Start) {
-      std::cerr << "error: unknown activity class '" << SequencesFrom
+      Err << "error: unknown activity class '" << SequencesFrom
                 << "'\n";
       return 1;
     }
-    std::cout << "\nevent sequences from " << SequencesFrom
+    Out << "\nevent sequences from " << SequencesFrom
               << " (length <= 5):\n";
     guimodel::printEventSequences(
-        std::cout, *Result,
+        Out, *Result,
         guimodel::enumerateEventSequences(*Result, Start, 5, 64));
   }
   if (Cfg.WantReach) {
-    std::cout << "\nEditText view-reach report:\n";
-    guimodel::printViewReach(std::cout, *Result,
+    Out << "\nEditText view-reach report:\n";
+    guimodel::printViewReach(Out, *Result,
                              guimodel::computeViewReach(*Result));
   }
   if (Cfg.WantLint) {
-    std::cout << "\nlint findings:\n";
-    guimodel::printLintFindings(std::cout,
+    Out << "\nlint findings:\n";
+    guimodel::printLintFindings(Out,
                                 guimodel::runLint(*Result, *App.Layouts));
   }
   if (!Cfg.JsonFile.empty()) {
     std::ofstream Json(Cfg.JsonFile);
     if (!Json) {
-      std::cerr << "error: cannot write " << Cfg.JsonFile << "\n";
+      Err << "error: cannot write " << Cfg.JsonFile << "\n";
       return 1;
     }
     guimodel::writeAnalysisJson(Json, *Result);
-    std::cout << "analysis JSON written to " << Cfg.JsonFile << "\n";
+    Out << "analysis JSON written to " << Cfg.JsonFile << "\n";
   }
   if (!Cfg.DotFile.empty()) {
     std::ofstream Dot(Cfg.DotFile);
     if (!Dot) {
-      std::cerr << "error: cannot write " << Cfg.DotFile << "\n";
+      Err << "error: cannot write " << Cfg.DotFile << "\n";
       return 1;
     }
     Result->Graph->dumpDot(Dot);
-    std::cout << "constraint graph written to " << Cfg.DotFile << "\n";
+    Out << "constraint graph written to " << Cfg.DotFile << "\n";
   }
   return HadInputErrors ? 1 : 0;
 }
@@ -280,15 +316,16 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg) {
 /// Crash isolation: a C++ exception escaping one app's analysis is an
 /// internal error (exit 2) for that app, not a process abort — in batch
 /// mode the remaining apps still run.
-int runOneApp(const std::string &InputDir, const CliConfig &Cfg) {
+int runOneApp(const std::string &InputDir, const CliConfig &Cfg,
+              std::ostream &Out, std::ostream &Err) {
   try {
-    return runOneAppUnguarded(InputDir, Cfg);
+    return runOneAppUnguarded(InputDir, Cfg, Out, Err);
   } catch (const std::exception &E) {
-    std::cerr << "internal error analyzing '" << InputDir
-              << "': " << E.what() << "\n";
+    Err << "internal error analyzing '" << InputDir
+        << "': " << E.what() << "\n";
     return 2;
   } catch (...) {
-    std::cerr << "internal error analyzing '" << InputDir << "'\n";
+    Err << "internal error analyzing '" << InputDir << "'\n";
     return 2;
   }
 }
@@ -308,6 +345,22 @@ bool parseCount(const std::string &Text, unsigned long &Out) {
   return true;
 }
 
+/// Parses a jobs knob. Accepts 0 (hardware concurrency) through
+/// support::MaxReasonableJobs; anything else — negative, non-numeric,
+/// absurdly large — is rejected with a diagnostic, never silently
+/// clamped.
+bool parseJobs(const std::string &Text, const char *Origin, unsigned &Jobs) {
+  unsigned long N = 0;
+  if (!parseCount(Text, N) || N > support::MaxReasonableJobs) {
+    std::cerr << "error: invalid jobs value '" << Text << "' from " << Origin
+              << " (expected 0.." << support::MaxReasonableJobs
+              << "; 0 = hardware concurrency)\n";
+    return false;
+  }
+  Jobs = static_cast<unsigned>(N);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -316,9 +369,19 @@ int main(int argc, char **argv) {
 
   std::string InputDir;
   CliConfig Cfg;
+  bool JobsFromFlag = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--dot") {
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (Arg == "-j" || Arg == "--jobs") {
+      if (++I >= argc)
+        return usage();
+      if (!parseJobs(argv[I], "the -j flag", Cfg.Options.Jobs))
+        return 2;
+      JobsFromFlag = true;
+    } else if (Arg == "--dot") {
       if (++I >= argc)
         return usage();
       Cfg.DotFile = argv[I];
@@ -342,6 +405,8 @@ int main(int argc, char **argv) {
       Cfg.JsonFile = argv[I];
     } else if (Arg == "--lint") {
       Cfg.WantLint = true;
+    } else if (Arg == "--no-times") {
+      Cfg.NoTimes = true;
     } else if (Arg == "--batch") {
       Cfg.Batch = true;
     } else if (Arg == "--max-seconds") {
@@ -376,8 +441,23 @@ int main(int argc, char **argv) {
   if (InputDir.empty())
     return usage();
 
+  if (!JobsFromFlag)
+    if (const char *Env = std::getenv("GATOR_JOBS"))
+      if (!parseJobs(Env, "the GATOR_JOBS environment variable",
+                     Cfg.Options.Jobs))
+        return 2;
+
   if (!Cfg.Batch)
-    return runOneApp(InputDir, Cfg);
+    return runOneApp(InputDir, Cfg, std::cout, std::cerr);
+
+  unsigned Jobs = support::resolveJobs(Cfg.Options.Jobs);
+  if (Jobs > 1 && (!Cfg.JsonFile.empty() || !Cfg.DotFile.empty())) {
+    // Every app would race on the same output file; there is no sensible
+    // merged artifact, so reject rather than corrupt.
+    std::cerr << "error: --json/--dot write one fixed file per app and "
+                 "cannot be combined with --batch -j > 1\n";
+    return 2;
+  }
 
   // Batch mode: every immediate subdirectory is one app; the process exit
   // code is the worst per-app code.
@@ -396,12 +476,37 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::sort(AppDirs.begin(), AppDirs.end());
+
+  // One wall-clock deadline for the whole batch, per-app caps per task
+  // (docs/ROBUSTNESS.md, "Batch deadline semantics").
+  CliConfig TaskCfg = Cfg;
+  TaskCfg.Options.Budget.SharedDeadline =
+      support::makeSharedDeadline(Cfg.Options.Budget.MaxWallSeconds);
+
+  // Fan one thread-confined task per app over the pool; each task writes
+  // into its own buffers, and the merge below emits them in input order,
+  // so stdout and stderr are byte-identical for every -j value.
+  struct AppRecord {
+    std::string OutText, ErrText;
+    int Code = 0;
+  };
+  std::vector<AppRecord> Records = support::parallelMap<AppRecord>(
+      Cfg.Options.Jobs, AppDirs.size(), [&](size_t I) {
+        AppRecord R;
+        std::ostringstream Out, Err;
+        R.Code = runOneApp(AppDirs[I].string(), TaskCfg, Out, Err);
+        R.OutText = Out.str();
+        R.ErrText = Err.str();
+        return R;
+      });
+
   int Worst = 0;
-  for (const fs::path &Dir : AppDirs) {
-    std::cout << "=== app: " << Dir.filename().string() << " ===\n";
-    int Code = runOneApp(Dir.string(), Cfg);
-    std::cout << "=== exit: " << Code << " ===\n";
-    Worst = std::max(Worst, Code);
+  for (size_t I = 0; I < Records.size(); ++I) {
+    std::cout << "=== app: " << AppDirs[I].filename().string() << " ===\n"
+              << Records[I].OutText << "=== exit: " << Records[I].Code
+              << " ===\n";
+    std::cerr << Records[I].ErrText;
+    Worst = std::max(Worst, Records[I].Code);
   }
   return Worst;
 }

@@ -2,6 +2,7 @@
 
 #include "analysis/AppStats.h"
 
+#include <algorithm>
 #include <iomanip>
 
 using namespace gator;
@@ -87,6 +88,42 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
   Stats.UnresolvedOps = Result.Sol->unresolvedOps().size();
   Stats.WorkCharged = Result.Stats.WorkCharged;
   return Stats;
+}
+
+AppStats
+gator::analysis::aggregateAppStats(const std::string &Name,
+                                   const std::vector<AppStats> &PerApp) {
+  AppStats Total;
+  Total.Name = Name;
+  for (const AppStats &S : PerApp) {
+    Total.Classes += S.Classes;
+    Total.Methods += S.Methods;
+    Total.LayoutIds += S.LayoutIds;
+    Total.ViewIds += S.ViewIds;
+    Total.InflViews += S.InflViews;
+    Total.AllocViews += S.AllocViews;
+    Total.Listeners += S.Listeners;
+    Total.OpInflate += S.OpInflate;
+    Total.OpFindView += S.OpFindView;
+    Total.OpAddView += S.OpAddView;
+    Total.OpSetListener += S.OpSetListener;
+    Total.OpSetId += S.OpSetId;
+    Total.Propagations += S.Propagations;
+    Total.OpFirings += S.OpFirings;
+    Total.ValuesPushed += S.ValuesPushed;
+    Total.DedupHits += S.DedupHits;
+    Total.PeakSetSize = std::max(Total.PeakSetSize, S.PeakSetSize);
+    Total.PromotedSets += S.PromotedSets;
+    Total.DescCacheHits += S.DescCacheHits;
+    Total.DescCacheMisses += S.DescCacheMisses;
+    Total.HierarchyRevisions += S.HierarchyRevisions;
+    // Fidelity degrades monotonically along the enum; the worst app wins.
+    if (S.SolutionFidelity > Total.SolutionFidelity)
+      Total.SolutionFidelity = S.SolutionFidelity;
+    Total.UnresolvedOps += S.UnresolvedOps;
+    Total.WorkCharged += S.WorkCharged;
+  }
+  return Total;
 }
 
 void gator::analysis::printAppStatsHeader(std::ostream &OS) {

@@ -20,6 +20,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace gator {
 namespace analysis {
@@ -62,6 +63,13 @@ struct AppStats {
 /// Collects statistics from a completed analysis run.
 AppStats collectAppStats(const std::string &Name, const ir::Program &P,
                          const AnalysisResult &Result);
+
+/// Sums every counter over a batch (Name becomes \p Name, PeakSetSize is
+/// the maximum, SolutionFidelity the worst across apps). Order-invariant,
+/// so the aggregate of a parallel run equals the serial one — the
+/// determinism test and the batch drivers compare/report this.
+AppStats aggregateAppStats(const std::string &Name,
+                           const std::vector<AppStats> &PerApp);
 
 /// Prints the Table 1 header / one row in the paper's layout.
 void printAppStatsHeader(std::ostream &OS);

@@ -8,29 +8,6 @@
 using namespace gator;
 using namespace gator::ir;
 
-// Starts at 1 so a freshly constructed ClassDecl (epoch 0) always takes
-// the rebuild path on its first lookup.
-static uint64_t IrStructureEpochCounter = 1;
-
-uint64_t gator::ir::irStructureEpoch() { return IrStructureEpochCounter; }
-
-static void bumpIrStructureEpoch() { ++IrStructureEpochCounter; }
-
-uint32_t gator::ir::nextClassGlobalId() {
-  static uint32_t Counter = 0;
-  return Counter++;
-}
-
-uint32_t gator::ir::nextMethodGlobalId() {
-  static uint32_t Counter = 0;
-  return Counter++;
-}
-
-uint32_t gator::ir::nextFieldGlobalId() {
-  static uint32_t Counter = 0;
-  return Counter++;
-}
-
 bool gator::ir::isPrimitiveTypeName(const std::string &Name) {
   return Name == IntTypeName || Name == VoidTypeName;
 }
@@ -86,17 +63,18 @@ VarId MethodDecl::findVar(const std::string &Name) const {
 
 FieldDecl *ClassDecl::addField(std::string Name, std::string TypeName,
                                bool IsStatic) {
-  Fields.push_back(std::make_unique<FieldDecl>(std::move(Name),
-                                               std::move(TypeName), IsStatic,
-                                               this));
+  Fields.push_back(std::make_unique<FieldDecl>(
+      std::move(Name), std::move(TypeName), IsStatic, this,
+      OwnerProgram->NextFieldId++));
   return Fields.back().get();
 }
 
 MethodDecl *ClassDecl::addMethod(std::string Name, std::string ReturnTypeName,
                                  bool IsStatic) {
-  bumpIrStructureEpoch();
+  ++OwnerProgram->StructureEpoch;
   Methods.push_back(std::make_unique<MethodDecl>(
-      std::move(Name), std::move(ReturnTypeName), IsStatic, this));
+      std::move(Name), std::move(ReturnTypeName), IsStatic, this,
+      OwnerProgram->NextMethodId++));
   MethodDecl *M = Methods.back().get();
   if (!IsStatic)
     M->Vars[0].TypeName = this->Name; // `this` has the declaring class type.
@@ -129,9 +107,9 @@ MethodDecl *ClassDecl::findOwnMethod(const std::string &Name,
 
 MethodDecl *ClassDecl::findMethod(const std::string &Name,
                                   unsigned Arity) const {
-  if (MethodLookupEpoch != irStructureEpoch()) {
+  if (MethodLookupEpoch != OwnerProgram->structureEpoch()) {
     MethodLookupCache.clear();
-    MethodLookupEpoch = irStructureEpoch();
+    MethodLookupEpoch = OwnerProgram->structureEpoch();
   }
   std::string Key;
   Key.reserve(Name.size() + 4);
@@ -172,8 +150,8 @@ ClassDecl *Program::addClass(std::string Name, bool IsInterface,
       Diags->error("duplicate class name '" + Name + "'");
     return nullptr;
   }
-  Classes.push_back(
-      std::make_unique<ClassDecl>(Name, IsInterface, IsPlatform));
+  Classes.push_back(std::make_unique<ClassDecl>(Name, IsInterface, IsPlatform,
+                                                this, NextClassId++));
   ClassDecl *C = Classes.back().get();
   ByName.emplace(C->name(), C);
   Resolved = false;
@@ -186,7 +164,7 @@ ClassDecl *Program::findClass(const std::string &Name) const {
 }
 
 bool Program::resolve(DiagnosticEngine &Diags) {
-  bumpIrStructureEpoch(); // Super/interface links are about to change.
+  ++StructureEpoch; // Super/interface links are about to change.
   bool Ok = true;
   for (const auto &C : Classes) {
     C->Super = nullptr;

@@ -55,18 +55,7 @@ inline constexpr const char *ObjectClassName = "java.lang.Object";
 /// Returns true if \p Name is a primitive (non-reference) type name.
 bool isPrimitiveTypeName(const std::string &Name);
 
-/// Monotone counter bumped whenever the method/supertype structure of any
-/// program changes (ClassDecl::addMethod, Program::resolve). Per-class
-/// lookup memos compare against it to detect staleness, which lets the
-/// memos survive across analysis runs over an unchanged program.
-uint64_t irStructureEpoch();
-
-/// Next process-wide dense id for the respective declaration kind (see
-/// ClassDecl/MethodDecl/FieldDecl::globalId()). Separate counters keep
-/// each kind's id space dense, so per-kind side tables stay compact.
-uint32_t nextClassGlobalId();
-uint32_t nextMethodGlobalId();
-uint32_t nextFieldGlobalId();
+class Program;
 
 /// A local variable or formal parameter.
 struct Variable {
@@ -83,16 +72,16 @@ struct Variable {
 class FieldDecl {
 public:
   FieldDecl(std::string Name, std::string TypeName, bool IsStatic,
-            const ClassDecl *Owner)
+            const ClassDecl *Owner, uint32_t GlobalId)
       : Name(std::move(Name)), TypeName(std::move(TypeName)),
-        IsStatic(IsStatic), Owner(Owner), GlobalId(nextFieldGlobalId()) {}
+        IsStatic(IsStatic), Owner(Owner), GlobalId(GlobalId) {}
 
   const std::string &name() const { return Name; }
   const std::string &typeName() const { return TypeName; }
   bool isStatic() const { return IsStatic; }
   const ClassDecl *owner() const { return Owner; }
 
-  /// Process-wide dense id (creation order); see MethodDecl::globalId().
+  /// Per-program dense id (creation order); see MethodDecl::globalId().
   uint32_t globalId() const { return GlobalId; }
 
   /// Qualified "Class.field" spelling for diagnostics and dumps.
@@ -156,9 +145,9 @@ struct Stmt {
 class MethodDecl {
 public:
   MethodDecl(std::string Name, std::string ReturnTypeName, bool IsStatic,
-             ClassDecl *Owner)
+             ClassDecl *Owner, uint32_t GlobalId)
       : Name(std::move(Name)), ReturnTypeName(std::move(ReturnTypeName)),
-        IsStatic(IsStatic), Owner(Owner), GlobalId(nextMethodGlobalId()) {
+        IsStatic(IsStatic), Owner(Owner), GlobalId(GlobalId) {
     if (!IsStatic) {
       Variable This;
       This.Name = "this";
@@ -214,9 +203,11 @@ public:
   bool isAbstract() const { return Abstract; }
   void setAbstract(bool Value) { Abstract = Value; }
 
-  /// Process-wide dense id (creation order across all programs). Lets
-  /// consumers key per-method side tables with flat vectors instead of
-  /// pointer-keyed hash maps on hot paths.
+  /// Per-program dense id (creation order within the owning Program).
+  /// Lets consumers key per-method side tables with flat vectors instead
+  /// of pointer-keyed hash maps on hot paths, and keeps one program's id
+  /// space independent of any other analyses in the process — a
+  /// prerequisite for analyzing many apps concurrently (docs/PARALLEL.md).
   uint32_t globalId() const { return GlobalId; }
 
 private:
@@ -236,14 +227,15 @@ private:
 /// A class or interface declaration.
 class ClassDecl {
 public:
-  ClassDecl(std::string Name, bool IsInterface, bool IsPlatform)
+  ClassDecl(std::string Name, bool IsInterface, bool IsPlatform,
+            Program *Owner, uint32_t GlobalId)
       : Name(std::move(Name)), IsInterface(IsInterface),
-        IsPlatform(IsPlatform), GlobalId(nextClassGlobalId()) {}
+        IsPlatform(IsPlatform), OwnerProgram(Owner), GlobalId(GlobalId) {}
 
   const std::string &name() const { return Name; }
   bool isInterface() const { return IsInterface; }
 
-  /// Process-wide dense id (creation order); see MethodDecl::globalId().
+  /// Per-program dense id (creation order); see MethodDecl::globalId().
   uint32_t globalId() const { return GlobalId; }
 
   /// Platform classes model the Android framework; their method bodies are
@@ -289,8 +281,9 @@ public:
   /// this class (no inheritance walk).
   MethodDecl *findOwnMethod(const std::string &Name, unsigned Arity) const;
   /// Finds a method on this class, superclasses, or implemented interfaces.
-  /// Memoized per class; the cache is dropped whenever any class gains a
-  /// method or the program is (re-)resolved (see irStructureEpoch()).
+  /// Memoized per class; the cache is dropped whenever any class in the
+  /// owning program gains a method or the program is (re-)resolved (see
+  /// Program::structureEpoch()).
   MethodDecl *findMethod(const std::string &Name, unsigned Arity) const;
 
 private:
@@ -303,6 +296,7 @@ private:
   std::string Name;
   bool IsInterface;
   bool IsPlatform;
+  Program *OwnerProgram;
   uint32_t GlobalId;
   std::string SuperName;
   std::vector<std::string> InterfaceNames;
@@ -315,8 +309,8 @@ private:
 
   /// Lazy name/arity -> resolved method memo for findMethod(). Keyed by
   /// "name/arity". A lookup result depends on this class, its supertype
-  /// chain, and its interfaces, so staleness is tracked against the global
-  /// irStructureEpoch() rather than per-class state.
+  /// chain, and its interfaces, so staleness is tracked against the owning
+  /// Program's structureEpoch() rather than per-class state.
   mutable std::unordered_map<std::string, MethodDecl *> MethodLookupCache;
   mutable uint64_t MethodLookupEpoch = 0;
 };
@@ -325,6 +319,14 @@ private:
 /// application classes and (bodiless) platform classes.
 class Program {
 public:
+  Program() = default;
+  /// Non-copyable and non-movable: ClassDecls hold a back-pointer to
+  /// their owning Program (for id allocation and the structure epoch), so
+  /// the Program must stay at one address for its whole lifetime. Hold it
+  /// directly or behind a unique_ptr (as corpus::AppBundle does).
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
   /// Creates and registers a class. Returns null and reports a diagnostic
   /// if the name is already taken.
   ClassDecl *addClass(std::string Name, bool IsInterface = false,
@@ -354,10 +356,29 @@ public:
   /// Number of methods with bodies in application classes.
   unsigned appMethodCount() const;
 
+  /// Monotone counter bumped whenever this program's method/supertype
+  /// structure changes (ClassDecl::addMethod, resolve()). Per-class
+  /// lookup memos compare against it to detect staleness, which lets the
+  /// memos survive across analysis runs over an unchanged program.
+  /// Per-program (not process-global) so that independent programs being
+  /// analyzed on different threads never touch shared mutable state
+  /// (docs/PARALLEL.md).
+  uint64_t structureEpoch() const { return StructureEpoch; }
+
 private:
+  friend class ClassDecl; // addMethod/addField allocate ids + bump epoch.
+
   std::vector<std::unique_ptr<ClassDecl>> Classes;
   std::unordered_map<std::string, ClassDecl *> ByName;
   bool Resolved = false;
+
+  /// See structureEpoch(). Starts at 1 so a fresh ClassDecl (epoch 0)
+  /// always takes the rebuild path on its first lookup.
+  uint64_t StructureEpoch = 1;
+  /// Next dense per-kind declaration ids (see MethodDecl::globalId()).
+  uint32_t NextClassId = 0;
+  uint32_t NextMethodId = 0;
+  uint32_t NextFieldId = 0;
 };
 
 } // namespace ir

@@ -39,12 +39,26 @@ BudgetTracker::BudgetTracker(const BudgetPolicy &Policy) : Policy(Policy) {
               ? *Forced
               : std::min(this->Policy.MaxWorkItems, *Forced);
   }
-  if (Policy.MaxWallSeconds > 0.0) {
+  if (Policy.SharedDeadline) {
+    // Batch-wide deadline: absolute, computed by the driver before the
+    // fan-out, identical for every task in the batch.
+    HasDeadline = true;
+    Deadline = *Policy.SharedDeadline;
+  } else if (Policy.MaxWallSeconds > 0.0) {
     HasDeadline = true;
     Deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(Policy.MaxWallSeconds));
   }
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+gator::support::makeSharedDeadline(double MaxWallSeconds) {
+  if (MaxWallSeconds <= 0.0)
+    return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(MaxWallSeconds));
 }
 
 bool BudgetTracker::overDeadlineOrCancelled() {

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <optional>
 
 namespace gator {
 namespace support {
@@ -42,6 +43,12 @@ enum class BudgetReason : unsigned char {
 /// Human-readable label ("work-items", "deadline", ...).
 const char *budgetReasonName(BudgetReason Reason);
 
+/// The batch-wide deadline for \p MaxWallSeconds from now, or nullopt when
+/// the knob is off. Drivers compute this once before fanning a batch out
+/// and store it in every task's BudgetPolicy::SharedDeadline.
+std::optional<std::chrono::steady_clock::time_point>
+makeSharedDeadline(double MaxWallSeconds);
+
 /// The limits one analysis run must respect. Zero (or null) means
 /// unlimited for every knob.
 struct BudgetPolicy {
@@ -52,6 +59,14 @@ struct BudgetPolicy {
   /// Wall-clock deadline in seconds from tracker construction; checked
   /// at slice refills and checkpoints, never per work item. <= 0 = none.
   double MaxWallSeconds = 0.0;
+
+  /// Absolute wall-clock deadline shared by every tracker in a batch
+  /// (docs/PARALLEL.md). Computed once before the fan-out so all tasks
+  /// race the same clock regardless of start order or job count; takes
+  /// precedence over MaxWallSeconds. Per-task limits (work items, graph
+  /// caps) are NOT shared — each task gets a fresh allowance
+  /// (docs/ROBUSTNESS.md, "Batch deadline semantics").
+  std::optional<std::chrono::steady_clock::time_point> SharedDeadline;
 
   /// Constraint-graph size caps, checked at checkpoints (op firings,
   /// structure rounds, phase boundaries). 0 = unlimited.
@@ -85,19 +100,26 @@ public:
   /// op firings. Does not charge work. Returns false once exhausted.
   bool checkpoint(size_t GraphNodes, size_t GraphEdges);
 
-  bool exhausted() const { return Reason != BudgetReason::None; }
-  BudgetReason reason() const { return Reason; }
+  bool exhausted() const {
+    return Reason.load(std::memory_order_relaxed) != BudgetReason::None;
+  }
+  BudgetReason reason() const {
+    return Reason.load(std::memory_order_relaxed);
+  }
 
   /// Work items successfully charged so far.
   unsigned long workCharged() const {
     return Committed + (SliceSize - FastRemaining);
   }
 
-  /// Manually trips the budget (e.g. an enclosing pipeline cancelling a
-  /// stage). Idempotent; the first reason wins.
+  /// Manually trips the budget (e.g. an enclosing pipeline or another
+  /// thread cancelling this task). Idempotent; the first reason wins.
+  /// Safe to call from any thread — Reason is atomic, and the owning
+  /// thread observes the trip at its next charge slow path or checkpoint
+  /// (everything else in the tracker stays thread-confined).
   void trip(BudgetReason R) {
-    if (Reason == BudgetReason::None)
-      Reason = R;
+    BudgetReason Expected = BudgetReason::None;
+    Reason.compare_exchange_strong(Expected, R, std::memory_order_relaxed);
   }
 
 private:
@@ -108,7 +130,7 @@ private:
   bool overDeadlineOrCancelled();
 
   BudgetPolicy Policy;
-  BudgetReason Reason = BudgetReason::None;
+  std::atomic<BudgetReason> Reason{BudgetReason::None};
   unsigned long FastRemaining = 0; ///< charges left in the current slice
   unsigned long SliceSize = 0;     ///< size the current slice started at
   unsigned long Committed = 0;     ///< work from fully-drained slices

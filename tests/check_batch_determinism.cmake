@@ -1,0 +1,37 @@
+# Determinism harness for the parallel batch driver (docs/PARALLEL.md):
+# `gator_cli --batch --no-times` must produce byte-identical stdout and
+# stderr, and the same exit code, at every -j value. Invoked by ctest with
+# -DCLI=<gator_cli> -DDIR=<batch input dir>.
+
+set(jobs_values 1 2 4 8)
+set(reference_out "")
+set(reference_err "")
+set(reference_code "")
+
+foreach(jobs ${jobs_values})
+  execute_process(
+    COMMAND ${CLI} --batch --no-times -j ${jobs} ${DIR}
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_code)
+  if(jobs EQUAL 1)
+    set(reference_out "${run_out}")
+    set(reference_err "${run_err}")
+    set(reference_code "${run_code}")
+  else()
+    if(NOT run_out STREQUAL reference_out)
+      message(FATAL_ERROR "stdout differs between -j 1 and -j ${jobs}")
+    endif()
+    if(NOT run_err STREQUAL reference_err)
+      message(FATAL_ERROR "stderr differs between -j 1 and -j ${jobs}")
+    endif()
+    if(NOT run_code EQUAL reference_code)
+      message(FATAL_ERROR
+        "exit code differs between -j 1 (${reference_code}) and "
+        "-j ${jobs} (${run_code})")
+    endif()
+  endif()
+endforeach()
+
+message(STATUS "batch output byte-identical at -j ${jobs_values} "
+               "(exit ${reference_code})")
