@@ -11,7 +11,12 @@
 //             [--solution] [--sequences <ActivityClass>] [--reach]
 //             [--json <file>] [--lint] [--batch] [-j <n>]
 //             [--max-seconds <s>] [--max-work <n>]
-//             [--max-nodes <n>] [--max-edges <n>] [--help]
+//             [--max-nodes <n>] [--max-edges <n>]
+//             [--trace-out <file>] [--metrics-out <file>]
+//             [--metrics-format json|prom] [--explain <substr>]
+//             [--diag-format text|json] [--help]
+//
+// Value flags accept both `--flag value` and `--flag=value`.
 //
 // Prints Table 2-style precision metrics by default; the flags add the
 // Section 6 client outputs. `--batch` treats every immediate subdirectory
@@ -25,12 +30,24 @@
 // shared by the whole batch, while --max-work/--max-nodes/--max-edges
 // stay per-app.
 //
+// Observability (docs/OBSERVABILITY.md): `--trace-out` writes a Chrome
+// trace-event JSON of the run's phase spans (Perfetto-loadable);
+// `--metrics-out` writes the metrics registry as JSON or, with
+// `--metrics-format prom`, Prometheus text; `--explain <substr>` records
+// fact provenance during the solve and prints the derivation tree of
+// every flow fact at nodes whose label contains <substr> (single-app
+// mode only). `--no-times` also suppresses wall-clock instruments from
+// the metrics export. In batch mode each task records into its own
+// thread-confined sink/registry; the driver merges them in input order,
+// so telemetry is deterministic across every -j value (timestamps aside).
+//
 // Exit codes: 0 = clean run, 1 = input diagnostics (parse/resolve errors),
 // 2 = internal error (and usage errors). In batch mode the exit code is
 // the maximum over the per-app codes.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AppStats.h"
 #include "analysis/GuiAnalysis.h"
 #include "android/Manifest.h"
 #include "corpus/AppBundle.h"
@@ -40,7 +57,9 @@
 #include "guimodel/Lint.h"
 #include "layout/Layout.h"
 #include "parser/Parser.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -72,7 +91,9 @@ void printUsage(std::ostream &OS) {
         "[--hierarchy] [--atg] [--solution] "
         "[--sequences <ActivityClass>] [--reach] [--json <file>] "
         "[--lint] [--batch] [-j <n>] [--max-seconds <s>] [--max-work <n>] "
-        "[--max-nodes <n>] [--max-edges <n>] [--help]\n"
+        "[--max-nodes <n>] [--max-edges <n>] [--trace-out <file>] "
+        "[--metrics-out <file>] [--metrics-format json|prom] "
+        "[--explain <substr>] [--diag-format text|json] [--help]\n"
         "  --batch        analyze every immediate subdirectory of <dir> "
         "as one app\n"
         "  -j, --jobs <n> batch worker threads; 0 = hardware concurrency "
@@ -82,9 +103,22 @@ void printUsage(std::ostream &OS) {
         "  --max-seconds  wall-clock budget; in batch mode one deadline "
         "shared by the\n"
         "                 whole batch (per-app caps below stay per-app)\n"
-        "  --no-times     omit the wall-clock time line (for byte-exact "
-        "output\n"
-        "                 comparison; see the determinism harness)\n";
+        "  --no-times     omit the wall-clock time line and the "
+        "wall-clock metrics\n"
+        "                 (for byte-exact comparison; see the determinism "
+        "harness)\n"
+        "  --trace-out    write Chrome trace-event JSON of the run's "
+        "phase spans\n"
+        "  --metrics-out  write the metrics registry (JSON, or "
+        "Prometheus text with\n"
+        "                 --metrics-format prom)\n"
+        "  --explain      record provenance and print the derivation "
+        "tree of every\n"
+        "                 flow fact at nodes whose label contains "
+        "<substr>\n"
+        "                 (single-app mode only)\n"
+        "  --diag-format  print diagnostics as text (default) or one "
+        "JSON document\n";
 }
 
 int usage() {
@@ -102,10 +136,19 @@ struct CliConfig {
   bool WantLint = false;
   bool Batch = false;
   /// Suppresses the wall-clock "time:" line — the one output line that
-  /// differs between any two runs. With it, batch output is literally
+  /// differs between any two runs — and the Seconds-unit instruments of
+  /// the metrics export. With it, batch output is literally
   /// byte-identical across runs and across every -j value; the
   /// determinism harness compares with this on.
   bool NoTimes = false;
+  std::string TraceFile;   ///< --trace-out: Chrome trace-event JSON
+  std::string MetricsFile; ///< --metrics-out
+  bool MetricsProm = false; ///< --metrics-format prom
+  std::string ExplainQuery; ///< --explain: node-label substring
+  bool DiagJson = false;    ///< --diag-format json
+  /// Where per-app stats are recorded when --metrics-out is given. The
+  /// batch driver points each task's copy at a thread-confined registry.
+  support::MetricsRegistry *Metrics = nullptr;
   analysis::AnalysisOptions Options;
 };
 
@@ -121,6 +164,12 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
                        std::ostream &Out, std::ostream &Err) {
   corpus::AppBundle App;
   App.Android.install(App.Program);
+
+  bool Ok = true;
+  bool Finalized = false;
+  std::optional<android::Manifest> Manifest;
+  {
+  support::TraceSpan ParseSpan(Cfg.Options.Trace, "parse");
 
   // Gather inputs in sorted order for deterministic diagnostics.
   std::vector<fs::path> AliteFiles, DexFiles, XmlFiles;
@@ -152,7 +201,8 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
     return 1;
   }
 
-  bool Ok = true;
+  ParseSpan.arg("files",
+                AliteFiles.size() + DexFiles.size() + XmlFiles.size());
   for (const fs::path &Path : AliteFiles) {
     std::string Text;
     if (!readFile(Path, Text)) {
@@ -178,12 +228,11 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
     Ok &= layout::readLayoutXml(*App.Layouts, Path.stem().string(), Text,
                                 App.Diags) != nullptr;
   }
-  bool Finalized = App.finalize();
+  Finalized = App.finalize();
   Ok &= Finalized;
 
   // Manifest (optional): validates declared activities and provides the
   // default start point for --sequences.
-  std::optional<android::Manifest> Manifest;
   if (!ManifestFile.empty()) {
     std::string Text;
     if (!readFile(ManifestFile, Text)) {
@@ -197,8 +246,12 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
           App.Diags.warning("manifest declares unknown activity '" +
                             A.ClassName + "'");
   }
+  } // end of the "parse" span
 
-  App.Diags.print(Err);
+  if (Cfg.DiagJson)
+    App.Diags.printJson(Err);
+  else
+    App.Diags.print(Err);
   // An unresolved program has no coherent hierarchy to analyze; anything
   // short of that proceeds fail-soft, with diagnostics reflected in the
   // exit code and the fidelity marker.
@@ -210,9 +263,19 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
                                            App.Android, Cfg.Options,
                                            App.Diags);
   if (!Result) {
-    App.Diags.print(Err);
+    if (Cfg.DiagJson)
+      App.Diags.printJson(Err);
+    else
+      App.Diags.print(Err);
     return 2; // the facade contract is "always a result"
   }
+
+  if (Cfg.Metrics)
+    analysis::recordAppMetrics(
+        *Cfg.Metrics,
+        analysis::collectAppStats(fs::path(InputDir).filename().string(),
+                                  App.Program, *Result),
+        Result->Sol.get());
 
   Out << "classes: " << App.Program.appClassCount()
             << "  methods: " << App.Program.appMethodCount()
@@ -239,6 +302,41 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
   if (!Result->Sol->unresolvedOps().empty())
     Out << " unresolved-ops=" << Result->Sol->unresolvedOps().size();
   Out << "\n";
+
+  if (!Cfg.ExplainQuery.empty()) {
+    Out << "\nexplain '" << Cfg.ExplainQuery << "':\n";
+    const analysis::ProvenanceRecorder *Prov = Result->Provenance.get();
+    if (!Prov) {
+      Out << "(provenance was not recorded for this run)\n";
+    } else {
+      const graph::ConstraintGraph &G = *Result->Graph;
+      constexpr unsigned MaxNodes = 8;
+      unsigned Matched = 0;
+      for (graph::NodeId N = 0, E = static_cast<graph::NodeId>(G.size());
+           N != E; ++N) {
+        std::string Label = G.label(N);
+        if (Label.find(Cfg.ExplainQuery) == std::string::npos)
+          continue;
+        const analysis::FlowSet &Vals = Result->Sol->valuesAt(N);
+        if (Vals.empty())
+          continue;
+        ++Matched;
+        if (Matched > MaxNodes)
+          continue;
+        Out << "node " << Label << ":\n";
+        for (graph::NodeId V : Vals) {
+          analysis::ProvenanceRecorder::FactId F = Prov->flowFact(N, V);
+          if (F != analysis::ProvenanceRecorder::NoFact)
+            Prov->printDerivation(Out, F, G);
+        }
+      }
+      if (Matched > MaxNodes)
+        Out << "(" << Matched - MaxNodes << " more matching nodes elided)\n";
+      if (Matched == 0)
+        Out << "(no node with flow facts matches '" << Cfg.ExplainQuery
+            << "')\n";
+    }
+  }
 
   if (Cfg.WantSolution) {
     Out << "\nper-operation solution:\n";
@@ -345,6 +443,32 @@ bool parseCount(const std::string &Text, unsigned long &Out) {
   return true;
 }
 
+/// Writes the --trace-out / --metrics-out files (a no-op for whichever
+/// was not requested). Returns false on an I/O failure.
+bool writeTelemetry(const CliConfig &Cfg, const support::TraceSink &Trace,
+                    const support::MetricsRegistry &Metrics) {
+  if (!Cfg.TraceFile.empty()) {
+    std::ofstream OS(Cfg.TraceFile);
+    if (!OS) {
+      std::cerr << "error: cannot write " << Cfg.TraceFile << "\n";
+      return false;
+    }
+    Trace.writeJson(OS);
+  }
+  if (!Cfg.MetricsFile.empty()) {
+    std::ofstream OS(Cfg.MetricsFile);
+    if (!OS) {
+      std::cerr << "error: cannot write " << Cfg.MetricsFile << "\n";
+      return false;
+    }
+    if (Cfg.MetricsProm)
+      Metrics.writePrometheus(OS, !Cfg.NoTimes);
+    else
+      Metrics.writeJson(OS, !Cfg.NoTimes);
+  }
+  return true;
+}
+
 /// Parses a jobs knob. Accepts 0 (hardware concurrency) through
 /// support::MaxReasonableJobs; anything else — negative, non-numeric,
 /// absurdly large — is rejected with a diagnostic, never silently
@@ -372,19 +496,40 @@ int main(int argc, char **argv) {
   bool JobsFromFlag = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    // `--flag=value` is equivalent to `--flag value`.
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg.resize(Eq);
+        HasInline = true;
+      }
+    }
+    auto NextValue = [&](std::string &Out) {
+      if (HasInline) {
+        Out = Inline;
+        return true;
+      }
+      if (++I >= argc)
+        return false;
+      Out = argv[I];
+      return true;
+    };
+    std::string Val;
     if (Arg == "--help" || Arg == "-h") {
       printUsage(std::cout);
       return 0;
     } else if (Arg == "-j" || Arg == "--jobs") {
-      if (++I >= argc)
+      if (!NextValue(Val))
         return usage();
-      if (!parseJobs(argv[I], "the -j flag", Cfg.Options.Jobs))
+      if (!parseJobs(Val, "the -j flag", Cfg.Options.Jobs))
         return 2;
       JobsFromFlag = true;
     } else if (Arg == "--dot") {
-      if (++I >= argc)
+      if (!NextValue(Cfg.DotFile))
         return usage();
-      Cfg.DotFile = argv[I];
     } else if (Arg == "--tuples") {
       Cfg.WantTuples = true;
     } else if (Arg == "--hierarchy") {
@@ -394,15 +539,46 @@ int main(int argc, char **argv) {
     } else if (Arg == "--solution") {
       Cfg.WantSolution = true;
     } else if (Arg == "--sequences") {
-      if (++I >= argc)
+      if (!NextValue(Cfg.SequencesFrom))
         return usage();
-      Cfg.SequencesFrom = argv[I];
     } else if (Arg == "--reach") {
       Cfg.WantReach = true;
     } else if (Arg == "--json") {
-      if (++I >= argc)
+      if (!NextValue(Cfg.JsonFile))
         return usage();
-      Cfg.JsonFile = argv[I];
+    } else if (Arg == "--trace-out") {
+      if (!NextValue(Cfg.TraceFile))
+        return usage();
+    } else if (Arg == "--metrics-out") {
+      if (!NextValue(Cfg.MetricsFile))
+        return usage();
+    } else if (Arg == "--metrics-format") {
+      if (!NextValue(Val))
+        return usage();
+      if (Val == "prom" || Val == "prometheus") {
+        Cfg.MetricsProm = true;
+      } else if (Val == "json") {
+        Cfg.MetricsProm = false;
+      } else {
+        std::cerr << "error: unknown metrics format '" << Val
+                  << "' (expected json or prom)\n";
+        return 2;
+      }
+    } else if (Arg == "--explain") {
+      if (!NextValue(Cfg.ExplainQuery) || Cfg.ExplainQuery.empty())
+        return usage();
+    } else if (Arg == "--diag-format") {
+      if (!NextValue(Val))
+        return usage();
+      if (Val == "json") {
+        Cfg.DiagJson = true;
+      } else if (Val == "text") {
+        Cfg.DiagJson = false;
+      } else {
+        std::cerr << "error: unknown diagnostics format '" << Val
+                  << "' (expected text or json)\n";
+        return 2;
+      }
     } else if (Arg == "--lint") {
       Cfg.WantLint = true;
     } else if (Arg == "--no-times") {
@@ -410,26 +586,27 @@ int main(int argc, char **argv) {
     } else if (Arg == "--batch") {
       Cfg.Batch = true;
     } else if (Arg == "--max-seconds") {
-      if (++I >= argc)
+      if (!NextValue(Val))
         return usage();
       try {
-        Cfg.Options.Budget.MaxWallSeconds = std::stod(argv[I]);
+        Cfg.Options.Budget.MaxWallSeconds = std::stod(Val);
       } catch (const std::exception &) {
         return usage();
       }
       if (Cfg.Options.Budget.MaxWallSeconds < 0)
         return usage();
     } else if (Arg == "--max-work") {
-      if (++I >= argc || !parseCount(argv[I], Cfg.Options.Budget.MaxWorkItems))
+      if (!NextValue(Val) ||
+          !parseCount(Val, Cfg.Options.Budget.MaxWorkItems))
         return usage();
     } else if (Arg == "--max-nodes") {
       unsigned long N = 0;
-      if (++I >= argc || !parseCount(argv[I], N))
+      if (!NextValue(Val) || !parseCount(Val, N))
         return usage();
       Cfg.Options.Budget.MaxGraphNodes = N;
     } else if (Arg == "--max-edges") {
       unsigned long N = 0;
-      if (++I >= argc || !parseCount(argv[I], N))
+      if (!NextValue(Val) || !parseCount(Val, N))
         return usage();
       Cfg.Options.Budget.MaxGraphEdges = N;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -447,8 +624,33 @@ int main(int argc, char **argv) {
                      Cfg.Options.Jobs))
         return 2;
 
-  if (!Cfg.Batch)
-    return runOneApp(InputDir, Cfg, std::cout, std::cerr);
+  if (!Cfg.ExplainQuery.empty()) {
+    if (Cfg.Batch) {
+      std::cerr << "error: --explain works on a single app and cannot be "
+                   "combined with --batch\n";
+      return 2;
+    }
+    Cfg.Options.RecordProvenance = true;
+  }
+
+  // Invocation-wide telemetry (docs/OBSERVABILITY.md). In single-app mode
+  // the analysis records straight into these; in batch mode each task
+  // records into thread-confined instances merged below in input order.
+  const bool WantTrace = !Cfg.TraceFile.empty();
+  const bool WantMetrics = !Cfg.MetricsFile.empty();
+  support::TraceSink Trace;
+  support::MetricsRegistry Metrics;
+
+  if (!Cfg.Batch) {
+    if (WantTrace)
+      Cfg.Options.Trace = &Trace;
+    if (WantMetrics)
+      Cfg.Metrics = &Metrics;
+    int Code = runOneApp(InputDir, Cfg, std::cout, std::cerr);
+    if (!writeTelemetry(Cfg, Trace, Metrics))
+      return 2;
+    return Code;
+  }
 
   unsigned Jobs = support::resolveJobs(Cfg.Options.Jobs);
   if (Jobs > 1 && (!Cfg.JsonFile.empty() || !Cfg.DotFile.empty())) {
@@ -489,24 +691,47 @@ int main(int argc, char **argv) {
   struct AppRecord {
     std::string OutText, ErrText;
     int Code = 0;
+    std::unique_ptr<support::TraceSink> Trace;
+    support::MetricsRegistry Metrics;
   };
   std::vector<AppRecord> Records = support::parallelMap<AppRecord>(
       Cfg.Options.Jobs, AppDirs.size(), [&](size_t I) {
         AppRecord R;
         std::ostringstream Out, Err;
-        R.Code = runOneApp(AppDirs[I].string(), TaskCfg, Out, Err);
+        CliConfig AppCfg = TaskCfg;
+        if (WantTrace) {
+          R.Trace = std::make_unique<support::TraceSink>();
+          AppCfg.Options.Trace = R.Trace.get();
+        }
+        if (WantMetrics)
+          AppCfg.Metrics = &R.Metrics;
+        {
+          support::TraceSpan AppSpan(AppCfg.Options.Trace, "analyze-app");
+          AppSpan.arg("index", I);
+          R.Code = runOneApp(AppDirs[I].string(), AppCfg, Out, Err);
+        }
         R.OutText = Out.str();
         R.ErrText = Err.str();
         return R;
       });
 
+  // Ordered merge: stdout/stderr, trace lanes (tid = 1 + app ordinal),
+  // and metrics registries all fold in input order, so every output of a
+  // batch run is independent of -j (timestamps aside).
   int Worst = 0;
   for (size_t I = 0; I < Records.size(); ++I) {
     std::cout << "=== app: " << AppDirs[I].filename().string() << " ===\n"
               << Records[I].OutText << "=== exit: " << Records[I].Code
               << " ===\n";
     std::cerr << Records[I].ErrText;
+    if (Records[I].Trace)
+      Trace.append(std::move(*Records[I].Trace),
+                   static_cast<uint32_t>(I + 1));
+    if (WantMetrics)
+      Metrics.mergeFrom(Records[I].Metrics);
     Worst = std::max(Worst, Records[I].Code);
   }
+  if (!writeTelemetry(Cfg, Trace, Metrics))
+    Worst = std::max(Worst, 2);
   return Worst;
 }

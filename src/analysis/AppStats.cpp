@@ -2,6 +2,8 @@
 
 #include "analysis/AppStats.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <iomanip>
 
@@ -87,6 +89,28 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
   Stats.SolutionFidelity = Result.Sol->fidelity();
   Stats.UnresolvedOps = Result.Sol->unresolvedOps().size();
   Stats.WorkCharged = Result.Stats.WorkCharged;
+
+  Stats.GraphNodes = G.size();
+  Stats.FlowEdges = G.flowEdgeCount();
+  Stats.ParentChildEdges = G.parentChildEdgeCount();
+  Stats.PeakVarWorklist = Result.Stats.PeakVarWorklist;
+  Stats.PeakOpWorklist = Result.Stats.PeakOpWorklist;
+  for (size_t K = 0; K < NumOpKinds; ++K)
+    Stats.FiringsByKind[K] = Result.Stats.FiringsByKind[K];
+
+  // Per-kind resolution outcomes: a site resolved when its result (or,
+  // for structural ops, its receiver) received at least one value.
+  const Solution &Sol = *Result.Sol;
+  for (const OpSite &Op : Sol.opSites()) {
+    size_t K = static_cast<size_t>(Op.Spec.Kind);
+    ++Stats.SitesByKind[K];
+    NodeId Probe = Op.Out != InvalidNode ? Op.Out : Op.Recv;
+    if (!Sol.valuesAt(Probe).empty())
+      ++Stats.ResolvedSitesByKind[K];
+  }
+
+  Stats.BuildSeconds = Result.BuildSeconds;
+  Stats.SolveSeconds = Result.SolveSeconds;
   return Stats;
 }
 
@@ -122,8 +146,117 @@ gator::analysis::aggregateAppStats(const std::string &Name,
       Total.SolutionFidelity = S.SolutionFidelity;
     Total.UnresolvedOps += S.UnresolvedOps;
     Total.WorkCharged += S.WorkCharged;
+
+    Total.GraphNodes += S.GraphNodes;
+    Total.FlowEdges += S.FlowEdges;
+    Total.ParentChildEdges += S.ParentChildEdges;
+    // Peaks are point measurements like PeakSetSize: max, never sum.
+    Total.PeakVarWorklist = std::max(Total.PeakVarWorklist,
+                                     S.PeakVarWorklist);
+    Total.PeakOpWorklist = std::max(Total.PeakOpWorklist, S.PeakOpWorklist);
+    for (size_t K = 0; K < android::NumOpKinds; ++K) {
+      Total.FiringsByKind[K] += S.FiringsByKind[K];
+      Total.SitesByKind[K] += S.SitesByKind[K];
+      Total.ResolvedSitesByKind[K] += S.ResolvedSitesByKind[K];
+    }
+    Total.BuildSeconds += S.BuildSeconds;
+    Total.SolveSeconds += S.SolveSeconds;
   }
   return Total;
+}
+
+void gator::analysis::recordAppMetrics(support::MetricsRegistry &Metrics,
+                                       const AppStats &Stats,
+                                       const Solution *Sol) {
+  using support::Gauge;
+  using support::MetricUnit;
+
+  Metrics.counter("gator_apps_total", "Applications analyzed").inc();
+  Metrics
+      .counter("gator_graph_nodes_total", "Constraint-graph nodes built")
+      .add(Stats.GraphNodes);
+  Metrics.counter("gator_flow_edges_total", "Flow edges in the graph")
+      .add(Stats.FlowEdges);
+  Metrics
+      .counter("gator_parent_child_edges_total",
+               "Parent-child hierarchy edges")
+      .add(Stats.ParentChildEdges);
+  Metrics
+      .counter("gator_solver_propagations_total", "Worklist value pops")
+      .add(Stats.Propagations);
+  Metrics.counter("gator_solver_op_firings_total", "Operation-rule firings")
+      .add(Stats.OpFirings);
+  Metrics
+      .counter("gator_solver_values_pushed_total",
+               "flowsTo insertion attempts")
+      .add(Stats.ValuesPushed);
+  Metrics
+      .counter("gator_solver_dedup_hits_total",
+               "Insertion attempts finding the value present")
+      .add(Stats.DedupHits);
+  Metrics
+      .counter("gator_solver_hierarchy_revisions_total",
+               "Structure-edge invalidations")
+      .add(Stats.HierarchyRevisions);
+  Metrics
+      .counter("gator_solver_unresolved_ops_total",
+               "Op sites left unresolved by budget exhaustion")
+      .add(Stats.UnresolvedOps);
+  Metrics
+      .counter("gator_budget_work_charged_total",
+               "Work items charged against the budget")
+      .add(Stats.WorkCharged);
+
+  Metrics
+      .gauge("gator_solver_peak_set_size",
+             "Largest flowsTo set observed (max across apps)")
+      .setMax(static_cast<double>(Stats.PeakSetSize));
+  Metrics
+      .gauge("gator_solver_peak_var_worklist",
+             "Deepest value worklist observed (max across apps)")
+      .setMax(static_cast<double>(Stats.PeakVarWorklist));
+  Metrics
+      .gauge("gator_solver_peak_op_worklist",
+             "Deepest op worklist observed (max across apps)")
+      .setMax(static_cast<double>(Stats.PeakOpWorklist));
+
+  Metrics
+      .gauge("gator_phase_build_seconds", "Graph construction wall-clock",
+             Gauge::Merge::Sum, MetricUnit::Seconds)
+      .add(Stats.BuildSeconds);
+  Metrics
+      .gauge("gator_phase_solve_seconds", "Fixpoint wall-clock",
+             Gauge::Merge::Sum, MetricUnit::Seconds)
+      .add(Stats.SolveSeconds);
+
+  for (size_t K = 0; K < android::NumOpKinds; ++K) {
+    const char *Kind = android::opKindName(static_cast<android::OpKind>(K));
+    if (Stats.FiringsByKind[K])
+      Metrics
+          .counter("gator_op_firings_total", "Rule firings per op kind",
+                   MetricUnit::None, "kind", Kind)
+          .add(Stats.FiringsByKind[K]);
+    if (Stats.SitesByKind[K]) {
+      Metrics
+          .counter("gator_op_sites_total", "Op sites per op kind",
+                   MetricUnit::None, "kind", Kind)
+          .add(Stats.SitesByKind[K]);
+      Metrics
+          .counter("gator_op_sites_resolved_total",
+                   "Op sites whose result or receiver received values",
+                   MetricUnit::None, "kind", Kind)
+          .add(Stats.ResolvedSitesByKind[K]);
+    }
+  }
+
+  if (Sol) {
+    support::Histogram &H = Metrics.histogram(
+        "gator_flowset_size", "Sizes of nonempty flowsTo sets",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    for (const FlowSet &Set : Sol->flowsToSets())
+      if (!Set.empty())
+        H.observe(Set.size());
+  }
 }
 
 void gator::analysis::printAppStatsHeader(std::ostream &OS) {

@@ -17,12 +17,17 @@
 #define GATOR_ANALYSIS_APPSTATS_H
 
 #include "analysis/GuiAnalysis.h"
+#include "android/Ops.h"
 
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace gator {
+namespace support {
+class MetricsRegistry;
+} // namespace support
+
 namespace analysis {
 
 /// One row of Table 1.
@@ -58,6 +63,32 @@ struct AppStats {
   Fidelity SolutionFidelity = Fidelity::Complete;
   unsigned long UnresolvedOps = 0;
   unsigned long WorkCharged = 0;
+
+  // Observability telemetry (docs/OBSERVABILITY.md).
+
+  /// Final constraint-graph shape.
+  unsigned long GraphNodes = 0;
+  unsigned long FlowEdges = 0;
+  unsigned long ParentChildEdges = 0;
+
+  /// Peak worklist depths. Peaks are point measurements, NOT volumes:
+  /// aggregateAppStats merges them with max (like PeakSetSize), never by
+  /// addition — summing would report a depth no run ever reached.
+  unsigned long PeakVarWorklist = 0;
+  unsigned long PeakOpWorklist = 0;
+
+  /// Rule evaluations, op sites, and resolved op sites per operation
+  /// kind (indexed by android::OpKind). A site counts as resolved when
+  /// its result variable received at least one value (ops with an Out
+  /// role) or its receiver did (structural ops).
+  unsigned long FiringsByKind[android::NumOpKinds] = {};
+  unsigned long SitesByKind[android::NumOpKinds] = {};
+  unsigned long ResolvedSitesByKind[android::NumOpKinds] = {};
+
+  /// Phase wall-clock, copied from the run (suppressed from exports under
+  /// --no-times).
+  double BuildSeconds = 0.0;
+  double SolveSeconds = 0.0;
 };
 
 /// Collects statistics from a completed analysis run.
@@ -79,6 +110,16 @@ void printAppStatsRow(std::ostream &OS, const AppStats &Stats);
 /// counters; consumed by bench_table2).
 void printSolverStatsHeader(std::ostream &OS);
 void printSolverStatsRow(std::ostream &OS, const AppStats &Stats);
+
+/// Records \p Stats into the metrics registry (docs/OBSERVABILITY.md):
+/// gator_* counters, peak gauges, per-op-kind labeled series, and phase
+/// timing gauges. When \p Sol is non-null, also observes every flowsTo
+/// set size into the gator_flowset_size histogram. Idempotent naming:
+/// recording several apps into one registry accumulates, and batch
+/// drivers may instead record into per-task registries and mergeFrom()
+/// them — both yield the same document.
+void recordAppMetrics(support::MetricsRegistry &Metrics, const AppStats &Stats,
+                      const Solution *Sol = nullptr);
 
 } // namespace analysis
 } // namespace gator

@@ -2,6 +2,8 @@
 
 #include "analysis/GraphBuilder.h"
 
+#include "support/Trace.h"
+
 #include <unordered_set>
 
 using namespace gator;
@@ -306,14 +308,27 @@ bool GraphBuilder::build(ConstraintGraph &G, std::vector<OpSite> &Ops) {
   // generous slack: re-reserving mid-solve moves every Node (and its
   // SourceLocation string), which showed up heavily in profiles.
   G.reserve(VarHint + VarHint / 2 + StmtHint / 2 + 256, StmtHint + 64);
-  buildResourceNodes(G);
-  buildActivityNodes(G);
-  for (const auto &C : P.classes()) {
-    if (C->isPlatform())
-      continue;
-    for (const auto &M : C->methods())
-      if (!M->isAbstract())
-        buildMethod(G, Ops, *M);
+  {
+    support::TraceSpan S(Trace, "graph-build.resources");
+    buildResourceNodes(G);
+  }
+  {
+    support::TraceSpan S(Trace, "graph-build.activities");
+    buildActivityNodes(G);
+  }
+  {
+    support::TraceSpan S(Trace, "graph-build.methods");
+    unsigned long Methods = 0;
+    for (const auto &C : P.classes()) {
+      if (C->isPlatform())
+        continue;
+      for (const auto &M : C->methods())
+        if (!M->isAbstract()) {
+          buildMethod(G, Ops, *M);
+          ++Methods;
+        }
+    }
+    S.arg("methods", Methods);
   }
   return Diags.errorCount() == ErrorsBefore;
 }

@@ -30,6 +30,10 @@
 #include <vector>
 
 namespace gator {
+namespace support {
+class TraceSink;
+} // namespace support
+
 namespace analysis {
 
 /// Builds the statement-derived part of the constraint graph.
@@ -44,6 +48,10 @@ public:
 
   /// Populates \p G and \p Ops. Returns false on (non-fatal) errors.
   bool build(graph::ConstraintGraph &G, std::vector<OpSite> &Ops);
+
+  /// Attaches a span sink for build sub-phases (docs/OBSERVABILITY.md);
+  /// null disables tracing. Must outlive build().
+  void setTrace(support::TraceSink *Sink) { Trace = Sink; }
 
 private:
   void buildResourceNodes(graph::ConstraintGraph &G);
@@ -73,6 +81,8 @@ private:
   DiagnosticEngine &Diags;
 
   std::unordered_map<const std::string *, const ir::ClassDecl *> ClassCache;
+
+  support::TraceSink *Trace = nullptr;
 };
 
 } // namespace analysis

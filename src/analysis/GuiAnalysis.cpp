@@ -5,6 +5,7 @@
 #include "analysis/GraphBuilder.h"
 #include "hier/ClassHierarchy.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace gator;
 using namespace gator::analysis;
@@ -22,15 +23,29 @@ GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
 
   Timer BuildTimer;
   Result->Graph->setDiagnostics(&Diags);
-  hier::ClassHierarchy CH(P, &Diags);
-  GraphBuilder Builder(P, Layouts, AM, CH, Diags);
-  if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
-    Result->Sol->markDegraded();
+  {
+    support::TraceSpan BuildSpan(Options.Trace, "graph-build");
+    hier::ClassHierarchy CH(P, &Diags);
+    GraphBuilder Builder(P, Layouts, AM, CH, Diags);
+    Builder.setTrace(Options.Trace);
+    if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
+      Result->Sol->markDegraded();
+    BuildSpan.arg("nodes", Result->Graph->size());
+    BuildSpan.arg("ops", Result->Sol->opSites().size());
+  }
   Result->BuildSeconds = BuildTimer.seconds();
 
+  if (Options.RecordProvenance)
+    Result->Provenance = std::make_unique<ProvenanceRecorder>();
+
   Timer SolveTimer;
-  Solver S(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags);
-  Result->Stats = S.solve();
+  {
+    support::TraceSpan SolveSpan(Options.Trace, "solve");
+    Solver S(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags);
+    S.setProvenance(Result->Provenance.get());
+    Result->Stats = S.solve();
+    SolveSpan.arg("propagations", Result->Stats.Propagations);
+  }
   Result->SolveSeconds = SolveTimer.seconds();
 
   // Any recoverable-invariant failure during this run (graph edge drops,

@@ -27,6 +27,7 @@
 #define GATOR_ANALYSIS_GUIANALYSIS_H
 
 #include "analysis/Options.h"
+#include "analysis/Provenance.h"
 #include "analysis/Solution.h"
 #include "analysis/Solver.h"
 #include "android/AndroidModel.h"
@@ -46,6 +47,10 @@ struct AnalysisResult {
   double BuildSeconds = 0.0;
   double SolveSeconds = 0.0;
   AnalysisOptions Options;
+
+  /// Fact derivations (docs/OBSERVABILITY.md); non-null only when the run
+  /// was configured with RecordProvenance. Feeds `gator_cli --explain`.
+  std::unique_ptr<ProvenanceRecorder> Provenance;
 
   /// Table 2 metrics under the options this run used.
   Solution::PrecisionMetrics metrics() const {

@@ -18,6 +18,10 @@
 #include "support/Budget.h"
 
 namespace gator {
+namespace support {
+class TraceSink;
+} // namespace support
+
 namespace analysis {
 
 struct AnalysisOptions {
@@ -87,6 +91,18 @@ struct AnalysisOptions {
   /// cooperative cancellation. Exhaustion yields a consistent partial
   /// Solution marked TruncatedBudget rather than an aborted run.
   support::BudgetPolicy Budget;
+
+  /// Span/event sink for this analysis (docs/OBSERVABILITY.md). Null (the
+  /// default) disables tracing; every instrumentation hook is a single
+  /// null check. The sink must outlive the analysis and is thread-confined
+  /// — parallel drivers give each task its own sink.
+  support::TraceSink *Trace = nullptr;
+
+  /// Record the producing rule and premise facts of every committed
+  /// flowsTo fact and relationship edge (docs/OBSERVABILITY.md), making
+  /// `gator_cli --explain` able to print derivation trees. Off by default:
+  /// recording costs one hash insert per committed fact.
+  bool RecordProvenance = false;
 };
 
 } // namespace analysis

@@ -7,6 +7,7 @@
 #include "support/Budget.h"
 #include "support/Check.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -26,17 +27,28 @@ class PhasedEngine {
 public:
   PhasedEngine(ConstraintGraph &G, Solution &Sol,
                const layout::LayoutRegistry &Layouts, const AndroidModel &AM,
-               const AnalysisOptions &Options, DiagnosticEngine &Diags)
+               const AnalysisOptions &Options, DiagnosticEngine &Diags,
+               ProvenanceRecorder *Prov)
       : G(G), Sol(Sol), Layouts(Layouts), AM(AM), Options(Options),
-        Diags(Diags), Tracker(Options.Budget) {}
+        Diags(Diags), Tracker(Options.Budget), Prov(Prov) {}
 
   PhasedStats run() {
     seed();
-    phaseReachability();
-    if (!Tracker.exhausted())
+    {
+      support::TraceSpan S(Options.Trace, "phased.reachability");
+      phaseReachability();
+      S.arg("steps", Stats.ReachabilitySteps);
+    }
+    if (!Tracker.exhausted()) {
+      support::TraceSpan S(Options.Trace, "phased.inflation");
       phaseInflation();
-    if (!Tracker.exhausted())
+      S.arg("inflations", Stats.Inflations);
+    }
+    if (!Tracker.exhausted()) {
+      support::TraceSpan S(Options.Trace, "phased.propagation");
       phasePropagation();
+      S.arg("rounds", Stats.PropagationRounds);
+    }
     if (Tracker.exhausted()) {
       // Round-based evaluation has no per-op settled/pending distinction,
       // so every op site is conservatively recorded as unresolved.
@@ -98,10 +110,38 @@ private:
   bool insert(NodeId N, NodeId Value) {
     if (N == InvalidNode || !typeCompatible(N, Value))
       return false;
-    return sets()[N].insert(Value);
+    if (!sets()[N].insert(Value))
+      return false;
+    if (Prov)
+      Prov->recordFlow(N, Value, PRule, PPrem[0], PPrem[1], PPrem[2]);
+    return true;
+  }
+
+  // Provenance context staging, mirroring Solver::provCtx/provEdge: the
+  // recording sites set the producing rule and premises just before the
+  // insert they explain. Single predicted branch when provenance is off.
+  using FactId = ProvenanceRecorder::FactId;
+  void provCtx(DerivRule Rule, FactId P0 = ProvenanceRecorder::NoFact,
+               FactId P1 = ProvenanceRecorder::NoFact) {
+    if (!Prov)
+      return;
+    PRule = Rule;
+    PPrem[0] = P0;
+    PPrem[1] = P1;
+    PPrem[2] = ProvenanceRecorder::NoFact;
+  }
+  void provEdge(FactKind Kind, NodeId From, NodeId To, DerivRule Rule,
+                FactId P0 = ProvenanceRecorder::NoFact,
+                FactId P1 = ProvenanceRecorder::NoFact) {
+    if (Prov)
+      Prov->recordEdge(Kind, From, To, Rule, P0, P1);
+  }
+  FactId provFlow(NodeId Target, NodeId Value) const {
+    return Prov ? Prov->flowFact(Target, Value) : ProvenanceRecorder::NoFact;
   }
 
   void seed() {
+    provCtx(DerivRule::Seed);
     for (NodeId Id = 0; Id < G.size(); ++Id)
       if (isValueNodeKind(G.node(Id).Kind))
         insert(Id, Id);
@@ -128,6 +168,8 @@ private:
         for (NodeId V : Values) {
           if (!ViewsToo && isViewNodeKind(G.node(V).Kind))
             continue;
+          if (Prov)
+            provCtx(DerivRule::FlowEdge, Prov->flowFact(N, V));
           Changed |= insert(Succ, V);
         }
       }
@@ -179,6 +221,7 @@ private:
     }
     ++Stats.Inflations;
 
+    FactId IdFact = provFlow(Op.IdArg, LayoutIdNode);
     const ClassDecl *ViewBase = AM.program().findClass(names::View);
     const ClassDecl *GroupBase = AM.program().findClass(names::ViewGroup);
 
@@ -197,20 +240,31 @@ private:
         Klass = ViewBase;
       }
       NodeId ViewNode = G.makeViewInflNode(Klass, &LNode, Op.OpNode);
+      provCtx(DerivRule::Inflate, IdFact);
       insert(ViewNode, ViewNode);
       if (LNode.hasViewId()) {
         layout::ResourceId VId =
             Layouts.resources().lookupViewId(LNode.viewIdName());
-        if (VId != layout::InvalidResourceId)
-          G.addHasIdEdge(ViewNode, G.getViewIdNode(VId));
+        if (VId != layout::InvalidResourceId) {
+          NodeId IdNode = G.getViewIdNode(VId);
+          G.addHasIdEdge(ViewNode, IdNode);
+          provEdge(FactKind::HasId, ViewNode, IdNode, DerivRule::Inflate,
+                   IdFact);
+        }
       }
-      for (const auto &Child : LNode.children())
-        G.addParentChildEdge(ViewNode, Self(Self, *Child));
+      for (const auto &Child : LNode.children()) {
+        NodeId ChildNode = Self(Self, *Child);
+        G.addParentChildEdge(ViewNode, ChildNode);
+        provEdge(FactKind::ParentChild, ViewNode, ChildNode,
+                 DerivRule::Inflate, IdFact);
+      }
       return ViewNode;
     };
 
     NodeId Root = Build(Build, *RootDef);
     G.addRootsLayoutEdge(Root, LayoutIdNode);
+    provEdge(FactKind::RootsLayout, Root, LayoutIdNode, DerivRule::Inflate,
+             IdFact);
     Minted.emplace(Key, Root);
     return Root;
   }
@@ -226,15 +280,26 @@ private:
       if (Root == InvalidNode)
         continue;
       if (Op.Spec.Kind == OpKind::Inflate1) {
+        provCtx(DerivRule::Inflate, provFlow(Op.IdArg, IdVal),
+                provFlow(Root, Root));
         Changed |= insert(Op.Out, Root);
         if (Op.AttachParent != InvalidNode)
           for (NodeId P : Sol.viewsAt(Op.AttachParent))
-            Changed |= G.addParentChildEdge(P, Root);
+            if (G.addParentChildEdge(P, Root)) {
+              provEdge(FactKind::ParentChild, P, Root,
+                       DerivRule::InflateAttach, provFlow(Op.AttachParent, P),
+                       provFlow(Root, Root));
+              Changed = true;
+            }
       } else {
         for (NodeId W : Sol.valuesAt(Op.Recv)) {
           NodeKind K = G.node(W).Kind;
           if (K == NodeKind::Activity || K == NodeKind::Alloc)
-            Changed |= G.addRootEdge(W, Root);
+            if (G.addRootEdge(W, Root)) {
+              provEdge(FactKind::Root, W, Root, DerivRule::Inflate,
+                       provFlow(Op.Recv, W), provFlow(Op.IdArg, IdVal));
+              Changed = true;
+            }
         }
       }
     }
@@ -299,11 +364,17 @@ private:
           Wanted.insert(IdVal);
       for (NodeId Cand : Candidates)
         for (NodeId IdNode : G.viewIds(Cand))
-          if (Wanted.count(IdNode))
+          if (Wanted.count(IdNode)) {
+            if (Prov)
+              provCtx(DerivRule::FindView, provFlow(Cand, Cand),
+                      Prov->edgeFact(FactKind::HasId, Cand, IdNode));
             Changed |= insert(Op.Out, Cand);
+          }
     } else {
-      for (NodeId Cand : Candidates)
+      for (NodeId Cand : Candidates) {
+        provCtx(DerivRule::FindView, provFlow(Cand, Cand));
         Changed |= insert(Op.Out, Cand);
+      }
     }
     return Changed;
   }
@@ -313,6 +384,9 @@ private:
     const ClassDecl *LClass = G.node(ListenerValue).Klass;
     if (!LClass || LClass->isPlatform())
       return false;
+    if (Prov)
+      provCtx(DerivRule::ListenerCallback,
+              Prov->edgeFact(FactKind::Listener, View, ListenerValue));
     bool Changed = false;
     for (const HandlerSig &Sig : Spec.Handlers) {
       const MethodDecl *Handler =
@@ -345,7 +419,11 @@ private:
         if (K != NodeKind::Activity && K != NodeKind::Alloc)
           continue;
         for (NodeId V : Sol.viewsAt(Op.ValArg))
-          Changed |= G.addRootEdge(W, V);
+          if (G.addRootEdge(W, V)) {
+            provEdge(FactKind::Root, W, V, DerivRule::AddView1,
+                     provFlow(Op.Recv, W), provFlow(Op.ValArg, V));
+            Changed = true;
+          }
       }
       return Changed;
     }
@@ -353,8 +431,11 @@ private:
       bool Changed = false;
       for (NodeId P : Sol.viewsAt(Op.Recv))
         for (NodeId C : Sol.viewsAt(Op.ValArg))
-          if (P != C)
-            Changed |= G.addParentChildEdge(P, C);
+          if (P != C && G.addParentChildEdge(P, C)) {
+            provEdge(FactKind::ParentChild, P, C, DerivRule::AddView2,
+                     provFlow(Op.Recv, P), provFlow(Op.ValArg, C));
+            Changed = true;
+          }
       return Changed;
     }
     case OpKind::SetId: {
@@ -362,7 +443,11 @@ private:
       for (NodeId V : Sol.viewsAt(Op.Recv))
         for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
           if (G.node(IdVal).Kind == NodeKind::ViewId)
-            Changed |= G.addHasIdEdge(V, IdVal);
+            if (G.addHasIdEdge(V, IdVal)) {
+              provEdge(FactKind::HasId, V, IdVal, DerivRule::SetId,
+                       provFlow(Op.Recv, V), provFlow(Op.IdArg, IdVal));
+              Changed = true;
+            }
       return Changed;
     }
     case OpKind::SetListener: {
@@ -377,8 +462,12 @@ private:
         for (NodeId L : Sol.listenerValuesAt(Op.ValArg)) {
           bool New = G.addListenerEdge(V, L);
           Changed |= New;
-          if (New && Options.ModelListenerCallbacks)
-            Changed |= wireHandler(V, L, *Op.Spec.Listener);
+          if (New) {
+            provEdge(FactKind::Listener, V, L, DerivRule::SetListener,
+                     provFlow(Op.Recv, V), provFlow(Op.ValArg, L));
+            if (Options.ModelListenerCallbacks)
+              Changed |= wireHandler(V, L, *Op.Spec.Listener);
+          }
         }
       return Changed;
     }
@@ -411,6 +500,7 @@ private:
         continue;
       NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
       Changed |= G.addFlowEdge(F, ThisNode);
+      provCtx(DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
       Changed |= insert(ThisNode, F);
       for (const Stmt &Ret : Factory->body())
         if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
@@ -433,8 +523,11 @@ private:
       if (!Matches)
         continue;
       for (NodeId Root : FragmentRoots)
-        if (Container != Root)
-          Changed |= G.addParentChildEdge(Container, Root);
+        if (Container != Root && G.addParentChildEdge(Container, Root)) {
+          provEdge(FactKind::ParentChild, Container, Root,
+                   DerivRule::FragmentAdd, provFlow(Root, Root));
+          Changed = true;
+        }
     }
     return Changed;
   }
@@ -452,14 +545,19 @@ private:
         continue;
       NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
       Changed |= G.addFlowEdge(A, ThisNode);
+      provCtx(DerivRule::SetAdapter, provFlow(Op.ValArg, A));
       Changed |= insert(ThisNode, A);
       for (const Stmt &Ret : Factory->body()) {
         if (Ret.Kind != StmtKind::Return || Ret.Lhs == InvalidVar)
           continue;
         for (NodeId Item : Sol.viewsAt(G.getVarNode(Factory, Ret.Lhs)))
           for (NodeId ListView : Sol.viewsAt(Op.Recv))
-            if (ListView != Item)
-              Changed |= G.addParentChildEdge(ListView, Item);
+            if (ListView != Item && G.addParentChildEdge(ListView, Item)) {
+              provEdge(FactKind::ParentChild, ListView, Item,
+                       DerivRule::SetAdapter, provFlow(Op.Recv, ListView),
+                       provFlow(Item, Item));
+              Changed = true;
+            }
       }
     }
     return Changed;
@@ -480,6 +578,8 @@ private:
           if (!G.addListenerEdge(V, Holder))
             continue;
           Changed = true;
+          provEdge(FactKind::Listener, V, Holder, DerivRule::XmlOnClick,
+                   provFlow(V, V));
           if (!HolderClass || HolderClass->isPlatform())
             continue;
           const MethodDecl *Handler = hier::ClassHierarchy::dispatch(
@@ -496,6 +596,9 @@ private:
           }
           NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
           Changed |= G.addFlowEdge(Holder, ThisNode);
+          if (Prov)
+            provCtx(DerivRule::XmlOnClick,
+                    Prov->edgeFact(FactKind::Listener, V, Holder));
           Changed |= insert(ThisNode, Holder);
           Changed |= insert(G.getVarNode(Handler, Handler->paramVar(0)), V);
         }
@@ -533,6 +636,11 @@ private:
   support::BudgetTracker Tracker;
   std::unordered_map<uint64_t, NodeId> Minted;
   PhasedStats Stats;
+
+  ProvenanceRecorder *Prov = nullptr;
+  DerivRule PRule = DerivRule::External;
+  FactId PPrem[3] = {ProvenanceRecorder::NoFact, ProvenanceRecorder::NoFact,
+                     ProvenanceRecorder::NoFact};
 };
 
 } // namespace
@@ -541,8 +649,9 @@ PhasedStats gator::analysis::solvePhased(ConstraintGraph &G, Solution &Sol,
                                          const layout::LayoutRegistry &Layouts,
                                          const AndroidModel &AM,
                                          const AnalysisOptions &Options,
-                                         DiagnosticEngine &Diags) {
-  return PhasedEngine(G, Sol, Layouts, AM, Options, Diags).run();
+                                         DiagnosticEngine &Diags,
+                                         ProvenanceRecorder *Prov) {
+  return PhasedEngine(G, Sol, Layouts, AM, Options, Diags, Prov).run();
 }
 
 std::unique_ptr<AnalysisResult> gator::analysis::runPhasedAnalysis(
@@ -556,14 +665,26 @@ std::unique_ptr<AnalysisResult> gator::analysis::runPhasedAnalysis(
 
   Timer BuildTimer;
   Result->Graph->setDiagnostics(&Diags);
-  hier::ClassHierarchy CH(P, &Diags);
-  GraphBuilder Builder(P, Layouts, AM, CH, Diags);
-  if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
-    Result->Sol->markDegraded();
+  {
+    support::TraceSpan BuildSpan(Options.Trace, "graph-build");
+    hier::ClassHierarchy CH(P, &Diags);
+    GraphBuilder Builder(P, Layouts, AM, CH, Diags);
+    Builder.setTrace(Options.Trace);
+    if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
+      Result->Sol->markDegraded();
+    BuildSpan.arg("nodes", Result->Graph->size());
+  }
   Result->BuildSeconds = BuildTimer.seconds();
 
+  if (Options.RecordProvenance)
+    Result->Provenance = std::make_unique<ProvenanceRecorder>();
+
   Timer SolveTimer;
-  solvePhased(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags);
+  {
+    support::TraceSpan SolveSpan(Options.Trace, "solve");
+    solvePhased(*Result->Graph, *Result->Sol, Layouts, AM, Options, Diags,
+                Result->Provenance.get());
+  }
   Result->SolveSeconds = SolveTimer.seconds();
   return Result;
 }

@@ -39,6 +39,7 @@
 
 #include "analysis/GuiAnalysis.h"
 #include "analysis/Options.h"
+#include "analysis/Provenance.h"
 #include "analysis/Solution.h"
 #include "android/AndroidModel.h"
 #include "graph/ConstraintGraph.h"
@@ -57,11 +58,15 @@ struct PhasedStats {
 };
 
 /// Runs the 3-phase pipeline over an already-built graph, filling \p Sol.
+/// When \p Prov is non-null, every committed fact is stamped with its
+/// derivation (docs/OBSERVABILITY.md), same contract as
+/// Solver::setProvenance.
 PhasedStats solvePhased(graph::ConstraintGraph &G, Solution &Sol,
                         const layout::LayoutRegistry &Layouts,
                         const android::AndroidModel &AM,
                         const AnalysisOptions &Options,
-                        DiagnosticEngine &Diags);
+                        DiagnosticEngine &Diags,
+                        ProvenanceRecorder *Prov = nullptr);
 
 /// Convenience facade mirroring GuiAnalysis::run but using the phased
 /// solver. Fail-soft: graph-construction errors yield a result whose

@@ -1,0 +1,142 @@
+//===- Provenance.cpp - Derivation recording for solver facts -------------===//
+
+#include "analysis/Provenance.h"
+
+#include <unordered_set>
+
+using namespace gator;
+using namespace gator::analysis;
+
+const char *gator::analysis::derivRuleName(DerivRule Rule) {
+  switch (Rule) {
+  case DerivRule::Seed:
+    return "Seed";
+  case DerivRule::FlowEdge:
+    return "FlowEdge";
+  case DerivRule::Inflate:
+    return "Inflate";
+  case DerivRule::InflateAttach:
+    return "InflateAttach";
+  case DerivRule::AddView1:
+    return "AddView1";
+  case DerivRule::AddView2:
+    return "AddView2";
+  case DerivRule::SetId:
+    return "SetId";
+  case DerivRule::SetListener:
+    return "SetListener";
+  case DerivRule::ListenerCallback:
+    return "ListenerCallback";
+  case DerivRule::XmlOnClick:
+    return "XmlOnClick";
+  case DerivRule::FindView:
+    return "FindView";
+  case DerivRule::FragmentAdd:
+    return "FragmentAdd";
+  case DerivRule::SetAdapter:
+    return "SetAdapter";
+  case DerivRule::External:
+    return "External";
+  }
+  return "Unknown";
+}
+
+const char *gator::analysis::factKindName(FactKind Kind) {
+  switch (Kind) {
+  case FactKind::Flow:
+    return "flowsTo";
+  case FactKind::ParentChild:
+    return "parentOf";
+  case FactKind::HasId:
+    return "hasId";
+  case FactKind::Root:
+    return "rootOf";
+  case FactKind::Listener:
+    return "listens";
+  case FactKind::RootsLayout:
+    return "rootsLayout";
+  }
+  return "fact";
+}
+
+void ProvenanceRecorder::record(FactKind Kind, graph::NodeId A,
+                                graph::NodeId B, DerivRule Rule, FactId P0,
+                                FactId P1, FactId P2) {
+  Derivation D;
+  D.Rule = Rule;
+  D.Premises = {P0, P1, P2};
+  D.Depth = 1;
+  for (FactId P : D.Premises)
+    if (P != NoFact && Derivs[P].Depth + 1 > D.Depth)
+      D.Depth = Derivs[P].Depth + 1;
+
+  auto &Map = IndexByKind[static_cast<size_t>(Kind)];
+  auto [It, Inserted] =
+      Map.try_emplace(key(A, B), static_cast<FactId>(Facts.size()));
+  if (Inserted) {
+    Facts.push_back(Fact{Kind, A, B});
+    Derivs.push_back(D);
+  } else if (D.Depth < Derivs[It->second].Depth) {
+    // A shallower re-derivation wins: --explain reports the shortest
+    // route the solve found to this fact.
+    Derivs[It->second] = D;
+  }
+  if (D.Depth > MaxDepth)
+    MaxDepth = D.Depth;
+}
+
+ProvenanceRecorder::FactId ProvenanceRecorder::find(FactKind Kind,
+                                                    graph::NodeId A,
+                                                    graph::NodeId B) const {
+  const auto &Map = IndexByKind[static_cast<size_t>(Kind)];
+  auto It = Map.find(key(A, B));
+  return It == Map.end() ? NoFact : It->second;
+}
+
+namespace {
+
+void printOne(std::ostream &OS, const ProvenanceRecorder &Prov,
+              ProvenanceRecorder::FactId Id, const graph::ConstraintGraph &G,
+              unsigned Indent, unsigned MaxPrintDepth,
+              std::unordered_set<ProvenanceRecorder::FactId> &Printed) {
+  const auto &F = Prov.fact(Id);
+  const auto &D = Prov.derivation(Id);
+  for (unsigned I = 0; I < Indent; ++I)
+    OS << "  ";
+  OS << factKindName(F.Kind) << '(' << G.label(F.A);
+  if (F.B != graph::InvalidNode)
+    OS << ", " << G.label(F.B);
+  OS << ")  [" << derivRuleName(D.Rule) << ']';
+  bool HasPremise = false;
+  for (auto P : D.Premises)
+    HasPremise |= P != ProvenanceRecorder::NoFact;
+  if (!HasPremise) {
+    OS << '\n';
+    return;
+  }
+  if (!Printed.insert(Id).second) {
+    OS << "  (see above)\n";
+    return;
+  }
+  if (Indent >= MaxPrintDepth) {
+    OS << "  (...)\n";
+    return;
+  }
+  OS << '\n';
+  for (auto P : D.Premises)
+    if (P != ProvenanceRecorder::NoFact)
+      printOne(OS, Prov, P, G, Indent + 1, MaxPrintDepth, Printed);
+}
+
+} // namespace
+
+void ProvenanceRecorder::printDerivation(std::ostream &OS, FactId Id,
+                                         const graph::ConstraintGraph &G,
+                                         unsigned MaxPrintDepth) const {
+  if (Id == NoFact || Id >= Facts.size()) {
+    OS << "(no derivation recorded)\n";
+    return;
+  }
+  std::unordered_set<FactId> Printed;
+  printOne(OS, *this, Id, G, 0, MaxPrintDepth, Printed);
+}

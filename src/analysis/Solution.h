@@ -74,7 +74,9 @@ public:
   //===--------------------------------------------------------------------===//
 
   std::vector<FlowSet> &flowsToSets() { return FlowsTo; }
+  const std::vector<FlowSet> &flowsToSets() const { return FlowsTo; }
   std::vector<OpSite> &opSites() { return Ops; }
+  const std::vector<OpSite> &opSites() const { return Ops; }
 
   //===--------------------------------------------------------------------===//
   // Fidelity (docs/ROBUSTNESS.md)

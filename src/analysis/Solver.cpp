@@ -3,6 +3,7 @@
 #include "analysis/Solver.h"
 
 #include "support/Check.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -88,9 +89,13 @@ void Solver::addValue(NodeId N, NodeId Value) {
     ++Stats.DedupHits;
     return;
   }
+  if (Prov)
+    Prov->recordFlow(N, Value, PRule, PPrem[0], PPrem[1], PPrem[2]);
   if (!InVarWorklist[N]) {
     InVarWorklist[N] = true;
     VarWorklist.push_back(N);
+    if (VarWorklist.size() > Stats.PeakVarWorklist)
+      Stats.PeakVarWorklist = VarWorklist.size();
   }
   for (uint32_t OpIndex : OpUses[N])
     enqueueOp(OpIndex);
@@ -109,6 +114,8 @@ void Solver::enqueueOp(size_t OpIndex) {
     return;
   InOpWorklist[OpIndex] = true;
   OpWorklist.push_back(OpIndex);
+  if (OpWorklist.size() > Stats.PeakOpWorklist)
+    Stats.PeakOpWorklist = OpWorklist.size();
 }
 
 void Solver::noteStructureChange() {
@@ -135,6 +142,8 @@ void Solver::sweepXmlOnClickHandlers() {
           continue;
         if (!G.addListenerEdge(V, Holder))
           continue; // this (view, window) pair is already wired
+        provEdge(FactKind::Listener, V, Holder, DerivRule::XmlOnClick,
+                 provFlow(V, V));
         if (!HolderClass || HolderClass->isPlatform())
           continue;
         const MethodDecl *Handler = hier::ClassHierarchy::dispatch(
@@ -151,6 +160,9 @@ void Solver::sweepXmlOnClickHandlers() {
         }
         NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
         G.addFlowEdge(Holder, ThisNode);
+        if (Prov)
+          provCtx(DerivRule::XmlOnClick,
+                  Prov->edgeFact(FactKind::Listener, V, Holder));
         addValue(ThisNode, Holder);
         NodeId ParamNode = G.getVarNode(Handler, Handler->paramVar(0));
         addValue(ParamNode, V);
@@ -161,6 +173,7 @@ void Solver::sweepXmlOnClickHandlers() {
 
 void Solver::seedValueNodes() {
   ensureSets();
+  provCtx(DerivRule::Seed);
   for (NodeId Id = 0; Id < G.size(); ++Id)
     if (isValueNodeKind(G.node(Id).Kind))
       addValue(Id, Id);
@@ -221,8 +234,11 @@ void Solver::propagate(NodeId N) {
   for (NodeId Succ : G.flowSuccessors(N)) {
     if (G.node(Succ).Kind == NodeKind::Op)
       continue; // operation rules read role variables directly
-    for (NodeId V : PropScratch)
+    for (NodeId V : PropScratch) {
+      if (Prov)
+        provCtx(DerivRule::FlowEdge, Prov->flowFact(N, V));
       addValue(Succ, V);
+    }
   }
 }
 
@@ -269,6 +285,10 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
 
   ++Stats.InflationCount;
 
+  // Every fact minted by this inflation derives from the layout id
+  // reaching the site's id argument.
+  FactId IdFact = provFlow(Op.IdArg, LayoutIdNode);
+
   // Mint a fresh subtree of ViewInfl nodes for this (site, layout) pair.
   // Section 4.1: "If the same layout is inflated in several places in the
   // application, a 'fresh' set of graph nodes is introduced at each
@@ -301,11 +321,16 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
     NodeId ViewNode = G.makeViewInflNode(Klass, F.LNode, Op.OpNode);
     ensureSets();
     Sol.flowsToSets()[ViewNode].insert(ViewNode);
+    if (Prov)
+      Prov->recordFlow(ViewNode, ViewNode, DerivRule::Inflate, IdFact);
 
-    if (F.ParentView == InvalidNode)
+    if (F.ParentView == InvalidNode) {
       Root = ViewNode;
-    else
+    } else {
       G.addParentChildEdge(F.ParentView, ViewNode);
+      provEdge(FactKind::ParentChild, F.ParentView, ViewNode,
+               DerivRule::Inflate, IdFact);
+    }
 
     if (F.LNode->hasViewId()) {
       layout::ResourceId VId = F.LNode->resolvedViewIdRes();
@@ -314,8 +339,12 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
         if (VId != layout::InvalidResourceId)
           F.LNode->setResolvedViewIdRes(VId);
       }
-      if (VId != layout::InvalidResourceId)
-        G.addHasIdEdge(ViewNode, G.getViewIdNode(VId));
+      if (VId != layout::InvalidResourceId) {
+        NodeId IdNode = G.getViewIdNode(VId);
+        G.addHasIdEdge(ViewNode, IdNode);
+        provEdge(FactKind::HasId, ViewNode, IdNode, DerivRule::Inflate,
+                 IdFact);
+      }
     }
 
     for (const auto &Child : F.LNode->children())
@@ -331,6 +360,8 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
   }
   // Record the inflation origin: view => layoutId, per Section 4.1.
   G.addRootsLayoutEdge(Root, LayoutIdNode);
+  provEdge(FactKind::RootsLayout, Root, LayoutIdNode, DerivRule::Inflate,
+           IdFact);
 
   InflatedAt.emplace(Key, Root);
   noteStructureChange();
@@ -352,20 +383,27 @@ void Solver::fireInflate(OpSite &Op) {
 
     if (Op.Spec.Kind == OpKind::Inflate1) {
       // Rule INFLATE1: the root is the call's result.
+      provCtx(DerivRule::Inflate, provFlow(Op.IdArg, L), provFlow(Root, Root));
       addValue(Op.Out, Root);
       // inflate(id, parent): the root also becomes a child of the parent.
       if (Op.AttachParent != InvalidNode)
         for (NodeId P : Sol.viewsAt(Op.AttachParent))
-          if (G.addParentChildEdge(P, Root))
+          if (G.addParentChildEdge(P, Root)) {
+            provEdge(FactKind::ParentChild, P, Root, DerivRule::InflateAttach,
+                     provFlow(Op.AttachParent, P), provFlow(Root, Root));
             noteStructureChange();
+          }
     } else {
       // Rule INFLATE2: the root is associated with the activity/dialog.
       for (NodeId W : Sol.valuesAt(Op.Recv)) {
         NodeKind K = G.node(W).Kind;
         if (K != NodeKind::Activity && K != NodeKind::Alloc)
           continue;
-        if (G.addRootEdge(W, Root))
+        if (G.addRootEdge(W, Root)) {
+          provEdge(FactKind::Root, W, Root, DerivRule::Inflate,
+                   provFlow(Op.Recv, W), provFlow(Op.IdArg, L));
           noteStructureChange();
+        }
       }
     }
   }
@@ -382,8 +420,11 @@ void Solver::fireAddView1(OpSite &Op) {
     if (K != NodeKind::Activity && K != NodeKind::Alloc)
       continue;
     for (NodeId V : Sol.viewsAt(Op.ValArg))
-      if (G.addRootEdge(W, V))
+      if (G.addRootEdge(W, V)) {
+        provEdge(FactKind::Root, W, V, DerivRule::AddView1,
+                 provFlow(Op.Recv, W), provFlow(Op.ValArg, V));
         noteStructureChange();
+      }
   }
 }
 
@@ -391,8 +432,11 @@ void Solver::fireAddView2(OpSite &Op) {
   // Rule ADDVIEW2: parent.addView(child).
   for (NodeId P : Sol.viewsAt(Op.Recv))
     for (NodeId C : Sol.viewsAt(Op.ValArg))
-      if (P != C && G.addParentChildEdge(P, C))
+      if (P != C && G.addParentChildEdge(P, C)) {
+        provEdge(FactKind::ParentChild, P, C, DerivRule::AddView2,
+                 provFlow(Op.Recv, P), provFlow(Op.ValArg, C));
         noteStructureChange();
+      }
 }
 
 void Solver::fireSetId(OpSite &Op) {
@@ -400,8 +444,11 @@ void Solver::fireSetId(OpSite &Op) {
   for (NodeId V : Sol.viewsAt(Op.Recv))
     for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
       if (G.node(IdVal).Kind == NodeKind::ViewId)
-        if (G.addHasIdEdge(V, IdVal))
+        if (G.addHasIdEdge(V, IdVal)) {
+          provEdge(FactKind::HasId, V, IdVal, DerivRule::SetId,
+                   provFlow(Op.Recv, V), provFlow(Op.IdArg, IdVal));
           noteStructureChange();
+        }
 }
 
 void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
@@ -411,6 +458,9 @@ void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
   const ClassDecl *LClass = G.node(ListenerValue).Klass;
   if (!LClass || LClass->isPlatform())
     return;
+  if (Prov)
+    provCtx(DerivRule::ListenerCallback,
+            Prov->edgeFact(FactKind::Listener, View, ListenerValue));
   for (const HandlerSig &Sig : Spec.Handlers) {
     const MethodDecl *Handler =
         hier::ClassHierarchy::dispatch(LClass, Sig.MethodName, Sig.Arity);
@@ -439,8 +489,12 @@ void Solver::fireSetListener(OpSite &Op) {
   }
   for (NodeId V : Sol.viewsAt(Op.Recv))
     for (NodeId L : Sol.listenerValuesAt(Op.ValArg))
-      if (G.addListenerEdge(V, L) && Options.ModelListenerCallbacks)
-        wireListenerCallback(V, L, *Op.Spec.Listener);
+      if (G.addListenerEdge(V, L)) {
+        provEdge(FactKind::Listener, V, L, DerivRule::SetListener,
+                 provFlow(Op.Recv, V), provFlow(Op.ValArg, L));
+        if (Options.ModelListenerCallbacks)
+          wireListenerCallback(V, L, *Op.Spec.Listener);
+      }
 }
 
 void Solver::fireFragmentAdd(size_t OpIndex) {
@@ -470,6 +524,7 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
       continue;
     NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
     G.addFlowEdge(F, ThisNode);
+    provCtx(DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
     addValue(ThisNode, F);
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
@@ -512,8 +567,13 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
       std::vector<NodeId> Containers(G.viewsWithId(IdNode));
       for (NodeId Container : Containers)
         for (NodeId Root : FragmentRoots)
-          if (Container != Root && G.addParentChildEdge(Container, Root))
+          if (Container != Root && G.addParentChildEdge(Container, Root)) {
+            provEdge(FactKind::ParentChild, Container, Root,
+                     DerivRule::FragmentAdd, provFlow(Root, Root),
+                     Prov ? Prov->edgeFact(FactKind::HasId, Container, IdNode)
+                          : ProvenanceRecorder::NoFact);
             noteStructureChange();
+          }
     }
     return;
   }
@@ -530,8 +590,11 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
     if (!Matches)
       continue;
     for (NodeId Root : FragmentRoots)
-      if (Container != Root && G.addParentChildEdge(Container, Root))
+      if (Container != Root && G.addParentChildEdge(Container, Root)) {
+        provEdge(FactKind::ParentChild, Container, Root,
+                 DerivRule::FragmentAdd, provFlow(Root, Root));
         noteStructureChange();
+      }
   }
 }
 
@@ -559,6 +622,7 @@ void Solver::fireSetAdapter(size_t OpIndex) {
       continue;
     NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
     G.addFlowEdge(A, ThisNode);
+    provCtx(DerivRule::SetAdapter, provFlow(Op.ValArg, A));
     addValue(ThisNode, A);
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
@@ -579,8 +643,12 @@ void Solver::fireSetAdapter(size_t OpIndex) {
         continue;
       for (NodeId Item : Sol.viewsAt(G.getVarNode(Factory, Ret.Lhs)))
         for (NodeId ListView : Sol.viewsAt(Op.Recv))
-          if (ListView != Item && G.addParentChildEdge(ListView, Item))
+          if (ListView != Item && G.addParentChildEdge(ListView, Item)) {
+            provEdge(FactKind::ParentChild, ListView, Item,
+                     DerivRule::SetAdapter, provFlow(Op.Recv, ListView),
+                     provFlow(Item, Item));
             noteStructureChange();
+          }
     }
   }
 }
@@ -591,13 +659,29 @@ void Solver::fireFindView(OpSite &Op) {
     return;
   for (NodeId R :
        Sol.resultsOf(Op, Options.TrackViewIds, Options.TrackHierarchy,
-                     Options.FindView3ChildOnly))
+                     Options.FindView3ChildOnly)) {
+    if (Prov) {
+      // Premises: the view's existence, and — for id-driven lookups — the
+      // hasId fact that matched one of the ids reaching the id argument.
+      FactId MatchedId = ProvenanceRecorder::NoFact;
+      if (Op.IdArg != InvalidNode)
+        for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
+          if (G.node(IdVal).Kind != NodeKind::ViewId)
+            continue;
+          MatchedId = Prov->edgeFact(FactKind::HasId, R, IdVal);
+          if (MatchedId != ProvenanceRecorder::NoFact)
+            break;
+        }
+      provCtx(DerivRule::FindView, provFlow(R, R), MatchedId);
+    }
     addValue(Op.Out, R);
+  }
 }
 
 void Solver::fireOp(size_t OpIndex) {
   ++Stats.OpFirings;
   OpSite &Op = Sol.opSites()[OpIndex];
+  ++Stats.FiringsByKind[static_cast<size_t>(Op.Spec.Kind)];
   switch (Op.Spec.Kind) {
   case OpKind::Inflate1:
   case OpKind::Inflate2:
@@ -636,6 +720,7 @@ void Solver::fireOp(size_t OpIndex) {
 
 SolverStats Solver::solve() {
   Stats = SolverStats();
+  support::TraceSpan FixpointSpan(Options.Trace, "solver.fixpoint");
   ViewBaseClass = AM.program().findClass(names::View);
   GroupBaseClass = AM.program().findClass(names::ViewGroup);
   uint64_t StartRev = G.hierarchyRevision();
@@ -660,6 +745,8 @@ SolverStats Solver::solve() {
         break;
       StructureDirty = false;
       ++Stats.StructureRounds;
+      if (Options.Trace)
+        Options.Trace->instant("solver.structure-round");
       if (Options.DeltaPropagation)
         for (size_t OpIndex : StructureSensitiveOps)
           enqueueOp(OpIndex);
@@ -711,5 +798,9 @@ SolverStats Solver::solve() {
   Stats.HierarchyRevisions = G.hierarchyRevision() - StartRev;
   Stats.DescCacheHits = G.descendantsCacheHits() - StartDescHits;
   Stats.DescCacheMisses = G.descendantsCacheMisses() - StartDescMisses;
+  FixpointSpan.arg("propagations", Stats.Propagations);
+  FixpointSpan.arg("op_firings", Stats.OpFirings);
+  FixpointSpan.arg("inflations", Stats.InflationCount);
+  FixpointSpan.arg("structure_rounds", Stats.StructureRounds);
   return Stats;
 }

@@ -20,8 +20,10 @@
 #define GATOR_ANALYSIS_SOLVER_H
 
 #include "analysis/Options.h"
+#include "analysis/Provenance.h"
 #include "analysis/Solution.h"
 #include "android/AndroidModel.h"
+#include "android/Ops.h"
 #include "graph/ConstraintGraph.h"
 #include "hier/ClassHierarchy.h"
 #include "layout/Layout.h"
@@ -52,6 +54,12 @@ struct SolverStats {
   unsigned long DescCacheMisses = 0; ///< descendantsOf recomputes
   unsigned long HierarchyRevisions = 0; ///< structure-edge invalidations
 
+  // Observability counters (docs/OBSERVABILITY.md).
+  unsigned long PeakVarWorklist = 0; ///< deepest value worklist observed
+  unsigned long PeakOpWorklist = 0;  ///< deepest op worklist observed
+  /// Rule evaluations per operation kind, indexed by OpKind.
+  unsigned long FiringsByKind[android::NumOpKinds] = {};
+
   /// Work items successfully charged against the budget.
   unsigned long WorkCharged = 0;
 
@@ -73,8 +81,15 @@ public:
 
   SolverStats solve();
 
+  /// Attaches a derivation recorder (docs/OBSERVABILITY.md). Null (the
+  /// default) disables recording; non-null makes every committed flowsTo
+  /// fact and relationship edge carry its producing rule and premises.
+  /// The recorder must outlive the solver.
+  void setProvenance(ProvenanceRecorder *P) { Prov = P; }
+
 private:
   using NodeId = graph::NodeId;
+  using FactId = ProvenanceRecorder::FactId;
 
   void seedValueNodes();
   void registerOpUses();
@@ -173,6 +188,39 @@ private:
   /// Set by structure growth; triggers the XML onClick sweep when the
   /// worklists drain.
   bool StructureDirty = false;
+
+  /// Derivation recorder; null when provenance is off. Recording sites
+  /// stage the producing rule and premises in PRule/PPrem before calling
+  /// addValue (only when Prov is non-null, so the staging itself is
+  /// behind the same null check as the recording).
+  ProvenanceRecorder *Prov = nullptr;
+  DerivRule PRule = DerivRule::External;
+  FactId PPrem[3] = {ProvenanceRecorder::NoFact, ProvenanceRecorder::NoFact,
+                     ProvenanceRecorder::NoFact};
+
+  /// Stages the provenance context for subsequent addValue calls. No-op
+  /// (after one predicted branch) when provenance is off.
+  void provCtx(DerivRule Rule, FactId P0 = ProvenanceRecorder::NoFact,
+               FactId P1 = ProvenanceRecorder::NoFact,
+               FactId P2 = ProvenanceRecorder::NoFact) {
+    if (!Prov)
+      return;
+    PRule = Rule;
+    PPrem[0] = P0;
+    PPrem[1] = P1;
+    PPrem[2] = P2;
+  }
+  /// Records a relationship edge's derivation when provenance is on.
+  void provEdge(FactKind Kind, NodeId From, NodeId To, DerivRule Rule,
+                FactId P0 = ProvenanceRecorder::NoFact,
+                FactId P1 = ProvenanceRecorder::NoFact) {
+    if (Prov)
+      Prov->recordEdge(Kind, From, To, Rule, P0, P1);
+  }
+  /// flowFact lookup that is safe when provenance is off.
+  FactId provFlow(NodeId Target, NodeId Value) const {
+    return Prov ? Prov->flowFact(Target, Value) : ProvenanceRecorder::NoFact;
+  }
 };
 
 } // namespace analysis

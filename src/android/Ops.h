@@ -15,6 +15,8 @@
 #ifndef GATOR_ANDROID_OPS_H
 #define GATOR_ANDROID_OPS_H
 
+#include <cstddef>
+
 namespace gator {
 namespace android {
 
@@ -63,6 +65,10 @@ enum class OpKind {
   /// Client extension: `intent.setClass(ctx, classConst)`.
   SetIntentClass,
 };
+
+/// Number of OpKind enumerators; sizes per-kind stat arrays.
+inline constexpr size_t NumOpKinds =
+    static_cast<size_t>(OpKind::SetIntentClass) + 1;
 
 /// Printable rule name ("Inflate1", "FindView2", ...).
 const char *opKindName(OpKind Kind);

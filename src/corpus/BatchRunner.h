@@ -23,6 +23,7 @@
 #include "analysis/GuiAnalysis.h"
 #include "corpus/Corpus.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <vector>
@@ -46,6 +47,12 @@ struct BatchAppResult {
   double BuildSeconds = 0.0; ///< graph-construction time of the analysis
   double SolveSeconds = 0.0; ///< fixed-point time of the analysis
   bool GenerationFailed = false;
+  /// Thread-confined trace of this task (an "analyze-app" span wrapping
+  /// the per-phase spans), recorded only when the batch options carry a
+  /// trace sink. The driver appends these into its sink in spec order —
+  /// tagged with the app ordinal as tid — so the merged trace is
+  /// byte-identical across job counts (after timestamp normalization).
+  std::unique_ptr<support::TraceSink> Trace;
 };
 
 /// Generates and analyzes every spec with Options.Jobs workers (0 =

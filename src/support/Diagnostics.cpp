@@ -2,6 +2,8 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/Json.h"
+
 using namespace gator;
 
 const char *gator::severityLabel(DiagSeverity Severity) {
@@ -31,6 +33,29 @@ void DiagnosticEngine::print(std::ostream &OS) const {
       OS << D.Loc << ": ";
     OS << severityLabel(D.Severity) << ": " << D.Message << '\n';
   }
+}
+
+void DiagnosticEngine::printJson(std::ostream &OS) const {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("diagnostics");
+  W.beginArray();
+  for (const Diagnostic &D : Diags) {
+    W.beginObject();
+    W.field("severity", severityLabel(D.Severity));
+    if (D.Loc.isValid()) {
+      W.field("file", D.Loc.file());
+      W.field("line", D.Loc.line());
+      W.field("column", D.Loc.column());
+    }
+    W.field("message", D.Message);
+    W.endObject();
+  }
+  W.endArray();
+  W.field("errors", ErrorCount);
+  W.field("warnings", WarningCount);
+  W.endObject();
+  OS << '\n';
 }
 
 void DiagnosticEngine::clear() {

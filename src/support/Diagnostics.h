@@ -75,6 +75,11 @@ public:
   /// Writes every accumulated diagnostic to \p OS, one per line.
   void print(std::ostream &OS) const;
 
+  /// Writes every accumulated diagnostic as one JSON document:
+  /// {"diagnostics":[{severity, file?, line?, column?, message}...],
+  ///  "errors": N, "warnings": N}. Selected by `--diag-format=json`.
+  void printJson(std::ostream &OS) const;
+
   /// Drops all accumulated diagnostics and resets the counters.
   void clear();
 

@@ -90,6 +90,14 @@ public:
     OS << "null";
   }
 
+  /// Emits \p Token verbatim as a value — for callers that pre-format
+  /// numbers (fixed-precision doubles) but must keep the writer's
+  /// comma/state tracking intact. The token must be a valid JSON value.
+  void rawNumber(std::string_view Token) {
+    comma();
+    OS << Token;
+  }
+
   /// key + value in one call.
   template <typename T> void field(std::string_view Key, T &&Value) {
     key(Key);

@@ -1,0 +1,239 @@
+//===- Metrics.cpp - Typed metrics registry ---------------------*- C++ -*-===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gator;
+using namespace gator::support;
+
+void Histogram::merge(const Histogram &Other) {
+  if (Other.Bounds != Bounds) {
+    // Mismatched shapes would corrupt buckets; fold only the scalar
+    // moments so the total count stays honest.
+    Sum += Other.Sum;
+    Count += Other.Count;
+    return;
+  }
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] += Other.Counts[I];
+  Sum += Other.Sum;
+  Count += Other.Count;
+}
+
+MetricsRegistry::Instrument &
+MetricsRegistry::intern(const std::string &Name, const std::string &Help,
+                        Kind K, MetricUnit Unit, const std::string &LabelKey,
+                        const std::string &LabelValue) {
+  std::string Key = Name;
+  Key.push_back('\0');
+  Key += LabelValue;
+  auto [It, Inserted] = Index.try_emplace(Key, Instruments.size());
+  if (Inserted) {
+    Instrument I;
+    I.Name = Name;
+    I.Help = Help;
+    I.LabelKey = LabelKey;
+    I.LabelValue = LabelValue;
+    I.K = K;
+    I.Unit = Unit;
+    Instruments.push_back(std::move(I));
+  }
+  return Instruments[It->second];
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help, MetricUnit Unit,
+                                  const std::string &LabelKey,
+                                  const std::string &LabelValue) {
+  return intern(Name, Help, Kind::Counter, Unit, LabelKey, LabelValue).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, const std::string &Help,
+                              Gauge::Merge Merge, MetricUnit Unit) {
+  Instrument &I =
+      intern(Name, Help, Kind::Gauge, Unit, std::string(), std::string());
+  I.GaugeMerge = Merge;
+  return I.G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help,
+                                      const std::vector<uint64_t> &Bounds) {
+  Instrument &I = intern(Name, Help, Kind::Histogram, MetricUnit::None,
+                         std::string(), std::string());
+  if (I.H.bounds().empty() && !Bounds.empty())
+    I.H = Histogram(Bounds);
+  return I.H;
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  for (const Instrument &O : Other.Instruments) {
+    Instrument &I = intern(O.Name, O.Help, O.K, O.Unit, O.LabelKey,
+                           O.LabelValue);
+    I.GaugeMerge = O.GaugeMerge;
+    switch (O.K) {
+    case Kind::Counter:
+      I.C.add(O.C.value());
+      break;
+    case Kind::Gauge:
+      switch (O.GaugeMerge) {
+      case Gauge::Merge::Max:
+        I.G.setMax(O.G.value());
+        break;
+      case Gauge::Merge::Sum:
+        I.G.add(O.G.value());
+        break;
+      case Gauge::Merge::Last:
+        I.G.set(O.G.value());
+        break;
+      }
+      break;
+    case Kind::Histogram:
+      if (I.H.bounds().empty())
+        I.H = Histogram(O.H.bounds());
+      I.H.merge(O.H);
+      break;
+    }
+  }
+}
+
+std::vector<size_t> MetricsRegistry::sortedIndices(bool IncludeTimes) const {
+  std::vector<size_t> Order;
+  Order.reserve(Instruments.size());
+  for (size_t I = 0; I < Instruments.size(); ++I)
+    if (IncludeTimes || Instruments[I].Unit != MetricUnit::Seconds)
+      Order.push_back(I);
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    const Instrument &IA = Instruments[A], &IB = Instruments[B];
+    if (IA.Name != IB.Name)
+      return IA.Name < IB.Name;
+    return IA.LabelValue < IB.LabelValue;
+  });
+  return Order;
+}
+
+namespace {
+
+/// Fixed-precision double rendering so exported documents are
+/// byte-deterministic across platforms and locales.
+std::string formatDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+const char *kindName(bool IsCounter, bool IsHistogram) {
+  return IsHistogram ? "histogram" : (IsCounter ? "counter" : "gauge");
+}
+
+} // namespace
+
+void MetricsRegistry::writeJson(std::ostream &OS, bool IncludeTimes) const {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("metrics");
+  W.beginArray();
+  for (size_t Idx : sortedIndices(IncludeTimes)) {
+    const Instrument &I = Instruments[Idx];
+    W.beginObject();
+    W.field("name", I.Name);
+    if (!I.LabelKey.empty()) {
+      W.key("labels");
+      W.beginObject();
+      W.field(I.LabelKey, I.LabelValue);
+      W.endObject();
+    }
+    W.field("type", kindName(I.K == Kind::Counter, I.K == Kind::Histogram));
+    W.field("help", I.Help);
+    switch (I.K) {
+    case Kind::Counter:
+      W.field("value", static_cast<unsigned long long>(I.C.value()));
+      break;
+    case Kind::Gauge:
+      // Seconds gauges are real-valued (fixed-precision for byte-stable
+      // output); count-valued gauges are integral.
+      W.key("value");
+      if (I.Unit == MetricUnit::Seconds)
+        W.rawNumber(formatDouble(I.G.value()));
+      else
+        W.value(static_cast<long long>(I.G.value()));
+      break;
+    case Kind::Histogram: {
+      W.key("buckets");
+      W.beginArray();
+      const auto &Bounds = I.H.bounds();
+      const auto &Counts = I.H.bucketCounts();
+      uint64_t Cum = 0;
+      for (size_t B = 0; B < Counts.size(); ++B) {
+        Cum += Counts[B];
+        W.beginObject();
+        if (B < Bounds.size())
+          W.field("le", static_cast<unsigned long long>(Bounds[B]));
+        else
+          W.field("le", "+Inf");
+        W.field("count", static_cast<unsigned long long>(Cum));
+        W.endObject();
+      }
+      W.endArray();
+      W.field("sum", static_cast<unsigned long long>(I.H.sum()));
+      W.field("count", static_cast<unsigned long long>(I.H.count()));
+      break;
+    }
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}
+
+void MetricsRegistry::writePrometheus(std::ostream &OS,
+                                      bool IncludeTimes) const {
+  std::string LastHeader;
+  for (size_t Idx : sortedIndices(IncludeTimes)) {
+    const Instrument &I = Instruments[Idx];
+    // Labeled series of one metric share a single HELP/TYPE header.
+    if (I.Name != LastHeader) {
+      OS << "# HELP " << I.Name << ' ' << I.Help << '\n';
+      OS << "# TYPE " << I.Name << ' '
+         << kindName(I.K == Kind::Counter, I.K == Kind::Histogram) << '\n';
+      LastHeader = I.Name;
+    }
+    std::string Label;
+    if (!I.LabelKey.empty())
+      Label = "{" + I.LabelKey + "=\"" + I.LabelValue + "\"}";
+    switch (I.K) {
+    case Kind::Counter:
+      OS << I.Name << Label << ' ' << I.C.value() << '\n';
+      break;
+    case Kind::Gauge:
+      if (I.Unit == MetricUnit::Seconds)
+        OS << I.Name << Label << ' ' << formatDouble(I.G.value()) << '\n';
+      else
+        OS << I.Name << Label << ' '
+           << static_cast<long long>(I.G.value()) << '\n';
+      break;
+    case Kind::Histogram: {
+      const auto &Bounds = I.H.bounds();
+      const auto &Counts = I.H.bucketCounts();
+      uint64_t Cum = 0;
+      for (size_t B = 0; B < Counts.size(); ++B) {
+        Cum += Counts[B];
+        OS << I.Name << "_bucket{le=\"";
+        if (B < Bounds.size())
+          OS << Bounds[B];
+        else
+          OS << "+Inf";
+        OS << "\"} " << Cum << '\n';
+      }
+      OS << I.Name << "_sum " << I.H.sum() << '\n';
+      OS << I.Name << "_count " << I.H.count() << '\n';
+      break;
+    }
+    }
+  }
+}

@@ -1,0 +1,173 @@
+//===- Metrics.h - Typed metrics registry -----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small typed metrics registry (docs/OBSERVABILITY.md): counters
+/// (monotone sums), gauges (point samples with an explicit merge policy),
+/// and histograms with fixed bucket bounds. The analysis drivers populate
+/// one registry per run; the parallel batch drivers populate one registry
+/// per task and fold them with mergeFrom() in input order, so the exported
+/// document is byte-identical for every job count.
+///
+/// Export formats:
+///  - writeJson(): one JSON object per instrument, sorted by (name, label)
+///    for deterministic output;
+///  - writePrometheus(): the Prometheus text exposition format
+///    (# HELP / # TYPE lines, histogram _bucket/_sum/_count series).
+///
+/// Instruments carry a unit; Seconds-unit instruments hold wall-clock
+/// measurements and are skipped entirely when the caller exports with
+/// IncludeTimes = false (the CLI's --no-times contract: golden-file tests
+/// compare telemetry byte-for-byte).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_METRICS_H
+#define GATOR_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gator {
+namespace support {
+
+enum class MetricUnit : uint8_t {
+  None,    ///< dimensionless count
+  Seconds, ///< wall-clock time; suppressed by IncludeTimes = false
+};
+
+/// Monotonically increasing sum. Merges by addition.
+class Counter {
+public:
+  void add(uint64_t Delta) { Val += Delta; }
+  void inc() { ++Val; }
+  uint64_t value() const { return Val; }
+
+private:
+  uint64_t Val = 0;
+};
+
+/// A point sample. Merge::Max keeps the largest value across merges
+/// (peaks like PeakSetSize); Merge::Sum accumulates (real-valued totals
+/// like phase seconds); Merge::Last keeps the most recent sample.
+class Gauge {
+public:
+  enum class Merge : uint8_t { Max, Sum, Last };
+
+  void set(double V) { Val = V; }
+  void setMax(double V) {
+    if (V > Val)
+      Val = V;
+  }
+  void add(double V) { Val += V; }
+  double value() const { return Val; }
+
+private:
+  double Val = 0;
+};
+
+/// Fixed-bound histogram: Counts[i] counts observations <= Bounds[i], the
+/// final slot counts the overflow (the Prometheus +Inf bucket). Bucket
+/// counts are NOT cumulative in memory; exporters cumulate on the fly.
+class Histogram {
+public:
+  explicit Histogram(std::vector<uint64_t> UpperBounds)
+      : Bounds(std::move(UpperBounds)), Counts(Bounds.size() + 1, 0) {}
+  Histogram() : Histogram(std::vector<uint64_t>{}) {}
+
+  void observe(uint64_t V) {
+    size_t I = 0;
+    while (I < Bounds.size() && V > Bounds[I])
+      ++I;
+    ++Counts[I];
+    Sum += V;
+    ++Count;
+  }
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  const std::vector<uint64_t> &bucketCounts() const { return Counts; }
+  uint64_t sum() const { return Sum; }
+  uint64_t count() const { return Count; }
+
+  /// Bucket-wise addition; both histograms must share bounds.
+  void merge(const Histogram &Other);
+
+private:
+  std::vector<uint64_t> Bounds;
+  std::vector<uint64_t> Counts;
+  uint64_t Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// The registry. Instruments are identified by (name, one optional
+/// label); repeated registration returns the existing instrument, which
+/// is what lets per-app recording helpers run once per app against a
+/// shared registry.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name, const std::string &Help,
+                   MetricUnit Unit = MetricUnit::None,
+                   const std::string &LabelKey = std::string(),
+                   const std::string &LabelValue = std::string());
+
+  Gauge &gauge(const std::string &Name, const std::string &Help,
+               Gauge::Merge Merge = Gauge::Merge::Max,
+               MetricUnit Unit = MetricUnit::None);
+
+  Histogram &histogram(const std::string &Name, const std::string &Help,
+                       const std::vector<uint64_t> &UpperBounds);
+
+  /// Folds \p Other into this registry: counters add, gauges apply their
+  /// merge policy, histograms add bucket-wise. Commutative and
+  /// associative over counters/histograms/Max gauges, so a parallel
+  /// batch's merged registry is independent of task scheduling.
+  void mergeFrom(const MetricsRegistry &Other);
+
+  /// JSON document: {"metrics":[{name, type, help, value|buckets...}]}.
+  /// Instruments sorted by (name, label). Seconds-unit instruments are
+  /// omitted when \p IncludeTimes is false.
+  void writeJson(std::ostream &OS, bool IncludeTimes = true) const;
+
+  /// Prometheus text exposition format (version 0.0.4).
+  void writePrometheus(std::ostream &OS, bool IncludeTimes = true) const;
+
+  size_t instrumentCount() const { return Instruments.size(); }
+
+private:
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+  struct Instrument {
+    std::string Name;
+    std::string Help;
+    std::string LabelKey, LabelValue;
+    Kind K = Kind::Counter;
+    MetricUnit Unit = MetricUnit::None;
+    Gauge::Merge GaugeMerge = Gauge::Merge::Max;
+    Counter C;
+    Gauge G;
+    Histogram H;
+  };
+
+  Instrument &intern(const std::string &Name, const std::string &Help,
+                     Kind K, MetricUnit Unit, const std::string &LabelKey,
+                     const std::string &LabelValue);
+
+  /// Indices into Instruments sorted by (Name, LabelValue).
+  std::vector<size_t> sortedIndices(bool IncludeTimes) const;
+
+  std::vector<Instrument> Instruments;
+  /// (name + '\0' + labelValue) -> index into Instruments.
+  std::map<std::string, size_t> Index;
+};
+
+} // namespace support
+} // namespace gator
+
+#endif // GATOR_SUPPORT_METRICS_H

@@ -1,0 +1,48 @@
+//===- Trace.cpp - Structured span/event tracing ----------------*- C++ -*-===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+using namespace gator;
+using namespace gator::support;
+
+void TraceSink::append(TraceSink &&Child, uint32_t Tid) {
+  Events.reserve(Events.size() + Child.Events.size());
+  for (Event &E : Child.Events) {
+    E.Tid = Tid;
+    Events.push_back(std::move(E));
+  }
+  Child.Events.clear();
+}
+
+void TraceSink::writeJson(std::ostream &OS) const {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const Event &E : Events) {
+    W.beginObject();
+    W.field("name", E.Name);
+    W.field("ph", std::string(1, E.Ph));
+    W.field("ts", static_cast<unsigned long long>(E.TsMicros));
+    if (E.Ph == 'X')
+      W.field("dur", static_cast<unsigned long long>(E.DurMicros));
+    if (E.Ph == 'i')
+      W.field("s", "t"); // instant scope: thread
+    W.field("pid", 1);
+    W.field("tid", E.Tid);
+    if (!E.Args.empty()) {
+      W.key("args");
+      W.beginObject();
+      for (const auto &[Key, Value] : E.Args)
+        W.field(Key, static_cast<unsigned long long>(Value));
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.field("displayTimeUnit", "ms");
+  W.endObject();
+  OS << '\n';
+}

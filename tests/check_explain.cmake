@@ -1,0 +1,29 @@
+# End-to-end provenance check (docs/OBSERVABILITY.md): `gator_cli
+# --explain` on the full sample app must print a derivation tree for the
+# resolved FindView fact of the go button — the FindView conclusion, its
+# inflation premise, and a Seed axiom at the bottom. Invoked by ctest
+# with -DCLI=<gator_cli> -DAPP=<sample_full_app dir>.
+
+execute_process(
+  COMMAND ${CLI} ${APP} --explain go@HomeActivity
+  OUTPUT_VARIABLE run_out
+  RESULT_VARIABLE run_code)
+if(NOT run_code EQUAL 0)
+  message(FATAL_ERROR "gator_cli --explain failed: ${run_code}")
+endif()
+
+foreach(needle
+    "explain 'go@HomeActivity':"
+    "flowsTo(go@HomeActivity.onCreate/0, Button~infl"
+    "[FindView]"
+    "[Inflate]"
+    "[Seed]"
+    "hasId(Button~infl")
+  string(FIND "${run_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "--explain output is missing \"${needle}\":\n${run_out}")
+  endif()
+endforeach()
+
+message(STATUS "--explain printed the FindView derivation tree")

@@ -1,0 +1,49 @@
+# Telemetry determinism harness (docs/OBSERVABILITY.md): a batch run's
+# trace and metrics exports must be byte-identical at every -j value —
+# the trace after normalizing the only nondeterministic fields (the
+# "ts"/"dur" timestamps), the metrics exactly (exported under --no-times,
+# which suppresses the wall-clock instruments). Invoked by ctest with
+# -DCLI=<gator_cli> -DDIR=<batch input dir> -DWORK=<scratch dir>.
+
+file(MAKE_DIRECTORY "${WORK}")
+
+set(jobs_values 1 4)
+foreach(jobs ${jobs_values})
+  execute_process(
+    COMMAND ${CLI} --batch --no-times -j ${jobs} ${DIR}
+            --trace-out=${WORK}/trace_j${jobs}.json
+            --metrics-out=${WORK}/metrics_j${jobs}.json
+    RESULT_VARIABLE run_code
+    OUTPUT_QUIET)
+  if(NOT run_code EQUAL 0)
+    message(FATAL_ERROR "gator_cli --batch -j ${jobs} failed: ${run_code}")
+  endif()
+
+  # Normalize the timestamps: every "ts":N and "dur":N becomes 0. What
+  # remains — event names, phases, lanes, args, and their order — must
+  # not depend on scheduling.
+  file(READ "${WORK}/trace_j${jobs}.json" trace_text)
+  string(REGEX REPLACE "\"ts\":[0-9]+" "\"ts\":0" trace_text "${trace_text}")
+  string(REGEX REPLACE "\"dur\":[0-9]+" "\"dur\":0" trace_text "${trace_text}")
+  file(WRITE "${WORK}/trace_j${jobs}.normalized.json" "${trace_text}")
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK}/trace_j1.normalized.json ${WORK}/trace_j4.normalized.json
+  RESULT_VARIABLE trace_same)
+if(NOT trace_same EQUAL 0)
+  message(FATAL_ERROR
+    "normalized trace differs between -j 1 and -j 4")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK}/metrics_j1.json ${WORK}/metrics_j4.json
+  RESULT_VARIABLE metrics_same)
+if(NOT metrics_same EQUAL 0)
+  message(FATAL_ERROR "metrics export differs between -j 1 and -j 4")
+endif()
+
+message(STATUS "telemetry byte-identical at -j ${jobs_values} "
+               "(after timestamp normalization)")
