@@ -15,9 +15,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/BatchRunner.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +74,7 @@ std::string aggregateLine(const std::vector<BatchAppResult> &Batch) {
 struct SweepPoint {
   unsigned Jobs = 1;
   double Seconds = 0.0;
+  unsigned long long PeakRssBytes = 0; ///< process high-water after the point
   std::vector<unsigned long> TasksPerWorker;
   std::string Counters;
 };
@@ -93,6 +97,7 @@ std::vector<SweepPoint> sweep(const char *Label,
     SweepPoint P;
     P.Jobs = Jobs;
     P.Seconds = T.seconds();
+    P.PeakRssBytes = currentPeakRssBytes();
     P.TasksPerWorker = Stats.TasksPerWorker;
     P.Counters = aggregateLine(Batch);
     if (Points.empty())
@@ -116,29 +121,77 @@ std::vector<SweepPoint> sweep(const char *Label,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --fleet N      size of the generated fleet sweep (0 disables; default
+  //                10000 — the memory-bound regime of docs/MEMORY.md)
+  // --fleet-only   skip the corpus/synthetic sweeps (fresh-process fleet
+  //                numbers: peak RSS is attributable to the fleet alone)
+  // --jobs A,B,..  job counts to sweep (default 1,2,4,8)
+  unsigned FleetApps = 10000;
+  bool FleetOnly = false;
+  std::vector<unsigned> JobValues = {1, 2, 4, 8};
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--fleet") && I + 1 < Argc)
+      FleetApps = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--fleet-only"))
+      FleetOnly = true;
+    else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
+      JobValues.clear();
+      for (const char *P = Argv[++I]; *P;) {
+        JobValues.push_back(static_cast<unsigned>(std::strtoul(P, nullptr, 10)));
+        while (*P && *P != ',')
+          ++P;
+        if (*P == ',')
+          ++P;
+      }
+    }
+  }
+
   std::printf("Strong-scaling sweep of the parallel batch engine "
               "(docs/PARALLEL.md)\n");
   std::printf("hardware concurrency: %u\n\n",
               std::thread::hardware_concurrency());
 
-  const std::vector<unsigned> JobValues = {1, 2, 4, 8};
-  std::vector<SweepPoint> Corpus =
-      sweep("paper corpus", paperCorpus(), JobValues);
-  std::vector<SweepPoint> Synthetic =
-      sweep("synthetic batch", syntheticBatch(200), JobValues);
+  std::vector<SweepPoint> Corpus, Synthetic, Fleet;
+  if (!FleetOnly) {
+    Corpus = sweep("paper corpus", paperCorpus(), JobValues);
+    Synthetic = sweep("synthetic batch", syntheticBatch(200), JobValues);
+  }
+  if (FleetApps) {
+    FleetSpec FS;
+    FS.Apps = FleetApps;
+    Fleet = sweep("generated fleet", makeFleet(FS), JobValues);
+    const SweepPoint &P0 = Fleet.front();
+    std::printf("fleet throughput at -j%u: %.1f apps/s, peak RSS %.1f MiB "
+                "(%.1f KiB/app)\n\n",
+                P0.Jobs, FleetApps / P0.Seconds,
+                P0.PeakRssBytes / (1024.0 * 1024.0),
+                P0.PeakRssBytes / 1024.0 / FleetApps);
+  }
 
-  // Machine-readable tail for bench/BENCH_parallel.json.
+  // Machine-readable tail for bench/BENCH_parallel.json and
+  // bench/BENCH_arena.json.
   std::printf("json: {");
   const char *Sep = "";
-  for (const auto *Points : {&Corpus, &Synthetic}) {
-    std::printf("%s\"%s\": {", Sep,
-                Points == &Corpus ? "corpus20" : "synthetic200");
+  struct Series {
+    const char *Name;
+    const std::vector<SweepPoint> *Points;
+  };
+  for (const Series &S : {Series{"corpus20", &Corpus},
+                          Series{"synthetic200", &Synthetic},
+                          Series{"fleet", &Fleet}}) {
+    if (S.Points->empty())
+      continue;
+    std::printf("%s\"%s\": {", Sep, S.Name);
     const char *Inner = "";
-    for (const SweepPoint &P : *Points) {
+    for (const SweepPoint &P : *S.Points) {
       std::printf("%s\"j%u\": %.4f", Inner, P.Jobs, P.Seconds);
       Inner = ", ";
     }
+    std::printf("%s\"peak_rss_bytes\": %llu", Inner,
+                S.Points->front().PeakRssBytes);
+    if (S.Points == &Fleet)
+      std::printf(", \"apps\": %u", FleetApps);
     std::printf("}");
     Sep = ", ";
   }

@@ -111,6 +111,11 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
 
   Stats.BuildSeconds = Result.BuildSeconds;
   Stats.SolveSeconds = Result.SolveSeconds;
+
+  Stats.ArenaBytes = P.declArena().bytesAllocated() +
+                     G.edgeArena().bytesAllocated() +
+                     Sol.setArena().bytesAllocated();
+  Stats.PeakRssBytes = support::currentPeakRssBytes();
   return Stats;
 }
 
@@ -161,6 +166,10 @@ gator::analysis::aggregateAppStats(const std::string &Name,
     }
     Total.BuildSeconds += S.BuildSeconds;
     Total.SolveSeconds += S.SolveSeconds;
+    // Footprints, not volumes: slabs are dropped between apps, so the
+    // batch-wide number is the largest single-app footprint.
+    Total.ArenaBytes = std::max(Total.ArenaBytes, S.ArenaBytes);
+    Total.PeakRssBytes = std::max(Total.PeakRssBytes, S.PeakRssBytes);
   }
   return Total;
 }
@@ -219,6 +228,18 @@ void gator::analysis::recordAppMetrics(support::MetricsRegistry &Metrics,
       .gauge("gator_solver_peak_op_worklist",
              "Deepest op worklist observed (max across apps)")
       .setMax(static_cast<double>(Stats.PeakOpWorklist));
+
+  Metrics
+      .gauge("gator_arena_bytes_per_app",
+             "Largest single-app arena footprint (IR + graph + flow sets)",
+             Gauge::Merge::Max, MetricUnit::Bytes)
+      .setMax(static_cast<double>(Stats.ArenaBytes));
+  if (Stats.PeakRssBytes)
+    Metrics
+        .gauge("gator_peak_rss_bytes",
+               "Process peak resident set size (high-water mark)",
+               Gauge::Merge::Max, MetricUnit::BytesVolatile)
+        .setMax(static_cast<double>(Stats.PeakRssBytes));
 
   Metrics
       .gauge("gator_phase_build_seconds", "Graph construction wall-clock",

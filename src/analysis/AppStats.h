@@ -89,6 +89,21 @@ struct AppStats {
   /// --no-times).
   double BuildSeconds = 0.0;
   double SolveSeconds = 0.0;
+
+  // Memory telemetry (docs/MEMORY.md).
+
+  /// Bytes bump-allocated from this app's arenas: IR declarations
+  /// (Program::declArena), constraint-graph adjacency
+  /// (ConstraintGraph::edgeArena), and solver flow sets
+  /// (Solution::setArena). Aggregated with max — the largest single-app
+  /// arena footprint — because per-app slabs are dropped between apps,
+  /// so a sum would describe traffic, not footprint.
+  unsigned long long ArenaBytes = 0;
+
+  /// Process peak RSS (support::currentPeakRssBytes) sampled when the
+  /// app's stats were collected. A high-water mark: max-merged, never
+  /// summed.
+  unsigned long long PeakRssBytes = 0;
 };
 
 /// Collects statistics from a completed analysis run.

@@ -89,13 +89,13 @@ ContextRefinementStats gator::analysis::applyContextRefinement(
         if (Targets.size() != 1)
           continue; // polymorphic: cloning would change dispatch
         const MethodDecl *T = Targets.front();
-        if (T == M.get())
+        if (T == M)
           continue; // self-recursive site: keep in the original
         if (!isEligibleHelper(P, AM, T, MaxHelperStmts))
           continue;
         auto &Entry = Sites[T->qualifiedName()];
         Entry.first = T;
-        Entry.second.push_back(CallSite{M.get(), I});
+        Entry.second.push_back(CallSite{M, I});
       }
     }
   }

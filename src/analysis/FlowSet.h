@@ -29,6 +29,7 @@
 #define GATOR_ANALYSIS_FLOWSET_H
 
 #include "graph/ConstraintGraph.h"
+#include "support/Arena.h"
 
 #include <algorithm>
 #include <cstddef>
@@ -43,45 +44,45 @@ namespace analysis {
 class FlowSet {
 public:
   using value_type = graph::NodeId;
-  using const_iterator = std::vector<graph::NodeId>::const_iterator;
+  using const_iterator = const graph::NodeId *;
 
   /// Largest size served by the linear-scan small representation.
   static constexpr size_t SmallLimit = 16;
 
+  /// Move-only: element storage lives in the owning Solution's set arena
+  /// (docs/MEMORY.md), so a copy would alias the backing block. The
+  /// mutator takes the arena explicitly; every read is self-contained.
   FlowSet() = default;
   FlowSet(FlowSet &&) = default;
   FlowSet &operator=(FlowSet &&) = default;
-  // The hash index lives behind a unique_ptr (it exists only for promoted
-  // sets, keeping sizeof(FlowSet) small for the per-node table), so copies
-  // must clone it explicitly.
-  FlowSet(const FlowSet &Other)
-      : Elements(Other.Elements), DeltaStart(Other.DeltaStart) {
-    if (Other.Index)
-      Index = std::make_unique<std::unordered_set<graph::NodeId>>(*Other.Index);
-  }
-  FlowSet &operator=(const FlowSet &Other) {
-    if (this != &Other) {
-      Elements = Other.Elements;
-      DeltaStart = Other.DeltaStart;
-      Index.reset();
-      if (Other.Index)
-        Index =
-            std::make_unique<std::unordered_set<graph::NodeId>>(*Other.Index);
-    }
-    return *this;
+  FlowSet(const FlowSet &) = delete;
+  FlowSet &operator=(const FlowSet &) = delete;
+
+  /// Deep copy into \p A (element storage; a promoted index is cloned on
+  /// the heap as usual). For tests and snapshot consumers.
+  FlowSet clone(support::Arena &A) const {
+    FlowSet S;
+    S.Elements.reserve(A, Elements.size());
+    for (graph::NodeId V : Elements)
+      S.Elements.push_back(A, V);
+    S.DeltaStart = DeltaStart;
+    if (Index)
+      S.Index = std::make_unique<std::unordered_set<graph::NodeId>>(*Index);
+    return S;
   }
 
-  /// Adds \p V; returns true when the set grew.
-  bool insert(graph::NodeId V) {
+  /// Adds \p V, allocating element storage from \p A; returns true when
+  /// the set grew.
+  bool insert(support::Arena &A, graph::NodeId V) {
     if (Index) {
       if (!Index->insert(V).second)
         return false;
-      Elements.push_back(V);
+      Elements.push_back(A, V);
       return true;
     }
     if (std::find(Elements.begin(), Elements.end(), V) != Elements.end())
       return false;
-    Elements.push_back(V);
+    Elements.push_back(A, V);
     if (Elements.size() > SmallLimit) {
       Index = std::make_unique<std::unordered_set<graph::NodeId>>(
           Elements.begin(), Elements.end());
@@ -104,7 +105,9 @@ public:
   /// Iteration covers all elements in insertion order.
   const_iterator begin() const { return Elements.begin(); }
   const_iterator end() const { return Elements.end(); }
-  const std::vector<graph::NodeId> &values() const { return Elements; }
+  const support::ArenaVector<graph::NodeId> &values() const {
+    return Elements;
+  }
 
   //===--------------------------------------------------------------------===//
   // Delta protocol (difference propagation)
@@ -125,10 +128,11 @@ public:
   bool promoted() const { return Index != nullptr; }
 
 private:
-  /// All elements in insertion order (monotone: never shrinks).
-  std::vector<graph::NodeId> Elements;
+  /// All elements in insertion order (monotone: never shrinks); storage
+  /// bump-allocated from the owning Solution's arena.
+  support::ArenaVector<graph::NodeId> Elements;
   /// Membership index, allocated lazily once the set outgrows SmallLimit.
-  /// Behind a pointer so unpromoted sets (the common case) stay at 40
+  /// Behind a pointer so unpromoted sets (the common case) stay at 32
   /// bytes: the per-node table is value-initialized on every solve.
   std::unique_ptr<std::unordered_set<graph::NodeId>> Index;
   /// Start of the uncommitted suffix of Elements.

@@ -47,7 +47,7 @@ void GraphBuilder::buildActivityNodes(ConstraintGraph &G) {
         std::string Key = M->name() + "/" + std::to_string(M->paramCount());
         if (!Seen.insert(Key).second)
           continue; // overridden below; dispatch target already recorded
-        G.addFlowEdge(ActNode, G.getVarNode(M.get(), M->thisVar()));
+        G.addFlowEdge(ActNode, G.getVarNode(M, M->thisVar()));
       }
     }
   }
@@ -217,7 +217,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
             if (!Seen.insert(Key).second)
               continue;
             G.addFlowEdge(Alloc,
-                          G.getVarNode(Callback.get(), Callback->thisVar()));
+                          G.getVarNode(Callback, Callback->thisVar()));
           }
       }
       break;

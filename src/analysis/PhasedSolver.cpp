@@ -110,7 +110,7 @@ private:
   bool insert(NodeId N, NodeId Value) {
     if (N == InvalidNode || !typeCompatible(N, Value))
       return false;
-    if (!sets()[N].insert(Value))
+    if (!sets()[N].insert(Sol.setArena(), Value))
       return false;
     if (Prov)
       Prov->recordFlow(N, Value, PRule, PPrem[0], PPrem[1], PPrem[2]);

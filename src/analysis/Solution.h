@@ -75,6 +75,13 @@ public:
 
   std::vector<FlowSet> &flowsToSets() { return FlowsTo; }
   const std::vector<FlowSet> &flowsToSets() const { return FlowsTo; }
+
+  /// The arena backing every FlowSet's element storage (docs/MEMORY.md):
+  /// solvers pass it to FlowSet::insert, and the whole solution's set
+  /// volume is released as slabs with the Solution.
+  support::Arena &setArena() { return SetArena; }
+  /// Set-storage footprint, for AppStats::ArenaBytes accounting.
+  const support::Arena &setArena() const { return SetArena; }
   std::vector<OpSite> &opSites() { return Ops; }
   const std::vector<OpSite> &opSites() const { return Ops; }
 
@@ -184,6 +191,9 @@ public:
 private:
   const graph::ConstraintGraph &G;
   const android::AndroidModel &AM;
+  /// Owns all FlowSet element storage; declared before FlowsTo so slabs
+  /// outlive the tables pointing at them.
+  support::Arena SetArena;
   std::vector<FlowSet> FlowsTo;
   std::vector<OpSite> Ops;
   FlowSet Empty;

@@ -85,7 +85,7 @@ void Solver::addValue(NodeId N, NodeId Value) {
     return;
   ensureSets();
   auto &Sets = Sol.flowsToSets();
-  if (!Sets[N].insert(Value)) {
+  if (!Sets[N].insert(Sol.setArena(), Value)) {
     ++Stats.DedupHits;
     return;
   }
@@ -320,7 +320,7 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
 
     NodeId ViewNode = G.makeViewInflNode(Klass, F.LNode, Op.OpNode);
     ensureSets();
-    Sol.flowsToSets()[ViewNode].insert(ViewNode);
+    Sol.flowsToSets()[ViewNode].insert(Sol.setArena(), ViewNode);
     if (Prov)
       Prov->recordFlow(ViewNode, ViewNode, DerivRule::Inflate, IdFact);
 
@@ -564,7 +564,8 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
       // Copy: addParentChildEdge cannot extend viewsWithId, but an id may
       // be assigned mid-loop by a re-entrant rule in future revisions;
       // the copy is tiny and keeps iteration sound.
-      std::vector<NodeId> Containers(G.viewsWithId(IdNode));
+      std::vector<NodeId> Containers(G.viewsWithId(IdNode).begin(),
+                                     G.viewsWithId(IdNode).end());
       for (NodeId Container : Containers)
         for (NodeId Root : FragmentRoots)
           if (Container != Root && G.addParentChildEdge(Container, Root)) {

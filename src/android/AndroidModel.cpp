@@ -377,8 +377,8 @@ bool AndroidModel::isListenerClass(const ClassDecl *C) const {
 std::vector<const ClassDecl *> AndroidModel::appActivityClasses() const {
   std::vector<const ClassDecl *> Result;
   for (const auto &C : P->classes())
-    if (!C->isPlatform() && !C->isInterface() && isActivityClass(C.get()))
-      Result.push_back(C.get());
+    if (!C->isPlatform() && !C->isInterface() && isActivityClass(C))
+      Result.push_back(C);
   return Result;
 }
 

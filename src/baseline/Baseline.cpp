@@ -244,8 +244,8 @@ BaselineResult BaselineSolver::run() {
         continue;
       for (const auto &M : C->methods())
         if (!M->isAbstract() && !M->isStatic())
-          addValue(varNode(M.get(), M->thisVar()),
-                   newValue(C.get(), /*IsSummary=*/true));
+          addValue(varNode(M, M->thisVar()),
+                   newValue(C, /*IsSummary=*/true));
     }
   }
 
@@ -272,11 +272,11 @@ BaselineResult BaselineSolver::run() {
   for (const auto &C : P.classes()) {
     if (C->isPlatform())
       continue;
-    for (const auto *Spec : AM.listenerSpecsOf(C.get())) {
+    for (const auto *Spec : AM.listenerSpecsOf(C)) {
       for (const HandlerSig &Sig : Spec->Handlers) {
         const MethodDecl *H =
-            hier::ClassHierarchy::dispatch(C.get(), Sig.MethodName, Sig.Arity);
-        if (!H || H->owner() != C.get())
+            hier::ClassHierarchy::dispatch(C, Sig.MethodName, Sig.Arity);
+        if (!H || H->owner() != C)
           continue;
         ++R.HandlersTotal;
         if (!Sets[varNode(H, H->thisVar())].empty())

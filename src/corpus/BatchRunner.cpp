@@ -45,6 +45,10 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
         R.BuildSeconds = R.Result->BuildSeconds;
         R.SolveSeconds = R.Result->SolveSeconds;
         if (!KeepArtifacts) {
+          // All per-app ownership (IR decls, graph adjacency, flow sets)
+          // lives on arenas inside the bundle and the result, so this is
+          // a pure slab drop — no per-node deletes (docs/MEMORY.md). The
+          // stats row above already harvested ArenaBytes/PeakRssBytes.
           R.Result.reset();
           R.App = GeneratedApp();
         }

@@ -582,3 +582,87 @@ const std::vector<AppSpec> &gator::corpus::paperCorpus() {
   }();
   return Corpus;
 }
+
+//===----------------------------------------------------------------------===//
+// Synthetic fleets (10k+ apps)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// SplitMix64 step (Steele et al., "Fast splittable pseudorandom number
+/// generators"). Small state, full-period, and cheap to seed per index —
+/// exactly what an order-independent per-app stream needs.
+uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Uniform draw in [Lo, Hi] from a per-app stream.
+unsigned drawIn(uint64_t &State, unsigned Lo, unsigned Hi) {
+  return Lo + static_cast<unsigned>(splitMix64(State) % (Hi - Lo + 1));
+}
+
+} // namespace
+
+std::vector<AppSpec> gator::corpus::makeFleet(const FleetSpec &Fleet) {
+  std::vector<AppSpec> Specs;
+  Specs.reserve(Fleet.Apps);
+  for (unsigned I = 0; I < Fleet.Apps; ++I) {
+    // One explicit stream per index: the spec is a pure function of
+    // (Fleet.Seed, I), never of generation order.
+    uint64_t State = Fleet.Seed ^ (uint64_t(I) * 0x2545f4914f6cdd1dULL);
+
+    AppSpec Spec;
+    Spec.Name = Fleet.NamePrefix + std::to_string(I);
+    Spec.Seed = static_cast<uint32_t>(splitMix64(State) | 1u);
+
+    unsigned Bucket = drawIn(State, 0, 99);
+    if (Bucket < Fleet.DeepTreePercent) {
+      // Deep view trees: big layouts and inflated item layouts dominate
+      // graph size and flow-set volume (the memory-bound solve).
+      Spec.Activities = drawIn(State, 2, 4);
+      Spec.ViewsPerLayout = drawIn(State, 24, 40);
+      Spec.IdsPerLayout = Spec.ViewsPerLayout / 2;
+      Spec.DirectFindsPerActivity = drawIn(State, 3, 6);
+      Spec.InflateItemsPerActivity = drawIn(State, 1, 2);
+      Spec.ListenersPerActivity = 1;
+      Spec.FillerClasses = drawIn(State, 4, 8);
+    } else if (Bucket < Fleet.DeepTreePercent + Fleet.WideListenerPercent) {
+      // Wide listener fan-out: many listener classes and registrations.
+      Spec.Activities = drawIn(State, 3, 6);
+      Spec.ViewsPerLayout = drawIn(State, 10, 16);
+      Spec.IdsPerLayout = drawIn(State, 6, 10);
+      Spec.ListenersPerActivity = drawIn(State, 4, 8);
+      Spec.ProgViewsPerActivity = drawIn(State, 1, 2);
+      Spec.FillerClasses = drawIn(State, 4, 8);
+    } else if (Bucket < Fleet.DeepTreePercent + Fleet.WideListenerPercent +
+                            Fleet.SharedHelperPercent) {
+      // Shared-helper aliasing: every activity routes lookups through the
+      // shared base helper, merging results across callers (Section 5).
+      Spec.Activities = drawIn(State, 4, 8);
+      Spec.ViewsPerLayout = drawIn(State, 10, 14);
+      Spec.IdsPerLayout = drawIn(State, 6, 9);
+      Spec.SharedFindsPerActivity = drawIn(State, 2, 4);
+      Spec.SharedHelperUsers = Spec.Activities;
+      Spec.ListenersPerActivity = drawIn(State, 1, 2);
+      Spec.FillerClasses = drawIn(State, 4, 8);
+    } else {
+      // Baseline: small quick apps; at fleet scale these stress the task
+      // queue rather than the solver.
+      Spec.Activities = drawIn(State, 2, 3);
+      Spec.ViewsPerLayout = drawIn(State, 6, 10);
+      Spec.IdsPerLayout = drawIn(State, 4, 6);
+      Spec.DirectFindsPerActivity = 2;
+      Spec.ListenersPerActivity = 1;
+      Spec.ProgViewsPerActivity = 1;
+      Spec.FillerClasses = drawIn(State, 2, 6);
+    }
+    Spec.UseFlipper = (splitMix64(State) & 7) == 0;
+    Spec.UseDialog = (splitMix64(State) & 7) == 1;
+    Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}

@@ -137,6 +137,34 @@ GeneratedApp generateApp(const AppSpec &Spec);
 /// reproduces the shape of Table 2 (mostly < 2, XBMC an outlier near 9).
 const std::vector<AppSpec> &paperCorpus();
 
+/// Shape distribution for a synthetic fleet at 10k+-app scale. The fleet
+/// mixes four app shapes so both scheduler-bound (many tiny apps) and
+/// memory-bound (deep trees, wide fan-out, heavy aliasing) regimes are
+/// exercised in one batch:
+///  - deep: deep/wide view trees with inflated item layouts (big graphs,
+///    big flow sets — the memory-bound solve);
+///  - wide: wide listener fan-out (many listener classes and
+///    registrations per activity);
+///  - aliased: shared-helper lookups from every activity (the XBMC-style
+///    context-insensitive merge, fattening receiver sets);
+///  - the remainder: small baseline apps (the scheduler stress case).
+/// Percentages are of the whole fleet; they must sum to <= 100.
+struct FleetSpec {
+  unsigned Apps = 10000;
+  uint64_t Seed = 42;
+  std::string NamePrefix = "Fleet";
+  unsigned DeepTreePercent = 15;
+  unsigned WideListenerPercent = 15;
+  unsigned SharedHelperPercent = 15;
+};
+
+/// Expands a FleetSpec into per-app generation specs. Every app's knobs
+/// are drawn from its own SplitMix64 stream keyed by (Fleet.Seed, index),
+/// so the spec at index i is a pure function of (Fleet, i): generation is
+/// deterministic and order-independent, and a parallel batch produces the
+/// same fleet at every -j value (docs/PARALLEL.md determinism contract).
+std::vector<AppSpec> makeFleet(const FleetSpec &Fleet);
+
 } // namespace corpus
 } // namespace gator
 

@@ -63,13 +63,14 @@ bool gator::graph::isViewNodeKind(NodeKind Kind) {
 void ConstraintGraph::reserve(size_t NodeHint, size_t EdgeHint) {
   Nodes.reserve(NodeHint);
   FlowSucc.reserve(NodeHint);
-  KindIndex[static_cast<size_t>(NodeKind::Var)].reserve(NodeHint / 2);
+  KindIndex[static_cast<size_t>(NodeKind::Var)].reserve(EdgeArena,
+                                                        NodeHint / 2);
   FlowEdges.reserve(EdgeHint / 4); // only high-degree sources land here
 }
 
 NodeId ConstraintGraph::push(Node N) {
   NodeId Id = static_cast<NodeId>(Nodes.size());
-  KindIndex[static_cast<size_t>(N.Kind)].push_back(Id);
+  KindIndex[static_cast<size_t>(N.Kind)].push_back(EdgeArena, Id);
   Nodes.push_back(std::move(N));
   FlowSucc.emplace_back();
   return Id;
@@ -78,9 +79,10 @@ NodeId ConstraintGraph::push(Node N) {
 NodeId ConstraintGraph::getVarNode(const MethodDecl *M, VarId V) {
   if (VarNodes.size() <= M->globalId())
     VarNodes.resize(M->globalId() + 1);
-  std::vector<NodeId> &PerMethod = VarNodes[M->globalId()];
+  NodeList &PerMethod = VarNodes[M->globalId()];
   if (static_cast<size_t>(V) >= PerMethod.size())
-    PerMethod.resize(std::max(M->vars().size(), static_cast<size_t>(V) + 1),
+    PerMethod.resize(EdgeArena,
+                     std::max(M->vars().size(), static_cast<size_t>(V) + 1),
                      InvalidNode);
   NodeId &Slot = PerMethod[V];
   if (Slot != InvalidNode)
@@ -109,10 +111,10 @@ NodeId ConstraintGraph::getFieldNode(const FieldDecl *F) {
 NodeId ConstraintGraph::getAllocNode(const MethodDecl *M, int32_t StmtIndex,
                                      const ClassDecl *Klass, bool IsView,
                                      SourceLocation Loc) {
-  auto &PerMethod = AllocNodes[M];
-  auto It = PerMethod.find(StmtIndex);
-  if (It != PerMethod.end())
-    return It->second;
+  uint64_t Key = support::packSymbolKey(M->globalId(),
+                                        static_cast<uint32_t>(StmtIndex));
+  if (const NodeId *Hit = AllocNodes.get(Key))
+    return *Hit;
   Node N;
   N.Kind = IsView ? NodeKind::ViewAlloc : NodeKind::Alloc;
   N.Method = M;
@@ -120,25 +122,23 @@ NodeId ConstraintGraph::getAllocNode(const MethodDecl *M, int32_t StmtIndex,
   N.Klass = Klass;
   N.Loc = std::move(Loc);
   NodeId Id = push(std::move(N));
-  PerMethod.emplace(StmtIndex, Id);
+  AllocNodes.set(Key, Id);
   return Id;
 }
 
 NodeId ConstraintGraph::getActivityNode(const ClassDecl *Klass) {
-  auto It = ActivityNodes.find(Klass);
-  if (It != ActivityNodes.end())
-    return It->second;
+  if (const NodeId *Hit = ActivityNodes.get(Klass->globalId()))
+    return *Hit;
   Node N;
   N.Kind = NodeKind::Activity;
   N.Klass = Klass;
   NodeId Id = push(std::move(N));
-  ActivityNodes.emplace(Klass, Id);
+  ActivityNodes.set(Klass->globalId(), Id);
   return Id;
 }
 
 NodeId ConstraintGraph::getIdNode(std::vector<NodeId> &Dense,
-                                  std::unordered_map<layout::ResourceId,
-                                                     NodeId> &Overflow,
+                                  support::FlatIdMap<NodeId> &Overflow,
                                   layout::ResourceId Base, NodeKind Kind,
                                   layout::ResourceId Res) {
   // Resource ids are interned densely from the table's fixed base; those
@@ -152,7 +152,7 @@ NodeId ConstraintGraph::getIdNode(std::vector<NodeId> &Dense,
       Dense.resize(Idx + 1, InvalidNode);
     Slot = &Dense[Idx];
   } else {
-    Slot = &Overflow.try_emplace(Res, InvalidNode).first->second;
+    Slot = &Overflow.getOrInsert(Res, InvalidNode);
   }
   if (*Slot != InvalidNode)
     return *Slot;
@@ -175,14 +175,13 @@ NodeId ConstraintGraph::getViewIdNode(layout::ResourceId Res) {
 }
 
 NodeId ConstraintGraph::getClassConstNode(const ClassDecl *Klass) {
-  auto It = ClassConstNodes.find(Klass);
-  if (It != ClassConstNodes.end())
-    return It->second;
+  if (const NodeId *Hit = ClassConstNodes.get(Klass->globalId()))
+    return *Hit;
   Node N;
   N.Kind = NodeKind::ClassConst;
   N.Klass = Klass;
   NodeId Id = push(std::move(N));
-  ClassConstNodes.emplace(Klass, Id);
+  ClassConstNodes.set(Klass->globalId(), Id);
   return Id;
 }
 
@@ -219,20 +218,20 @@ bool ConstraintGraph::addFlowEdge(NodeId From, NodeId To) {
     ++DroppedInvariants;
     return false;
   }
-  std::vector<NodeId> &Succ = FlowSucc[From];
+  NodeList &Succ = FlowSucc[From];
   if (Succ.size() <= SmallFlowDegree) {
     if (std::find(Succ.begin(), Succ.end(), To) != Succ.end())
       return false;
-    Succ.push_back(To);
+    Succ.push_back(EdgeArena, To);
     ++NumFlowEdges;
     if (Succ.size() > SmallFlowDegree)
       for (NodeId S : Succ) // degree crossed the threshold: migrate to hash
-        FlowEdges.insert(edgeKey(From, S));
+        insertEdgeKey(FlowEdges, edgeKey(From, S));
     return true;
   }
-  if (!FlowEdges.insert(edgeKey(From, To)).second)
+  if (!insertEdgeKey(FlowEdges, edgeKey(From, To)))
     return false;
-  Succ.push_back(To);
+  Succ.push_back(EdgeArena, To);
   ++NumFlowEdges;
   return true;
 }
@@ -245,19 +244,19 @@ bool ConstraintGraph::addAssocEdge(AssocEdges &E, NodeId From, NodeId To) {
   }
   if (E.Lists.size() <= From)
     E.Lists.resize(std::max<size_t>(From + 1, Nodes.size()));
-  std::vector<NodeId> &List = E.Lists[From];
+  NodeList &List = E.Lists[From];
   if (List.size() <= SmallFlowDegree) {
     if (std::find(List.begin(), List.end(), To) != List.end())
       return false;
-    List.push_back(To);
+    List.push_back(EdgeArena, To);
     if (List.size() > SmallFlowDegree)
       for (NodeId S : List)
-        E.Spill.insert(edgeKey(From, S));
+        insertEdgeKey(E.Spill, edgeKey(From, S));
     return true;
   }
-  if (!E.Spill.insert(edgeKey(From, To)).second)
+  if (!insertEdgeKey(E.Spill, edgeKey(From, To)))
     return false;
-  List.push_back(To);
+  List.push_back(EdgeArena, To);
   return true;
 }
 
@@ -294,7 +293,7 @@ bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
   if (Added) {
     if (ViewsByIdTable.size() <= ViewIdNode)
       ViewsByIdTable.resize(std::max<size_t>(ViewIdNode + 1, Nodes.size()));
-    ViewsByIdTable[ViewIdNode].push_back(View);
+    ViewsByIdTable[ViewIdNode].push_back(EdgeArena, View);
   }
   return Added;
 }
@@ -344,29 +343,27 @@ std::vector<NodeId> ConstraintGraph::rootHolders() const {
   return Result;
 }
 
-const std::vector<NodeId> &ConstraintGraph::children(NodeId View) const {
+const NodeList &ConstraintGraph::children(NodeId View) const {
   return assocList(ChildEdges, View);
 }
 
-const std::vector<NodeId> &ConstraintGraph::viewIds(NodeId View) const {
+const NodeList &ConstraintGraph::viewIds(NodeId View) const {
   return assocList(HasIdEdges, View);
 }
 
-const std::vector<NodeId> &ConstraintGraph::roots(NodeId Activity) const {
+const NodeList &ConstraintGraph::roots(NodeId Activity) const {
   return assocList(RootEdges, Activity);
 }
 
-const std::vector<NodeId> &ConstraintGraph::listeners(NodeId View) const {
+const NodeList &ConstraintGraph::listeners(NodeId View) const {
   return assocList(ListenerEdges, View);
 }
 
-const std::vector<NodeId> &
-ConstraintGraph::rootsOfLayouts(NodeId View) const {
+const NodeList &ConstraintGraph::rootsOfLayouts(NodeId View) const {
   return assocList(RootsLayoutEdges, View);
 }
 
-const std::vector<NodeId> &
-ConstraintGraph::viewsWithId(NodeId ViewIdNode) const {
+const NodeList &ConstraintGraph::viewsWithId(NodeId ViewIdNode) const {
   if (ViewIdNode >= ViewsByIdTable.size())
     return EmptyList;
   return ViewsByIdTable[ViewIdNode];

@@ -29,12 +29,13 @@
 #include "android/AndroidModel.h"
 #include "ir/Ir.h"
 #include "layout/Layout.h"
+#include "support/Arena.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace gator {
@@ -45,6 +46,11 @@ namespace graph {
 
 using NodeId = uint32_t;
 inline constexpr NodeId InvalidNode = ~0u;
+
+/// An adjacency list whose storage lives in the graph's arena
+/// (docs/MEMORY.md): 16 bytes per source node, contiguous element
+/// storage, dropped with the graph as whole slabs.
+using NodeList = support::ArenaVector<NodeId>;
 
 enum class NodeKind {
   Var,        ///< a local variable of one method
@@ -144,7 +150,7 @@ public:
 
   /// All node ids of a given kind, in creation order (maintained
   /// incrementally; O(1) per query).
-  const std::vector<NodeId> &nodesOfKind(NodeKind Kind) const {
+  const NodeList &nodesOfKind(NodeKind Kind) const {
     return KindIndex[static_cast<size_t>(Kind)];
   }
 
@@ -170,9 +176,7 @@ public:
   /// Adds n -> n'; returns true if the edge is new.
   bool addFlowEdge(NodeId From, NodeId To);
 
-  const std::vector<NodeId> &flowSuccessors(NodeId Id) const {
-    return FlowSucc[Id];
-  }
+  const NodeList &flowSuccessors(NodeId Id) const { return FlowSucc[Id]; }
 
   size_t flowEdgeCount() const { return NumFlowEdges; }
 
@@ -195,17 +199,21 @@ public:
   /// dialog/other allocations targeted by INFLATE2/ADDVIEW1).
   std::vector<NodeId> rootHolders() const;
 
-  const std::vector<NodeId> &children(NodeId View) const;
-  const std::vector<NodeId> &viewIds(NodeId View) const;
-  const std::vector<NodeId> &roots(NodeId Activity) const;
-  const std::vector<NodeId> &listeners(NodeId View) const;
-  const std::vector<NodeId> &rootsOfLayouts(NodeId View) const;
+  const NodeList &children(NodeId View) const;
+  const NodeList &viewIds(NodeId View) const;
+  const NodeList &roots(NodeId Activity) const;
+  const NodeList &listeners(NodeId View) const;
+  const NodeList &rootsOfLayouts(NodeId View) const;
 
   /// Reverse of viewIds(): the views carrying \p ViewIdNode (maintained
   /// incrementally by addHasIdEdge).
-  const std::vector<NodeId> &viewsWithId(NodeId ViewIdNode) const;
+  const NodeList &viewsWithId(NodeId ViewIdNode) const;
 
   size_t parentChildEdgeCount() const { return NumParentChild; }
+
+  /// The arena backing every adjacency list, exposed read-only so batch
+  /// drivers can account per-app memory (docs/MEMORY.md).
+  const support::Arena &edgeArena() const { return EdgeArena; }
 
   /// All views reachable from \p View through parent-child edges,
   /// including \p View itself (the reflexive-transitive closure used by
@@ -248,32 +256,43 @@ private:
 
   /// Relationship adjacency, keyed densely by source NodeId. Dedup is
   /// hybrid like flow edges: a source's list is linear-scanned while
-  /// small; past SmallFlowDegree its edges migrate into the Spill hash.
+  /// small; past SmallFlowDegree its edges migrate into the Spill set.
   struct AssocEdges {
-    std::vector<std::vector<NodeId>> Lists;
-    std::unordered_set<uint64_t> Spill;
+    std::vector<NodeList> Lists;
+    support::FlatIdMap<uint8_t> Spill;
   };
 
   bool addAssocEdge(AssocEdges &E, NodeId From, NodeId To);
-  const std::vector<NodeId> &assocList(const AssocEdges &E, NodeId From) const {
+  const NodeList &assocList(const AssocEdges &E, NodeId From) const {
     if (From >= E.Lists.size())
       return EmptyList;
     return E.Lists[From];
   }
 
+  /// Inserts \p Key into \p Set; true if it was absent. FlatIdMap used
+  /// as a set (the value byte is a placeholder).
+  static bool insertEdgeKey(support::FlatIdMap<uint8_t> &Set, uint64_t Key) {
+    size_t Before = Set.size();
+    Set.getOrInsert(Key, 1);
+    return Set.size() != Before;
+  }
+
+  /// Owns all adjacency-list storage below. Declared before every
+  /// NodeList member so arena slabs outlive the tables pointing at them.
+  support::Arena EdgeArena;
+
   std::vector<Node> Nodes;
   /// Node ids per NodeKind, in creation order.
-  std::vector<std::vector<NodeId>> KindIndex =
-      std::vector<std::vector<NodeId>>(10);
+  std::vector<NodeList> KindIndex = std::vector<NodeList>(10);
 
-  std::vector<std::vector<NodeId>> FlowSucc;
+  std::vector<NodeList> FlowSucc;
   /// Flow-edge dedup is hybrid: nodes with few successors scan their
   /// FlowSucc list; once a node's out-degree passes SmallFlowDegree its
-  /// edges migrate into the FlowEdges hash (high-degree sources like field
+  /// edges migrate into the FlowEdges set (high-degree sources like field
   /// nodes stay O(1) per probe without paying a hash insert per edge of
   /// every low-degree node).
   static constexpr size_t SmallFlowDegree = 8;
-  std::unordered_set<uint64_t> FlowEdges;
+  support::FlatIdMap<uint8_t> FlowEdges;
   size_t NumFlowEdges = 0;
 
   AssocEdges ChildEdges;
@@ -281,7 +300,7 @@ private:
   AssocEdges HasIdEdges;
   /// Reverse id index: ViewId node -> views carrying it (deduped by
   /// HasIdEdges, so a plain dense table suffices).
-  std::vector<std::vector<NodeId>> ViewsByIdTable;
+  std::vector<NodeList> ViewsByIdTable;
   AssocEdges RootEdges;
   AssocEdges ListenerEdges;
   AssocEdges RootsLayoutEdges;
@@ -291,26 +310,27 @@ private:
   /// hottest intern calls in graph construction). The inner vector is
   /// sized to the method's variable count on first touch, InvalidNode
   /// marking absent entries.
-  std::vector<std::vector<NodeId>> VarNodes;
+  std::vector<NodeList> VarNodes;
   /// Field nodes indexed by FieldDecl::globalId(); InvalidNode when absent.
   std::vector<NodeId> FieldNodes;
-  std::unordered_map<const ir::MethodDecl *,
-                     std::unordered_map<int32_t, NodeId>>
-      AllocNodes;
-  std::unordered_map<const ir::ClassDecl *, NodeId> ActivityNodes;
+  /// Alloc sites keyed by packed (method globalId, stmt index).
+  support::FlatIdMap<NodeId> AllocNodes;
+  /// Keyed by ClassDecl::globalId().
+  support::FlatIdMap<NodeId> ActivityNodes;
   /// Dense id->node tables indexed by (Res - base); resource ids are
   /// interned sequentially from ResourceTable's fixed bases. Ids outside
   /// the dense window land in the overflow maps.
   std::vector<NodeId> LayoutIdNodes;
   std::vector<NodeId> ViewIdNodes;
-  std::unordered_map<layout::ResourceId, NodeId> LayoutIdOverflow;
-  std::unordered_map<layout::ResourceId, NodeId> ViewIdOverflow;
+  support::FlatIdMap<NodeId> LayoutIdOverflow;
+  support::FlatIdMap<NodeId> ViewIdOverflow;
 
   NodeId getIdNode(std::vector<NodeId> &Dense,
-                   std::unordered_map<layout::ResourceId, NodeId> &Overflow,
+                   support::FlatIdMap<NodeId> &Overflow,
                    layout::ResourceId Base, NodeKind Kind,
                    layout::ResourceId Res);
-  std::unordered_map<const ir::ClassDecl *, NodeId> ClassConstNodes;
+  /// Keyed by ClassDecl::globalId().
+  support::FlatIdMap<NodeId> ClassConstNodes;
 
   /// Memoized descendantsOf results, valid while Rev == HierarchyRev.
   struct DescCacheEntry {
@@ -327,7 +347,7 @@ private:
   mutable std::vector<uint32_t> DescSeenStamp;
   mutable uint32_t DescSeenGen = 0;
 
-  std::vector<NodeId> EmptyList;
+  NodeList EmptyList;
 
   DiagnosticEngine *Diags = nullptr;
   unsigned long DroppedInvariants = 0;

@@ -192,7 +192,7 @@ buildCallGraph(const Program &P) {
     for (const auto &M : C->methods()) {
       if (M->isAbstract())
         continue;
-      auto &Callees = CallGraph[M.get()];
+      auto &Callees = CallGraph[M];
       for (const Stmt &S : M->body()) {
         if (S.Kind != StmtKind::Invoke)
           continue;
@@ -353,7 +353,7 @@ gator::guimodel::buildActivityTransitionGraph(const AnalysisResult &Result) {
             M->name() + "/" + std::to_string(M->paramCount());
         if (!SeenNames.insert(Key).second)
           continue;
-        emitReachable(A, std::nullopt, M.get());
+        emitReachable(A, std::nullopt, M);
       }
   }
 

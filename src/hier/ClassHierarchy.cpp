@@ -30,15 +30,15 @@ ClassHierarchy::ClassHierarchy(const Program &P, DiagnosticEngine *Diags)
   std::vector<const ClassDecl *> Seen(MaxId + 1, nullptr);
   std::vector<const ClassDecl *> Work;
   for (const auto &C : P.classes()) {
-    Work.assign(1, C.get());
+    Work.assign(1, C);
     while (!Work.empty()) {
       const ClassDecl *Cur = Work.back();
       Work.pop_back();
       const ClassDecl *&Mark = Seen[Cur->globalId()];
-      if (Mark == C.get())
+      if (Mark == C)
         continue;
-      Mark = C.get();
-      Subtypes[Cur->globalId()].push_back(C.get());
+      Mark = C;
+      Subtypes[Cur->globalId()].push_back(C);
       if (Cur->superClass())
         Work.push_back(Cur->superClass());
       for (const ClassDecl *I : Cur->interfaces())

@@ -63,19 +63,24 @@ VarId MethodDecl::findVar(const std::string &Name) const {
 
 FieldDecl *ClassDecl::addField(std::string Name, std::string TypeName,
                                bool IsStatic) {
-  Fields.push_back(std::make_unique<FieldDecl>(
-      std::move(Name), std::move(TypeName), IsStatic, this,
-      OwnerProgram->NextFieldId++));
-  return Fields.back().get();
+  support::Arena &A = OwnerProgram->DeclArena;
+  FieldDecl *F =
+      A.create<FieldDecl>(std::move(Name), std::move(TypeName), IsStatic,
+                          this, OwnerProgram->NextFieldId++);
+  OwnerProgram->Names.intern(F->name());
+  Fields.push_back(A, F);
+  return F;
 }
 
 MethodDecl *ClassDecl::addMethod(std::string Name, std::string ReturnTypeName,
                                  bool IsStatic) {
   ++OwnerProgram->StructureEpoch;
-  Methods.push_back(std::make_unique<MethodDecl>(
-      std::move(Name), std::move(ReturnTypeName), IsStatic, this,
-      OwnerProgram->NextMethodId++));
-  MethodDecl *M = Methods.back().get();
+  support::Arena &A = OwnerProgram->DeclArena;
+  MethodDecl *M =
+      A.create<MethodDecl>(std::move(Name), std::move(ReturnTypeName),
+                           IsStatic, this, OwnerProgram->NextMethodId++);
+  OwnerProgram->Names.intern(M->name());
+  Methods.push_back(A, M);
   if (!IsStatic)
     M->Vars[0].TypeName = this->Name; // `this` has the declaring class type.
   if (IsInterface)
@@ -84,9 +89,9 @@ MethodDecl *ClassDecl::addMethod(std::string Name, std::string ReturnTypeName,
 }
 
 FieldDecl *ClassDecl::findOwnField(const std::string &Name) const {
-  for (const auto &F : Fields)
+  for (FieldDecl *F : Fields)
     if (F->name() == Name)
-      return F.get();
+      return F;
   return nullptr;
 }
 
@@ -99,27 +104,30 @@ FieldDecl *ClassDecl::findField(const std::string &Name) const {
 
 MethodDecl *ClassDecl::findOwnMethod(const std::string &Name,
                                      unsigned Arity) const {
-  for (const auto &M : Methods)
-    if (M->name() == Name && M->paramCount() == Arity)
-      return M.get();
+  for (MethodDecl *M : Methods)
+    if (M->paramCount() == Arity && M->name() == Name)
+      return M;
   return nullptr;
 }
 
 MethodDecl *ClassDecl::findMethod(const std::string &Name,
                                   unsigned Arity) const {
+  // Every declared method name is interned at addMethod() time, so a name
+  // the interner has never seen cannot resolve anywhere in the program —
+  // the miss costs one read-only hash probe and touches no class.
+  Symbol Sym = OwnerProgram->Names.lookup(Name);
+  if (!Sym.isValid())
+    return nullptr;
   if (MethodLookupEpoch != OwnerProgram->structureEpoch()) {
     MethodLookupCache.clear();
     MethodLookupEpoch = OwnerProgram->structureEpoch();
   }
-  std::string Key;
-  Key.reserve(Name.size() + 4);
-  Key = Name;
-  Key.push_back('/');
-  Key += std::to_string(Arity);
-  auto [It, Inserted] = MethodLookupCache.try_emplace(std::move(Key), nullptr);
-  if (Inserted)
-    It->second = findMethodUncached(Name, Arity);
-  return It->second;
+  uint64_t Key = support::packSymbolKey(Sym.rawIndex(), Arity);
+  if (MethodDecl *const *Hit = MethodLookupCache.get(Key))
+    return *Hit;
+  MethodDecl *M = findMethodUncached(Name, Arity);
+  MethodLookupCache.set(Key, M);
+  return M;
 }
 
 MethodDecl *ClassDecl::findMethodUncached(const std::string &Name,
@@ -145,28 +153,32 @@ MethodDecl *ClassDecl::findMethodUncached(const std::string &Name,
 
 ClassDecl *Program::addClass(std::string Name, bool IsInterface,
                              bool IsPlatform, DiagnosticEngine *Diags) {
-  if (ByName.count(Name)) {
+  Symbol Sym = Names.intern(Name);
+  if (ByName.contains(Sym.rawIndex())) {
     if (Diags)
       Diags->error("duplicate class name '" + Name + "'");
     return nullptr;
   }
-  Classes.push_back(std::make_unique<ClassDecl>(Name, IsInterface, IsPlatform,
-                                                this, NextClassId++));
-  ClassDecl *C = Classes.back().get();
-  ByName.emplace(C->name(), C);
+  ClassDecl *C = DeclArena.create<ClassDecl>(std::move(Name), IsInterface,
+                                             IsPlatform, this, NextClassId++);
+  Classes.push_back(DeclArena, C);
+  ByName.set(Sym.rawIndex(), C);
   Resolved = false;
   return C;
 }
 
 ClassDecl *Program::findClass(const std::string &Name) const {
-  auto It = ByName.find(Name);
-  return It == ByName.end() ? nullptr : It->second;
+  Symbol Sym = Names.lookup(Name);
+  if (!Sym.isValid())
+    return nullptr;
+  ClassDecl *const *Hit = ByName.get(Sym.rawIndex());
+  return Hit ? *Hit : nullptr;
 }
 
 bool Program::resolve(DiagnosticEngine &Diags) {
   ++StructureEpoch; // Super/interface links are about to change.
   bool Ok = true;
-  for (const auto &C : Classes) {
+  for (ClassDecl *C : Classes) {
     C->Super = nullptr;
     C->Interfaces.clear();
 
@@ -203,8 +215,8 @@ bool Program::resolve(DiagnosticEngine &Diags) {
   }
 
   // Reject inheritance cycles: walk each chain with a step bound.
-  for (const auto &C : Classes) {
-    const ClassDecl *Walk = C.get();
+  for (const ClassDecl *C : Classes) {
+    const ClassDecl *Walk = C;
     size_t Steps = 0;
     while (Walk && Steps <= Classes.size()) {
       Walk = Walk->Super;
@@ -238,7 +250,7 @@ bool Program::isSubtypeOf(const ClassDecl *Klass,
 
 unsigned Program::appClassCount() const {
   unsigned Count = 0;
-  for (const auto &C : Classes)
+  for (const ClassDecl *C : Classes)
     if (!C->isPlatform())
       ++Count;
   return Count;
@@ -246,10 +258,10 @@ unsigned Program::appClassCount() const {
 
 unsigned Program::appMethodCount() const {
   unsigned Count = 0;
-  for (const auto &C : Classes) {
+  for (const ClassDecl *C : Classes) {
     if (C->isPlatform())
       continue;
-    for (const auto &M : C->methods())
+    for (const MethodDecl *M : C->methods())
       if (!M->isAbstract())
         ++Count;
   }

@@ -18,19 +18,28 @@
 /// and MethodDecls; a MethodDecl owns its Variables and Stmts. All
 /// cross-references are stable raw pointers resolved by Program::resolve().
 ///
+/// Allocation (docs/MEMORY.md): declarations are bump-allocated from the
+/// Program's Arena in creation order, so one app's whole IR is a handful
+/// of contiguous slabs released together with the Program. Class, method,
+/// and field names are interned into the Program's StringInterner at
+/// declaration time; name lookups (findClass, the findMethod memo) are
+/// interned-id probes of flat tables — no per-query string hashing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GATOR_IR_IR_H
 #define GATOR_IR_IR_H
 
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/FlatMap.h"
 #include "support/SourceLocation.h"
+#include "support/StringInterner.h"
 
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace gator {
@@ -265,12 +274,11 @@ public:
   MethodDecl *addMethod(std::string Name, std::string ReturnTypeName,
                         bool IsStatic = false);
 
-  const std::vector<std::unique_ptr<FieldDecl>> &fields() const {
-    return Fields;
-  }
-  const std::vector<std::unique_ptr<MethodDecl>> &methods() const {
-    return Methods;
-  }
+  /// Declaration lists in creation order. The decls themselves live in the
+  /// owning Program's arena; these are flat pointer arrays on the same
+  /// arena (docs/MEMORY.md).
+  const support::ArenaVector<FieldDecl *> &fields() const { return Fields; }
+  const support::ArenaVector<MethodDecl *> &methods() const { return Methods; }
 
   /// Finds a field declared on this class (no inheritance walk).
   FieldDecl *findOwnField(const std::string &Name) const;
@@ -304,14 +312,16 @@ private:
   const ClassDecl *Super = nullptr;
   std::vector<const ClassDecl *> Interfaces;
 
-  std::vector<std::unique_ptr<FieldDecl>> Fields;
-  std::vector<std::unique_ptr<MethodDecl>> Methods;
+  support::ArenaVector<FieldDecl *> Fields;
+  support::ArenaVector<MethodDecl *> Methods;
 
   /// Lazy name/arity -> resolved method memo for findMethod(). Keyed by
-  /// "name/arity". A lookup result depends on this class, its supertype
-  /// chain, and its interfaces, so staleness is tracked against the owning
-  /// Program's structureEpoch() rather than per-class state.
-  mutable std::unordered_map<std::string, MethodDecl *> MethodLookupCache;
+  /// the packed (interned name symbol, arity) id — one integer probe per
+  /// hit, no key-string construction. A lookup result depends on this
+  /// class, its supertype chain, and its interfaces, so staleness is
+  /// tracked against the owning Program's structureEpoch() rather than
+  /// per-class state.
+  mutable support::FlatIdMap<MethodDecl *> MethodLookupCache;
   mutable uint64_t MethodLookupEpoch = 0;
 };
 
@@ -333,12 +343,13 @@ public:
                       bool IsPlatform = false,
                       DiagnosticEngine *Diags = nullptr);
 
-  /// Finds a class by qualified name, or null.
+  /// Finds a class by qualified name, or null. An interned-id probe: a
+  /// name that was never interned misses without hashing a single bucket
+  /// chain of strings.
   ClassDecl *findClass(const std::string &Name) const;
 
-  const std::vector<std::unique_ptr<ClassDecl>> &classes() const {
-    return Classes;
-  }
+  /// Classes in creation order (arena pointer array, see docs/MEMORY.md).
+  const support::ArenaVector<ClassDecl *> &classes() const { return Classes; }
 
   /// Links superclass/interface pointers and reports unresolved names.
   /// Returns false if any error was reported.
@@ -365,11 +376,26 @@ public:
   /// (docs/PARALLEL.md).
   uint64_t structureEpoch() const { return StructureEpoch; }
 
+  /// The interner backing all declaration-name lookups. Exposed so
+  /// clients keying their own side tables by name can reuse the symbols.
+  StringInterner &names() { return Names; }
+  const StringInterner &names() const { return Names; }
+
+  /// The arena owning every declaration of this program. Exposed for
+  /// footprint accounting (AppStats::ArenaBytes).
+  const support::Arena &declArena() const { return DeclArena; }
+
 private:
   friend class ClassDecl; // addMethod/addField allocate ids + bump epoch.
 
-  std::vector<std::unique_ptr<ClassDecl>> Classes;
-  std::unordered_map<std::string, ClassDecl *> ByName;
+  /// Owns all ClassDecl/MethodDecl/FieldDecl storage; declared first so
+  /// it is destroyed last (decl destructors run inside ~Arena, after the
+  /// pointer tables below are gone — they never dereference them).
+  support::Arena DeclArena;
+  StringInterner Names;
+  support::ArenaVector<ClassDecl *> Classes;
+  /// Interned class-name symbol -> declaration.
+  support::FlatIdMap<ClassDecl *> ByName;
   bool Resolved = false;
 
   /// See structureEpoch(). Starts at 1 so a fresh ClassDecl (epoch 0)

@@ -1,0 +1,112 @@
+//===- Arena.cpp - Monotonic bump allocator ---------------------*- C++ -*-===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gator {
+namespace support {
+
+Arena::~Arena() {
+  runDtors();
+  for (const Slab &S : Slabs) {
+    unpoison(S.Base, S.Size);
+    std::free(S.Base);
+  }
+}
+
+Arena &Arena::operator=(Arena &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  runDtors();
+  for (const Slab &S : Slabs) {
+    unpoison(S.Base, S.Size);
+    std::free(S.Base);
+  }
+  Cur = Other.Cur;
+  End = Other.End;
+  Slabs = std::move(Other.Slabs);
+  Dtors = std::move(Other.Dtors);
+  LiveBytes = Other.LiveBytes;
+  ReservedBytes = Other.ReservedBytes;
+  NextSlabBytes = Other.NextSlabBytes;
+  Other.Slabs.clear();
+  Other.Dtors.clear();
+  Other.Cur = Other.End = 0;
+  Other.LiveBytes = Other.ReservedBytes = 0;
+  Other.NextSlabBytes = DefaultSlabBytes;
+  return *this;
+}
+
+void Arena::runDtors() {
+  // Reverse construction order, like stack unwinding.
+  for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+    It->Run(It->Obj);
+  Dtors.clear();
+}
+
+void *Arena::allocateSlow(size_t Bytes, size_t Align) {
+  // The new slab must fit the request plus worst-case alignment slack.
+  size_t Need = Bytes + Align;
+  size_t SlabBytes = std::max(NextSlabBytes, Need);
+  if (NextSlabBytes < MaxSlabBytes)
+    NextSlabBytes = std::min(NextSlabBytes * 2, MaxSlabBytes);
+
+  char *Base = static_cast<char *>(std::malloc(SlabBytes));
+  if (!Base)
+    throw std::bad_alloc();
+  Slabs.push_back({Base, SlabBytes});
+  ReservedBytes += SlabBytes;
+  poison(Base, SlabBytes);
+
+  Cur = reinterpret_cast<uintptr_t>(Base);
+  End = Cur + SlabBytes;
+
+  uintptr_t P = (Cur + Align - 1) & ~(uintptr_t(Align) - 1);
+  Cur = P + Bytes;
+  LiveBytes += Bytes;
+  unpoison(reinterpret_cast<void *>(P), Bytes);
+  return reinterpret_cast<void *>(P);
+}
+
+void Arena::reset() {
+  runDtors();
+
+  // Keep the largest slab: steady-state reuse allocates nothing.
+  size_t Largest = ~size_t(0);
+  for (size_t I = 0; I < Slabs.size(); ++I)
+    if (Largest == ~size_t(0) || Slabs[I].Size > Slabs[Largest].Size)
+      Largest = I;
+
+  size_t Kept = 0;
+  for (size_t I = 0; I < Slabs.size(); ++I) {
+    if (I == Largest) {
+      Kept = Slabs[I].Size;
+      poison(Slabs[I].Base, Slabs[I].Size);
+      Slabs[0] = Slabs[I];
+      continue;
+    }
+    unpoison(Slabs[I].Base, Slabs[I].Size);
+    std::free(Slabs[I].Base);
+  }
+  Slabs.resize(Largest == ~size_t(0) ? 0 : 1);
+  ReservedBytes = Kept;
+  LiveBytes = 0;
+  if (!Slabs.empty()) {
+    Cur = reinterpret_cast<uintptr_t>(Slabs[0].Base);
+    End = Cur + Slabs[0].Size;
+  } else {
+    Cur = End = 0;
+  }
+}
+
+size_t Arena::bytesRetained() const {
+  size_t Largest = 0;
+  for (const Slab &S : Slabs)
+    Largest = std::max(Largest, S.Size);
+  return Largest;
+}
+
+} // namespace support
+} // namespace gator

@@ -7,8 +7,27 @@
 #include <algorithm>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 using namespace gator;
 using namespace gator::support;
+
+uint64_t gator::support::currentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(Usage.ru_maxrss); // bytes on Darwin
+#else
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 void Histogram::merge(const Histogram &Other) {
   if (Other.Bounds != Bounds) {
@@ -105,7 +124,8 @@ std::vector<size_t> MetricsRegistry::sortedIndices(bool IncludeTimes) const {
   std::vector<size_t> Order;
   Order.reserve(Instruments.size());
   for (size_t I = 0; I < Instruments.size(); ++I)
-    if (IncludeTimes || Instruments[I].Unit != MetricUnit::Seconds)
+    if (IncludeTimes || (Instruments[I].Unit != MetricUnit::Seconds &&
+                         Instruments[I].Unit != MetricUnit::BytesVolatile))
       Order.push_back(I);
   std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
     const Instrument &IA = Instruments[A], &IB = Instruments[B];

@@ -41,7 +41,18 @@ namespace support {
 enum class MetricUnit : uint8_t {
   None,    ///< dimensionless count
   Seconds, ///< wall-clock time; suppressed by IncludeTimes = false
+  Bytes,   ///< deterministic memory accounting (arena bytes)
+  /// Machine-dependent byte sample (peak RSS): varies with thread count
+  /// and allocator behavior, so it is suppressed by IncludeTimes = false
+  /// together with wall-clock — the determinism contract for --no-times
+  /// exports (docs/OBSERVABILITY.md) covers only reproducible values.
+  BytesVolatile,
 };
+
+/// The process's peak resident set size in bytes (getrusage ru_maxrss),
+/// or 0 where unavailable. A high-water mark, monotone over the process
+/// lifetime — callers that want a per-phase peak sample it before/after.
+uint64_t currentPeakRssBytes();
 
 /// Monotonically increasing sum. Merges by addition.
 class Counter {

@@ -5,19 +5,39 @@
 using namespace gator;
 
 Symbol StringInterner::intern(std::string_view Text) {
-  auto It = Indices.find(Text);
-  if (It != Indices.end())
-    return Symbol(It->second);
+  // Grow at 3/4 load so linear probes stay short.
+  if (Slots.empty() || (Spellings.size() + 1) * 4 > Slots.size() * 3)
+    grow();
 
-  Spellings.push_back(std::make_unique<std::string>(Text));
-  uint32_t Index = static_cast<uint32_t>(Spellings.size() - 1);
-  Indices.emplace(std::string_view(*Spellings.back()), Index);
+  uint64_t Hash = hashText(Text);
+  size_t Mask = Slots.size() - 1;
+  size_t I = slotIndex(Hash, Mask);
+  while (true) {
+    uint32_t S = Slots[I];
+    if (S == EmptySlot)
+      break;
+    if (Hashes[S] == Hash && textOf(S) == Text)
+      return Symbol(S);
+    I = (I + 1) & Mask;
+  }
+
+  uint32_t Index = static_cast<uint32_t>(Spellings.size());
+  Spellings.push_back(
+      {Chars.copyString(Text), static_cast<uint32_t>(Text.size())});
+  Hashes.push_back(Hash);
+  Slots[I] = Index;
   return Symbol(Index);
 }
 
-Symbol StringInterner::lookup(std::string_view Text) const {
-  auto It = Indices.find(Text);
-  if (It == Indices.end())
-    return Symbol();
-  return Symbol(It->second);
+void StringInterner::grow() {
+  size_t NewSize = Slots.empty() ? 64 : Slots.size() * 2;
+  Slots.assign(NewSize, EmptySlot);
+  size_t Mask = NewSize - 1;
+  // Cached hashes make the rehash a pure integer scatter.
+  for (uint32_t S = 0; S < Spellings.size(); ++S) {
+    size_t I = slotIndex(Hashes[S], Mask);
+    while (Slots[I] != EmptySlot)
+      I = (I + 1) & Mask;
+    Slots[I] = S;
+  }
 }

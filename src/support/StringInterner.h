@@ -10,17 +10,22 @@
 /// names, field names, and resource names are interned once so the IR and
 /// the constraint graph can compare and hash them as integers.
 ///
+/// Storage layout (docs/MEMORY.md): spellings are copied into an arena and
+/// addressed by a flat {ptr,len} entry table indexed by Symbol; the lookup
+/// structure is an open-addressed power-of-2 slot array probed linearly.
+/// Interning is on every hot path of app generation and IR construction,
+/// so there are no per-string heap nodes and no bucket chains.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GATOR_SUPPORT_STRINGINTERNER_H
 #define GATOR_SUPPORT_STRINGINTERNER_H
 
+#include "support/Arena.h"
+
 #include <cassert>
 #include <cstdint>
-#include <memory>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace gator {
@@ -49,26 +54,80 @@ private:
 /// Owns the interned spellings and hands out Symbols.
 class StringInterner {
 public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+  StringInterner(StringInterner &&) = default;
+  StringInterner &operator=(StringInterner &&) = default;
+
   /// Interns \p Text, returning the existing Symbol if already present.
   Symbol intern(std::string_view Text);
 
   /// Returns the Symbol for \p Text if interned, or the invalid Symbol.
-  Symbol lookup(std::string_view Text) const;
+  Symbol lookup(std::string_view Text) const {
+    if (Slots.empty())
+      return Symbol();
+    uint64_t Hash = hashText(Text);
+    size_t Mask = Slots.size() - 1;
+    size_t I = slotIndex(Hash, Mask);
+    while (true) {
+      uint32_t S = Slots[I];
+      if (S == EmptySlot)
+        return Symbol();
+      if (Hashes[S] == Hash && textOf(S) == Text)
+        return Symbol(S);
+      I = (I + 1) & Mask;
+    }
+  }
 
-  /// Returns the spelling of a valid \p Sym.
-  const std::string &text(Symbol Sym) const {
+  /// Returns the spelling of a valid \p Sym. The view stays valid for the
+  /// interner's lifetime (spellings live in the arena and never move).
+  std::string_view text(Symbol Sym) const {
     assert(Sym.isValid() && Sym.rawIndex() < Spellings.size() &&
            "invalid symbol");
-    return *Spellings[Sym.rawIndex()];
+    return textOf(Sym.rawIndex());
   }
 
   size_t size() const { return Spellings.size(); }
 
 private:
-  // Spellings are heap-allocated so the string_view keys in Indices stay
-  // valid while the vector grows.
-  std::vector<std::unique_ptr<std::string>> Spellings;
-  std::unordered_map<std::string_view, uint32_t> Indices;
+  struct Entry {
+    const char *Ptr;
+    uint32_t Len;
+  };
+
+  static constexpr uint32_t EmptySlot = ~0u;
+
+  /// FNV-1a; identifiers are short, so the byte loop beats fancier mixers.
+  static uint64_t hashText(std::string_view Text) {
+    uint64_t H = 1469598103934665603ULL;
+    for (unsigned char C : Text) {
+      H ^= C;
+      H *= 1099511628211ULL;
+    }
+    return H;
+  }
+
+  /// Fibonacci spread: FNV low bits correlate on short common-suffix
+  /// names, so multiply-shift before masking.
+  static size_t slotIndex(uint64_t Hash, size_t Mask) {
+    return static_cast<size_t>((Hash * 0x9e3779b97f4a7c15ULL) >> 32) & Mask;
+  }
+
+  std::string_view textOf(uint32_t Index) const {
+    const Entry &E = Spellings[Index];
+    return std::string_view(E.Ptr, E.Len);
+  }
+
+  void grow();
+
+  /// Symbol -> spelling; chars live in Chars.
+  std::vector<Entry> Spellings;
+  /// Cached full hash per symbol, so probes compare 8 bytes before chars.
+  std::vector<uint64_t> Hashes;
+  /// Open-addressed slots holding spelling indices; power-of-2 sized.
+  std::vector<uint32_t> Slots;
+  support::Arena Chars;
 };
 
 } // namespace gator

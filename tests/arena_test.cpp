@@ -1,0 +1,206 @@
+//===- arena_test.cpp - Arena / ArenaVector / FlatIdMap tests -------------===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+// Lifecycle coverage for the per-app allocation layer (docs/MEMORY.md):
+// bump allocation, destructor registration, reuse-after-reset, the
+// ArenaVector growth policy, ArenaString, and the FlatIdMap probe/rehash
+// behaviour that backs the interned-id lookup tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/FlatMap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace gator::support;
+
+namespace {
+
+TEST(ArenaTest, AllocationIsAlignedAndDistinct) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P2 = A.allocate(8, 8);
+  void *P3 = A.allocate(16, 16);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P3) % 16, 0u);
+  EXPECT_GE(A.bytesAllocated(), 25u);
+  EXPECT_GE(A.bytesReserved(), Arena::DefaultSlabBytes);
+}
+
+TEST(ArenaTest, CreateRunsDestructorsInReverseOrder) {
+  std::vector<int> Order;
+  struct Tracked {
+    std::vector<int> *Order;
+    int Id;
+    ~Tracked() { Order->push_back(Id); }
+  };
+  {
+    Arena A;
+    A.create<Tracked>(&Order, 1);
+    A.create<Tracked>(&Order, 2);
+    A.create<Tracked>(&Order, 3);
+  }
+  EXPECT_EQ(Order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ArenaTest, TriviallyDestructibleCreateRegistersNoDtor) {
+  struct Pod {
+    int X;
+    double Y;
+  };
+  Arena A;
+  Pod *P = A.create<Pod>(Pod{7, 2.5});
+  EXPECT_EQ(P->X, 7);
+  EXPECT_EQ(P->Y, 2.5);
+}
+
+TEST(ArenaTest, ResetRunsDtorsAndRetainsLargestSlab) {
+  std::vector<int> Order;
+  struct Tracked {
+    std::vector<int> *Order;
+    int Id;
+    ~Tracked() { Order->push_back(Id); }
+  };
+  Arena A;
+  A.create<Tracked>(&Order, 1);
+  // Force several slabs: allocations bigger than the default slab.
+  A.allocate(Arena::DefaultSlabBytes * 2);
+  A.allocate(Arena::DefaultSlabBytes * 3);
+  size_t Reserved = A.bytesReserved();
+  EXPECT_GE(A.slabCount(), 3u);
+
+  A.reset();
+  EXPECT_EQ(Order, (std::vector<int>{1}));
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.slabCount(), 1u);
+  EXPECT_LT(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.bytesReserved(), A.bytesRetained());
+}
+
+TEST(ArenaTest, ReuseAfterResetAllocatesNoNewSlabs) {
+  Arena A;
+  for (int I = 0; I < 1000; ++I)
+    A.allocate(32, 8);
+  A.reset();
+  size_t Reserved = A.bytesReserved();
+  size_t Slabs = A.slabCount();
+  // Steady state: the retained slab absorbs an identical workload.
+  for (int I = 0; I < 1000; ++I)
+    A.allocate(32, 8);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.slabCount(), Slabs);
+}
+
+TEST(ArenaTest, CopyStringIsNulTerminated) {
+  Arena A;
+  const char *S = A.copyString("hello");
+  EXPECT_STREQ(S, "hello");
+  const char *Empty = A.copyString("");
+  EXPECT_STREQ(Empty, "");
+}
+
+TEST(ArenaVectorTest, PushGrowAndIndex) {
+  Arena A;
+  ArenaVector<int> V;
+  EXPECT_TRUE(V.empty());
+  for (int I = 0; I < 100; ++I)
+    V.push_back(A, I * 3);
+  ASSERT_EQ(V.size(), 100u);
+  EXPECT_EQ(V.front(), 0);
+  EXPECT_EQ(V.back(), 297);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[I], I * 3);
+  int Sum = 0;
+  for (int X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 3 * 99 * 100 / 2);
+}
+
+TEST(ArenaVectorTest, ResizeFillsAndShrinkKeepsCapacity) {
+  Arena A;
+  ArenaVector<uint32_t> V;
+  V.resize(A, 8, 42u);
+  ASSERT_EQ(V.size(), 8u);
+  for (uint32_t X : V)
+    EXPECT_EQ(X, 42u);
+  V.resize(A, 2, 0u);
+  EXPECT_EQ(V.size(), 2u);
+  size_t Live = A.bytesAllocated();
+  V.resize(A, 8, 7u); // back within capacity: no new arena bytes
+  EXPECT_EQ(A.bytesAllocated(), Live);
+  EXPECT_EQ(V[7], 7u);
+  EXPECT_EQ(V[1], 42u); // surviving prefix untouched
+}
+
+TEST(ArenaVectorTest, MoveTransfersOwnership) {
+  Arena A;
+  ArenaVector<int> V;
+  V.push_back(A, 5);
+  ArenaVector<int> W = std::move(V);
+  EXPECT_TRUE(V.empty());
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_EQ(W[0], 5);
+}
+
+TEST(ArenaStringTest, ViewAndCompare) {
+  Arena A;
+  ArenaString S(A, "onCreate");
+  EXPECT_EQ(S.view(), "onCreate");
+  EXPECT_EQ(S.size(), 8u);
+  EXPECT_TRUE(S == "onCreate");
+  ArenaString T(A, "onCreate");
+  EXPECT_TRUE(S == T);
+  ArenaString Empty;
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_STREQ(Empty.c_str(), "");
+}
+
+TEST(FlatIdMapTest, SetGetOverwrite) {
+  FlatIdMap<int> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.get(7), nullptr);
+  M.set(7, 70);
+  M.set(9, 90);
+  ASSERT_NE(M.get(7), nullptr);
+  EXPECT_EQ(*M.get(7), 70);
+  M.set(7, 71);
+  EXPECT_EQ(*M.get(7), 71);
+  EXPECT_EQ(M.size(), 2u);
+  EXPECT_FALSE(M.contains(8));
+}
+
+TEST(FlatIdMapTest, RehashPreservesAllEntries) {
+  FlatIdMap<uint64_t> M;
+  // Packed-symbol-style keys sharing low-bit structure.
+  for (uint32_t Sym = 0; Sym < 500; ++Sym)
+    M.set(packSymbolKey(Sym, Sym % 5), Sym);
+  EXPECT_EQ(M.size(), 500u);
+  for (uint32_t Sym = 0; Sym < 500; ++Sym) {
+    const uint64_t *V = M.get(packSymbolKey(Sym, Sym % 5));
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(*V, Sym);
+  }
+  EXPECT_EQ(M.get(packSymbolKey(1, 2)), nullptr); // wrong arity misses
+}
+
+TEST(FlatIdMapTest, GetOrInsertDefaultsOnce) {
+  FlatIdMap<int> M;
+  int &Slot = M.getOrInsert(3, -1);
+  EXPECT_EQ(Slot, -1);
+  Slot = 12;
+  EXPECT_EQ(M.getOrInsert(3, -1), 12);
+  M.clear();
+  EXPECT_EQ(M.get(3), nullptr);
+  EXPECT_EQ(M.size(), 0u);
+}
+
+} // namespace

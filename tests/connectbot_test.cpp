@@ -79,7 +79,8 @@ TEST_F(ConnectBotTest, InflationCreatesLayoutViews) {
   // act_console: RelativeLayout root, ViewFlipper, RelativeLayout
   // (keyboard_group), ImageView (button_esc) = 4 nodes.
   // item_terminal: RelativeLayout root + TextView = 2 nodes.
-  std::vector<NodeId> Infl = Result->Graph->nodesOfKind(NodeKind::ViewInfl);
+  std::vector<NodeId> Infl(Result->Graph->nodesOfKind(NodeKind::ViewInfl).begin(),
+                           Result->Graph->nodesOfKind(NodeKind::ViewInfl).end());
   EXPECT_EQ(Infl.size(), 6u);
 }
 
@@ -117,7 +118,7 @@ TEST_F(ConnectBotTest, ClickCallbackReceivesEscButton) {
             std::vector<std::string>{"android.widget.ImageView"});
   // And `this` of the handler is the listener allocated at line 15.
   NodeId ThisN = varNode("EscapeButtonListener", "onClick", "this", 1);
-  auto Vals = Result->Sol->valuesAt(ThisN);
+  const auto &Vals = Result->Sol->valuesAt(ThisN);
   ASSERT_EQ(Vals.size(), 1u);
   EXPECT_EQ(Result->Graph->node(*Vals.begin()).Klass->name(),
             "EscapeButtonListener");

@@ -217,6 +217,93 @@ TEST(CorpusTest, FullTextualRoundTripPreservesMetrics) {
             RNew->Graph->parentChildEdgeCount());
 }
 
+//===----------------------------------------------------------------------===//
+// makeFleet: 10k-scale synthetic fleets (docs/MEMORY.md corpus engine)
+//===----------------------------------------------------------------------===//
+
+bool sameSpec(const AppSpec &A, const AppSpec &B) {
+  return A.Name == B.Name && A.Seed == B.Seed &&
+         A.Activities == B.Activities && A.FillerClasses == B.FillerClasses &&
+         A.ViewsPerLayout == B.ViewsPerLayout &&
+         A.IdsPerLayout == B.IdsPerLayout &&
+         A.DirectFindsPerActivity == B.DirectFindsPerActivity &&
+         A.SharedFindsPerActivity == B.SharedFindsPerActivity &&
+         A.SharedHelperUsers == B.SharedHelperUsers &&
+         A.ListenersPerActivity == B.ListenersPerActivity &&
+         A.ProgViewsPerActivity == B.ProgViewsPerActivity &&
+         A.InflateItemsPerActivity == B.InflateItemsPerActivity &&
+         A.UseFlipper == B.UseFlipper && A.UseDialog == B.UseDialog;
+}
+
+TEST(FleetTest, DeterministicForSameSpec) {
+  FleetSpec FS;
+  FS.Apps = 200;
+  FS.Seed = 11;
+  std::vector<AppSpec> A = makeFleet(FS);
+  std::vector<AppSpec> B = makeFleet(FS);
+  ASSERT_EQ(A.size(), 200u);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(sameSpec(A[I], B[I])) << I;
+}
+
+TEST(FleetTest, SpecIsAPureFunctionOfSeedAndIndex) {
+  // Per-index SplitMix64 streams: growing the fleet never perturbs the
+  // specs already generated, so shards of a 10k fleet can be produced
+  // independently and still agree.
+  FleetSpec Small, Large;
+  Small.Apps = 50;
+  Large.Apps = 500;
+  Small.Seed = Large.Seed = 42;
+  std::vector<AppSpec> A = makeFleet(Small);
+  std::vector<AppSpec> B = makeFleet(Large);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(sameSpec(A[I], B[I])) << I;
+}
+
+TEST(FleetTest, ShapeKnobsControlTheDistribution) {
+  FleetSpec FS;
+  FS.Apps = 400;
+  FS.Seed = 9;
+  unsigned Deep = 0, Wide = 0, Aliased = 0;
+  for (const AppSpec &S : makeFleet(FS)) {
+    if (S.ViewsPerLayout >= 24)
+      ++Deep;
+    else if (S.ListenersPerActivity >= 4)
+      ++Wide;
+    else if (S.SharedHelperUsers > 0)
+      ++Aliased;
+  }
+  // 15% buckets over 400 draws: each shape should land well inside
+  // [5%, 30%] unless the stream is badly skewed.
+  EXPECT_GT(Deep, 20u);
+  EXPECT_LT(Deep, 120u);
+  EXPECT_GT(Wide, 20u);
+  EXPECT_LT(Wide, 120u);
+  EXPECT_GT(Aliased, 20u);
+  EXPECT_LT(Aliased, 120u);
+
+  // All-baseline fleet: turning the percentages off removes the shapes.
+  FS.DeepTreePercent = FS.WideListenerPercent = FS.SharedHelperPercent = 0;
+  for (const AppSpec &S : makeFleet(FS)) {
+    EXPECT_LT(S.ViewsPerLayout, 24u);
+    EXPECT_LT(S.ListenersPerActivity, 4u);
+    EXPECT_EQ(S.SharedHelperUsers, 0u);
+  }
+}
+
+TEST(FleetTest, FleetAppsGenerateAndVerify) {
+  FleetSpec FS;
+  FS.Apps = 8;
+  FS.Seed = 123;
+  for (const AppSpec &Spec : makeFleet(FS)) {
+    GeneratedApp App = generateApp(Spec);
+    ASSERT_NE(App.Bundle, nullptr) << Spec.Name;
+    EXPECT_FALSE(App.Bundle->Diags.hasErrors()) << Spec.Name;
+    EXPECT_TRUE(ir::verifyProgram(App.Bundle->Program, App.Bundle->Diags))
+        << Spec.Name;
+  }
+}
+
 TEST(CorpusTest, AppsWithoutAddViewExist) {
   // Table 1: four apps have no add-child operations at all.
   unsigned NoAddView = 0;

@@ -309,6 +309,46 @@ TEST(AppStatsTest, AggregateSumsVolumesButMaxMergesPeaks) {
   EXPECT_EQ(Total.PeakOpWorklist, 7u);
 }
 
+TEST(AppStatsTest, AggregateMaxMergesMemoryFootprints) {
+  // ArenaBytes / PeakRssBytes are footprints, not volumes: per-app slabs
+  // are dropped between apps, so the batch-wide number is the largest
+  // single-app footprint — summing would describe allocation traffic.
+  AppStats A, B, C;
+  A.ArenaBytes = 64 * 1024;
+  A.PeakRssBytes = 10 * 1024 * 1024;
+  B.ArenaBytes = 256 * 1024;
+  B.PeakRssBytes = 8 * 1024 * 1024;
+  C.ArenaBytes = 128 * 1024;
+  C.PeakRssBytes = 12 * 1024 * 1024;
+
+  AppStats Total = aggregateAppStats("TOTAL", {A, B, C});
+  EXPECT_EQ(Total.ArenaBytes, 256u * 1024);
+  EXPECT_EQ(Total.PeakRssBytes, 12u * 1024 * 1024);
+
+  AppStats Rev = aggregateAppStats("TOTAL", {C, B, A});
+  EXPECT_EQ(Rev.ArenaBytes, Total.ArenaBytes);
+  EXPECT_EQ(Rev.PeakRssBytes, Total.PeakRssBytes);
+}
+
+TEST(AppStatsTest, CollectAppStatsHarvestsArenaBytes) {
+  auto App = makeBundle(ProvSource, {{"main", ProvLayout}});
+  auto R = runAnalysis(*App);
+  AppStats Stats = collectAppStats("test", App->Program, *R);
+  // Every layer owns arena storage by now: IR decls, graph adjacency,
+  // and at least one nonempty flow set.
+  EXPECT_GT(Stats.ArenaBytes, 0u);
+  EXPECT_GE(Stats.ArenaBytes, App->Program.declArena().bytesAllocated());
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(Stats.PeakRssBytes, 0u);
+#endif
+
+  MetricsRegistry M;
+  recordAppMetrics(M, Stats, R->Sol.get());
+  EXPECT_EQ(static_cast<unsigned long long>(
+                M.gauge("gator_arena_bytes_per_app", "").value()),
+            Stats.ArenaBytes);
+}
+
 TEST(AppStatsTest, AggregateIsOrderInvariant) {
   AppStats A, B;
   A.PeakVarWorklist = 10;

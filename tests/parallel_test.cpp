@@ -261,6 +261,69 @@ TEST(BatchDeterminismTest, IdenticalUnderPerTaskWorkCaps) {
 // Shared batch deadline and cross-thread cancellation
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// Arena-backed artifact lifecycle (docs/MEMORY.md)
+//===----------------------------------------------------------------------===//
+
+TEST(BatchArtifactsTest, KeepArtifactsFalseIsAPureArenaDrop) {
+  // With KeepArtifacts=false every per-app owner (bundle, graph,
+  // solution) is destroyed inside the task, which releases the app's
+  // arena slabs wholesale — nothing object-shaped survives into the
+  // merged results, only the harvested stats row.
+  std::vector<AppSpec> Specs(paperCorpus().begin(),
+                             paperCorpus().begin() + 4);
+  AnalysisOptions Options;
+  Options.Jobs = 2;
+  std::vector<BatchAppResult> Dropped =
+      analyzeCorpus(Specs, Options, nullptr, /*KeepArtifacts=*/false);
+  ASSERT_EQ(Dropped.size(), Specs.size());
+  for (const BatchAppResult &R : Dropped) {
+    EXPECT_EQ(R.Result, nullptr) << R.Name;
+    EXPECT_EQ(R.App.Bundle, nullptr) << R.Name;
+    // The stats were harvested before the drop, arenas included.
+    EXPECT_GT(R.Stats.Classes, 0u) << R.Name;
+    EXPECT_GT(R.Stats.ArenaBytes, 0u) << R.Name;
+  }
+
+  // Dropping artifacts must not change what was measured.
+  std::vector<BatchAppResult> Kept =
+      analyzeCorpus(Specs, Options, nullptr, /*KeepArtifacts=*/true);
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    ASSERT_NE(Kept[I].Result, nullptr);
+    std::ostringstream A, B;
+    printAppStatsRow(A, Dropped[I].Stats);
+    printSolverStatsRow(A, Dropped[I].Stats);
+    printAppStatsRow(B, Kept[I].Stats);
+    printSolverStatsRow(B, Kept[I].Stats);
+    EXPECT_EQ(A.str(), B.str()) << Specs[I].Name;
+    EXPECT_EQ(Dropped[I].Stats.ArenaBytes, Kept[I].Stats.ArenaBytes)
+        << Specs[I].Name;
+  }
+}
+
+TEST(BatchArtifactsTest, ArenaBytesAreDeterministicAcrossJobCounts) {
+  // Arena byte counts are allocation-order accounting, and per-app
+  // solves are thread-confined — so unlike peak RSS they must not
+  // depend on the job count.
+  FleetSpec FS;
+  FS.Apps = 12;
+  FS.Seed = 7;
+  std::vector<AppSpec> Specs = makeFleet(FS);
+  AnalysisOptions Options;
+  Options.Jobs = 1;
+  std::vector<BatchAppResult> Serial =
+      analyzeCorpus(Specs, Options, nullptr, /*KeepArtifacts=*/false);
+  for (unsigned Jobs : {4u, 8u}) {
+    Options.Jobs = Jobs;
+    std::vector<BatchAppResult> Parallel =
+        analyzeCorpus(Specs, Options, nullptr, /*KeepArtifacts=*/false);
+    ASSERT_EQ(Parallel.size(), Serial.size());
+    for (size_t I = 0; I < Serial.size(); ++I)
+      EXPECT_EQ(Parallel[I].Stats.ArenaBytes, Serial[I].Stats.ArenaBytes)
+          << "jobs=" << Jobs << " app " << I;
+  }
+}
+
 TEST(BatchDeadlineTest, DeadlineIsSharedAcrossTheBatch) {
   // The deadline is computed once for the whole batch. Emulate a slow
   // early app by exhausting the deadline before the fan-out: every app

@@ -29,7 +29,7 @@ void expectSameStructure(const Program &A, const Program &B) {
   std::vector<const ClassDecl *> AppClasses;
   for (const auto &C : A.classes())
     if (!C->isPlatform())
-      AppClasses.push_back(C.get());
+      AppClasses.push_back(C);
   ASSERT_EQ(AppClasses.size(), B.classes().size());
   for (size_t I = 0; I < AppClasses.size(); ++I) {
     const ClassDecl &CA = *AppClasses[I];

@@ -215,11 +215,12 @@ TEST(SolverReuse, SecondSolveIsStable) {
 //===----------------------------------------------------------------------===//
 
 TEST(FlowSetTest, SmallRegimeDedupAndOrder) {
+  support::Arena A;
   FlowSet S;
   EXPECT_TRUE(S.empty());
-  EXPECT_TRUE(S.insert(7));
-  EXPECT_TRUE(S.insert(3));
-  EXPECT_FALSE(S.insert(7)); // duplicate
+  EXPECT_TRUE(S.insert(A, 7));
+  EXPECT_TRUE(S.insert(A, 3));
+  EXPECT_FALSE(S.insert(A, 7)); // duplicate
   EXPECT_EQ(S.size(), 2u);
   EXPECT_TRUE(S.contains(3));
   EXPECT_FALSE(S.contains(4));
@@ -230,16 +231,17 @@ TEST(FlowSetTest, SmallRegimeDedupAndOrder) {
 }
 
 TEST(FlowSetTest, PromotionAtSmallLimit) {
+  support::Arena A;
   FlowSet S;
   for (NodeId V = 0; V < FlowSet::SmallLimit; ++V)
-    EXPECT_TRUE(S.insert(V));
+    EXPECT_TRUE(S.insert(A, V));
   EXPECT_FALSE(S.promoted()) << "promotion only past SmallLimit";
-  EXPECT_TRUE(S.insert(FlowSet::SmallLimit));
+  EXPECT_TRUE(S.insert(A, FlowSet::SmallLimit));
   EXPECT_TRUE(S.promoted());
   EXPECT_EQ(S.size(), FlowSet::SmallLimit + 1);
   // Dedup and order still hold in the promoted regime.
-  EXPECT_FALSE(S.insert(0));
-  EXPECT_TRUE(S.insert(1000));
+  EXPECT_FALSE(S.insert(A, 0));
+  EXPECT_TRUE(S.insert(A, 1000));
   EXPECT_TRUE(S.contains(1000));
   std::vector<NodeId> Got(S.begin(), S.end());
   ASSERT_EQ(Got.size(), FlowSet::SmallLimit + 2);
@@ -248,10 +250,11 @@ TEST(FlowSetTest, PromotionAtSmallLimit) {
 }
 
 TEST(FlowSetTest, DeltaSpanLifecycle) {
+  support::Arena A;
   FlowSet S;
   EXPECT_FALSE(S.hasDelta());
-  S.insert(1);
-  S.insert(2);
+  S.insert(A, 1);
+  S.insert(A, 2);
   EXPECT_TRUE(S.hasDelta());
   EXPECT_EQ(S.deltaBegin(), 0u);
 
@@ -259,7 +262,7 @@ TEST(FlowSetTest, DeltaSpanLifecycle) {
   EXPECT_FALSE(S.hasDelta());
   EXPECT_EQ(S.deltaBegin(), 2u);
 
-  S.insert(3);
+  S.insert(A, 3);
   EXPECT_TRUE(S.hasDelta());
   // The uncommitted suffix is exactly the values since the last commit.
   std::vector<NodeId> DeltaVals(S.begin() + S.deltaBegin(), S.end());
@@ -268,28 +271,29 @@ TEST(FlowSetTest, DeltaSpanLifecycle) {
   EXPECT_FALSE(S.hasDelta());
 }
 
-TEST(FlowSetTest, CopyIsDeepInBothRegimes) {
+TEST(FlowSetTest, CloneIsDeepInBothRegimes) {
+  support::Arena A;
   FlowSet Small;
-  Small.insert(1);
-  Small.insert(2);
-  FlowSet SmallCopy = Small;
-  Small.insert(3);
+  Small.insert(A, 1);
+  Small.insert(A, 2);
+  FlowSet SmallCopy = Small.clone(A);
+  Small.insert(A, 3);
   EXPECT_EQ(SmallCopy.size(), 2u);
   EXPECT_FALSE(SmallCopy.contains(3));
 
   FlowSet Big;
   for (NodeId V = 0; V <= FlowSet::SmallLimit; ++V)
-    Big.insert(V);
+    Big.insert(A, V);
   ASSERT_TRUE(Big.promoted());
-  FlowSet BigCopy = Big;
+  FlowSet BigCopy = Big.clone(A);
   EXPECT_TRUE(BigCopy.promoted());
-  Big.insert(500);
+  Big.insert(A, 500);
   EXPECT_FALSE(BigCopy.contains(500));
-  EXPECT_FALSE(BigCopy.insert(3)) << "copied index must dedup";
-  EXPECT_TRUE(BigCopy.insert(501));
+  EXPECT_FALSE(BigCopy.insert(A, 3)) << "cloned index must dedup";
+  EXPECT_TRUE(BigCopy.insert(A, 501));
   EXPECT_TRUE(BigCopy.contains(501));
 
-  Big = SmallCopy; // copy-assign promoted <- small
+  Big = SmallCopy.clone(A); // move-assign a clone over a promoted set
   EXPECT_FALSE(Big.promoted());
   EXPECT_EQ(Big.size(), 2u);
 }
