@@ -18,6 +18,7 @@
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -127,14 +128,24 @@ int main(int Argc, char **Argv) {
   // --fleet-only   skip the corpus/synthetic sweeps (fresh-process fleet
   //                numbers: peak RSS is attributable to the fleet alone)
   // --jobs A,B,..  job counts to sweep (default 1,2,4,8)
+  // --hostile [P]  hostile-shape rates for the fleet (docs/ROBUSTNESS.md):
+  //                P percent of apps (default 20) draw reflective
+  //                construction, dynamic find ids, and missing-layout
+  //                references each; such apps analyze as DegradedInput
   unsigned FleetApps = 10000;
   bool FleetOnly = false;
+  unsigned HostilePercent = 0;
   std::vector<unsigned> JobValues = {1, 2, 4, 8};
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--fleet") && I + 1 < Argc)
       FleetApps = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--fleet-only"))
       FleetOnly = true;
+    else if (!std::strcmp(Argv[I], "--hostile"))
+      HostilePercent = (I + 1 < Argc &&
+                        std::isdigit(static_cast<unsigned char>(*Argv[I + 1])))
+                           ? static_cast<unsigned>(std::atoi(Argv[++I]))
+                           : 20;
     else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
       JobValues.clear();
       for (const char *P = Argv[++I]; *P;) {
@@ -160,7 +171,12 @@ int main(int Argc, char **Argv) {
   if (FleetApps) {
     FleetSpec FS;
     FS.Apps = FleetApps;
-    Fleet = sweep("generated fleet", makeFleet(FS), JobValues);
+    FS.ReflectivePercent = HostilePercent;
+    FS.DynamicIdPercent = HostilePercent;
+    FS.MissingLayoutPercent = HostilePercent;
+    Fleet = sweep(HostilePercent ? "generated fleet (hostile)"
+                                 : "generated fleet",
+                  makeFleet(FS), JobValues);
     const SweepPoint &P0 = Fleet.front();
     std::printf("fleet throughput at -j%u: %.1f apps/s, peak RSS %.1f MiB "
                 "(%.1f KiB/app)\n\n",

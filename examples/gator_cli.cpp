@@ -41,9 +41,12 @@
 // thread-confined sink/registry; the driver merges them in input order,
 // so telemetry is deterministic across every -j value (timestamps aside).
 //
-// Exit codes: 0 = clean run, 1 = input diagnostics (parse/resolve errors),
-// 2 = internal error (and usage errors). In batch mode the exit code is
-// the maximum over the per-app codes.
+// Exit codes: 0 = complete run, 1 = degraded run (input diagnostics, or a
+// solution whose fidelity is not Complete — unknown-source degradation and
+// budget truncation both count; docs/ROBUSTNESS.md), 2 = internal error
+// (and usage errors). In batch mode the exit code is the maximum over the
+// per-app codes, so "some apps degraded" (1) is distinguishable from "all
+// complete" (0) at every -j value.
 //
 //===----------------------------------------------------------------------===//
 
@@ -93,7 +96,8 @@ void printUsage(std::ostream &OS) {
         "[--lint] [--batch] [-j <n>] [--max-seconds <s>] [--max-work <n>] "
         "[--max-nodes <n>] [--max-edges <n>] [--trace-out <file>] "
         "[--metrics-out <file>] [--metrics-format json|prom] "
-        "[--explain <substr>] [--diag-format text|json] [--help]\n"
+        "[--explain <substr>] [--diag-format text|json] "
+        "[--no-unknown-sources] [--unknown-fanout <n>] [--help]\n"
         "  --batch        analyze every immediate subdirectory of <dir> "
         "as one app\n"
         "  -j, --jobs <n> batch worker threads; 0 = hardware concurrency "
@@ -118,7 +122,17 @@ void printUsage(std::ostream &OS) {
         "<substr>\n"
         "                 (single-app mode only)\n"
         "  --diag-format  print diagnostics as text (default) or one "
-        "JSON document\n";
+        "JSON document\n"
+        "  --no-unknown-sources\n"
+        "                 drop tagged unknown-source modeling of "
+        "reflection, dynamic\n"
+        "                 ids, and missing layouts (docs/ROBUSTNESS.md); "
+        "such sites\n"
+        "                 are then silently unresolved\n"
+        "  --unknown-fanout <n>\n"
+        "                 cap on views an unknown id may match at "
+        "FindView sites\n"
+        "                 (0 = uncapped; default 64)\n";
 }
 
 int usage() {
@@ -301,6 +315,11 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
               << ")";
   if (!Result->Sol->unresolvedOps().empty())
     Out << " unresolved-ops=" << Result->Sol->unresolvedOps().size();
+  size_t UnknownSources =
+      Result->Graph->nodesOfKind(graph::NodeKind::UnknownView).size() +
+      Result->Graph->nodesOfKind(graph::NodeKind::UnknownId).size();
+  if (UnknownSources)
+    Out << " unknown-sources=" << UnknownSources;
   Out << "\n";
 
   if (!Cfg.ExplainQuery.empty()) {
@@ -340,7 +359,10 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
 
   if (Cfg.WantSolution) {
     Out << "\nper-operation solution:\n";
-    Result->Sol->dump(Out);
+    Result->Sol->dump(Out, Cfg.Options.TrackViewIds,
+                      Cfg.Options.TrackHierarchy,
+                      Cfg.Options.FindView3ChildOnly,
+                      Cfg.Options.UnknownFanoutBudget);
   }
   if (Cfg.WantTuples) {
     Out << "\n(activity, view, event, handler) tuples:\n";
@@ -408,7 +430,12 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
     Result->Graph->dumpDot(Dot);
     Out << "constraint graph written to " << Cfg.DotFile << "\n";
   }
-  return HadInputErrors ? 1 : 0;
+  // Degraded-but-sound runs exit 1 like input diagnostics do: the contract
+  // is "0 means every fact is exact". Unknown-source degradation and budget
+  // truncation both leave the solution usable, so nothing above aborted.
+  bool Degraded =
+      Result->Sol->fidelity() != analysis::Fidelity::Complete;
+  return (HadInputErrors || Degraded) ? 1 : 0;
 }
 
 /// Crash isolation: a C++ exception escaping one app's analysis is an
@@ -604,6 +631,13 @@ int main(int argc, char **argv) {
       if (!NextValue(Val) || !parseCount(Val, N))
         return usage();
       Cfg.Options.Budget.MaxGraphNodes = N;
+    } else if (Arg == "--no-unknown-sources") {
+      Cfg.Options.ModelUnknownSources = false;
+    } else if (Arg == "--unknown-fanout") {
+      unsigned long N = 0;
+      if (!NextValue(Val) || !parseCount(Val, N))
+        return usage();
+      Cfg.Options.UnknownFanoutBudget = static_cast<unsigned>(N);
     } else if (Arg == "--max-edges") {
       unsigned long N = 0;
       if (!NextValue(Val) || !parseCount(Val, N))

@@ -47,6 +47,14 @@ AppStats gator::analysis::collectAppStats(const std::string &Name,
       if (AM.isListenerClass(N.Klass))
         ++Stats.Listeners;
       break;
+    case NodeKind::UnknownView:
+      ++Stats.UnknownViews;
+      ++Stats.UnknownByReason[static_cast<size_t>(N.Unknown)];
+      break;
+    case NodeKind::UnknownId:
+      ++Stats.UnknownIds;
+      ++Stats.UnknownByReason[static_cast<size_t>(N.Unknown)];
+      break;
     case NodeKind::Op:
       switch (N.Op) {
       case OpKind::Inflate1:
@@ -151,6 +159,10 @@ gator::analysis::aggregateAppStats(const std::string &Name,
       Total.SolutionFidelity = S.SolutionFidelity;
     Total.UnresolvedOps += S.UnresolvedOps;
     Total.WorkCharged += S.WorkCharged;
+    Total.UnknownViews += S.UnknownViews;
+    Total.UnknownIds += S.UnknownIds;
+    for (size_t R = 0; R < graph::NumUnknownReasons; ++R)
+      Total.UnknownByReason[R] += S.UnknownByReason[R];
 
     Total.GraphNodes += S.GraphNodes;
     Total.FlowEdges += S.FlowEdges;
@@ -215,6 +227,24 @@ void gator::analysis::recordAppMetrics(support::MetricsRegistry &Metrics,
       .counter("gator_budget_work_charged_total",
                "Work items charged against the budget")
       .add(Stats.WorkCharged);
+
+  // Unknown-source modeling (docs/ROBUSTNESS.md). The total is always
+  // emitted — a zero confirms clean input rather than a missing series —
+  // and the per-kind breakdown is labeled by degradation reason.
+  Metrics
+      .counter("gator_unknown_sources_total",
+               "Tagged unknown-source nodes (reflection, dynamic ids, "
+               "missing resources)")
+      .add(Stats.UnknownViews + Stats.UnknownIds);
+  for (size_t R = 1; R < graph::NumUnknownReasons; ++R)
+    if (Stats.UnknownByReason[R])
+      Metrics
+          .counter("gator_unknown_sources_by_reason_total",
+                   "Tagged unknown-source nodes per degradation reason",
+                   MetricUnit::None, "reason",
+                   graph::unknownReasonSlug(
+                       static_cast<graph::UnknownReason>(R)))
+          .add(Stats.UnknownByReason[R]);
 
   Metrics
       .gauge("gator_solver_peak_set_size",

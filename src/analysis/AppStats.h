@@ -64,6 +64,13 @@ struct AppStats {
   unsigned long UnresolvedOps = 0;
   unsigned long WorkCharged = 0;
 
+  /// Unknown-source telemetry (docs/ROBUSTNESS.md): tagged UnknownView /
+  /// UnknownId node counts, plus a per-reason breakdown (indexed by
+  /// graph::UnknownReason; slot 0/None stays zero).
+  unsigned long UnknownViews = 0;
+  unsigned long UnknownIds = 0;
+  unsigned long UnknownByReason[graph::NumUnknownReasons] = {};
+
   // Observability telemetry (docs/OBSERVABILITY.md).
 
   /// Final constraint-graph shape.

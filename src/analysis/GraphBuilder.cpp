@@ -141,11 +141,37 @@ void GraphBuilder::buildOpSite(ConstraintGraph &G, std::vector<OpSite> &Ops,
 
 void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
                                const MethodDecl &M, const Stmt &S) {
+  // Unknown-source modeling (docs/ROBUSTNESS.md): calls the analysis cannot
+  // resolve to a value become tagged unknown nodes instead of dropped facts.
+  // `c.newInstance()` is reflective construction — the result may be any
+  // view; `res.getIdentifier(...)` computes a resource id at runtime — the
+  // result may be any id. Only fires when normal resolution failed.
+  auto mintUnknownResult = [&]() -> bool {
+    if (!ModelUnknown || S.Lhs == InvalidVar)
+      return false;
+    if (S.MethodName == "newInstance" && S.Args.empty()) {
+      G.addFlowEdge(
+          G.makeUnknownViewNode(UnknownReason::ReflectiveNew, &M, S.Loc),
+          G.getVarNode(&M, S.Lhs));
+      return true;
+    }
+    if (S.MethodName == "getIdentifier") {
+      G.addFlowEdge(G.makeUnknownIdNode(UnknownReason::DynamicId, &M, S.Loc),
+                    G.getVarNode(&M, S.Lhs));
+      return true;
+    }
+    return false;
+  };
+
   const Variable &BaseVar = M.var(S.Base);
   const ClassDecl *Recv =
       BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
-  if (!Recv)
-    return; // unknown receiver type: no edges (verifier already warned)
+  if (!Recv) {
+    // Unknown receiver type: no call edges (verifier already warned), but a
+    // reflective/dynamic result is still modeled.
+    mintUnknownResult();
+    return;
+  }
 
   unsigned Arity = static_cast<unsigned>(S.Args.size());
   const MethodDecl *Resolved = Recv->findMethod(S.MethodName, Arity);
@@ -174,6 +200,8 @@ void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
                  S.Lhs != InvalidVar)
           G.addFlowEdge(G.getFieldNode(Elements), G.getVarNode(&M, S.Lhs));
       }
+    } else {
+      mintUnknownResult();
     }
   }
   buildCallEdges(G, M, S,
@@ -191,8 +219,19 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       break;
     case StmtKind::AssignNew: {
       const ClassDecl *C = findClassCached(S.ClassName);
-      if (!C)
+      if (!C) {
+        // Unresolved class (missing library, obfuscated name): model the
+        // allocation as an unknown view rather than silently dropping it
+        // (docs/ROBUSTNESS.md).
+        if (ModelUnknown && S.Lhs != InvalidVar) {
+          Diags.warning(S.Loc, "new of unresolved class '" + S.ClassName +
+                                   "'; modeling result as unknown");
+          G.addFlowEdge(
+              G.makeUnknownViewNode(UnknownReason::UnknownClass, &M, S.Loc),
+              G.getVarNode(&M, S.Lhs));
+        }
         break;
+      }
       bool IsView = AM.isViewClass(C);
       NodeId Alloc = G.getAllocNode(&M, static_cast<int32_t>(I), C, IsView,
                                     S.Loc);
@@ -261,6 +300,12 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       if (Id == layout::InvalidResourceId) {
         Diags.warning(S.Loc, "reference to unknown layout '@layout/" +
                                  S.ResourceName + "'");
+        // Missing layout resource: the id still reaches inflate sites as a
+        // tagged unknown so downstream ops degrade instead of vanishing.
+        if (ModelUnknown && S.Lhs != InvalidVar)
+          G.addFlowEdge(
+              G.makeUnknownIdNode(UnknownReason::MissingLayout, &M, S.Loc),
+              G.getVarNode(&M, S.Lhs));
         break;
       }
       G.addFlowEdge(G.getLayoutIdNode(Id), G.getVarNode(&M, S.Lhs));

@@ -53,6 +53,11 @@ public:
   /// null disables tracing. Must outlive build().
   void setTrace(support::TraceSink *Sink) { Trace = Sink; }
 
+  /// Enables/disables unknown-source modeling (docs/ROBUSTNESS.md): when on,
+  /// reflective construction, non-constant ids, and missing layout resources
+  /// become tagged UnknownView/UnknownId nodes instead of dropped facts.
+  void setModelUnknownSources(bool On) { ModelUnknown = On; }
+
 private:
   void buildResourceNodes(graph::ConstraintGraph &G);
   void buildActivityNodes(graph::ConstraintGraph &G);
@@ -83,6 +88,7 @@ private:
   std::unordered_map<const std::string *, const ir::ClassDecl *> ClassCache;
 
   support::TraceSink *Trace = nullptr;
+  bool ModelUnknown = true;
 };
 
 } // namespace analysis

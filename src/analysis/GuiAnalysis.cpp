@@ -28,6 +28,7 @@ GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
     hier::ClassHierarchy CH(P, &Diags);
     GraphBuilder Builder(P, Layouts, AM, CH, Diags);
     Builder.setTrace(Options.Trace);
+    Builder.setModelUnknownSources(Options.ModelUnknownSources);
     if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
       Result->Sol->markDegraded();
     BuildSpan.arg("nodes", Result->Graph->size());
@@ -35,8 +36,12 @@ GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
   }
   Result->BuildSeconds = BuildTimer.seconds();
 
-  if (Options.RecordProvenance)
+  if (Options.RecordProvenance) {
     Result->Provenance = std::make_unique<ProvenanceRecorder>();
+    // Endpoint-kind checks let the recorder flag facts involving unknown
+    // nodes as approximate (docs/ROBUSTNESS.md).
+    Result->Provenance->bindGraph(Result->Graph.get());
+  }
 
   Timer SolveTimer;
   {
@@ -51,6 +56,12 @@ GuiAnalysis::run(const ir::Program &P, layout::LayoutRegistry &Layouts,
   // Any recoverable-invariant failure during this run (graph edge drops,
   // hierarchy degradations) means facts may have been discarded.
   if (Diags.checkFailureCount() != CheckFailuresBefore)
+    Result->Sol->markDegraded();
+  // Unknown-source nodes mean some facts are conservative approximations
+  // of hostile input (reflection, dynamic ids, missing resources): the
+  // solution is usable but must not claim completeness.
+  if (!Result->Graph->nodesOfKind(graph::NodeKind::UnknownView).empty() ||
+      !Result->Graph->nodesOfKind(graph::NodeKind::UnknownId).empty())
     Result->Sol->markDegraded();
   return Result;
 }

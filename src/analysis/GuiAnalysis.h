@@ -55,7 +55,8 @@ struct AnalysisResult {
   /// Table 2 metrics under the options this run used.
   Solution::PrecisionMetrics metrics() const {
     return Sol->computeMetrics(Options.TrackViewIds, Options.TrackHierarchy,
-                               Options.FindView3ChildOnly);
+                               Options.FindView3ChildOnly,
+                               Options.UnknownFanoutBudget);
   }
 };
 

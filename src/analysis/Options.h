@@ -103,6 +103,20 @@ struct AnalysisOptions {
   /// `gator_cli --explain` able to print derivation trees. Off by default:
   /// recording costs one hash insert per committed fact.
   bool RecordProvenance = false;
+
+  /// Incomplete-information modeling (docs/ROBUSTNESS.md): reflective
+  /// view construction, non-constant find/set ids, and missing layout
+  /// resources become tagged UnknownView/UnknownId graph nodes with
+  /// conservative flow rules instead of being dropped. Solutions touched
+  /// by an unknown source are marked DegradedInput, and each unknown node
+  /// carries the reason `--explain` prints. Clean inputs mint no unknown
+  /// nodes, so results there are bit-identical with the knob on or off.
+  bool ModelUnknownSources = true;
+
+  /// Cap on how many views a single unknown-id find/inflate site may
+  /// yield (the receiver's full view set is the sound answer; this bounds
+  /// hostile inputs from blowing up the solve). 0 = uncapped.
+  unsigned UnknownFanoutBudget = 64;
 };
 
 } // namespace analysis

@@ -142,9 +142,16 @@ private:
 
   void seed() {
     provCtx(DerivRule::Seed);
-    for (NodeId Id = 0; Id < G.size(); ++Id)
-      if (isValueNodeKind(G.node(Id).Kind))
-        insert(Id, Id);
+    for (NodeId Id = 0; Id < G.size(); ++Id) {
+      NodeKind K = G.node(Id).Kind;
+      if (!isValueNodeKind(K))
+        continue;
+      if (Prov)
+        provCtx(K == NodeKind::UnknownView || K == NodeKind::UnknownId
+                    ? DerivRule::UnknownSource
+                    : DerivRule::Seed);
+      insert(Id, Id);
+    }
   }
 
   /// One full sweep over all flow edges; returns whether anything grew.
@@ -303,6 +310,60 @@ private:
         }
       }
     }
+
+    // Unknown-source ids: mirror Solver::fireInflate's tagged unknown root
+    // per (site, id) so both engines agree on degraded apps
+    // (docs/ROBUSTNESS.md).
+    std::vector<NodeId> UnknownIds;
+    for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
+      if (G.node(IdVal).Kind == NodeKind::UnknownId)
+        UnknownIds.push_back(IdVal);
+    for (NodeId U : UnknownIds) {
+      uint64_t Key = (static_cast<uint64_t>(Op.OpNode) << 32) | U;
+      auto It = Minted.find(Key);
+      NodeId Root;
+      if (It != Minted.end()) {
+        Root = It->second;
+      } else {
+        Root = G.makeUnknownViewNode(G.node(U).Unknown, Op.Method,
+                                     G.node(Op.OpNode).Loc, Op.OpNode);
+        Minted.emplace(Key, Root);
+        if (Prov)
+          provCtx(DerivRule::UnknownSource, provFlow(Op.IdArg, U));
+        insert(Root, Root);
+        G.addRootsLayoutEdge(Root, U);
+        provEdge(FactKind::RootsLayout, Root, U, DerivRule::UnknownSource,
+                 provFlow(Op.IdArg, U));
+        Sol.markDegraded();
+        Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+        Changed = true;
+      }
+      if (Root == InvalidNode)
+        continue;
+      if (Op.Spec.Kind == OpKind::Inflate1) {
+        provCtx(DerivRule::UnknownSource, provFlow(Op.IdArg, U),
+                provFlow(Root, Root));
+        Changed |= insert(Op.Out, Root);
+        if (Op.AttachParent != InvalidNode)
+          for (NodeId P : Sol.viewsAt(Op.AttachParent))
+            if (P != Root && G.addParentChildEdge(P, Root)) {
+              provEdge(FactKind::ParentChild, P, Root,
+                       DerivRule::UnknownSource, provFlow(Op.AttachParent, P),
+                       provFlow(Root, Root));
+              Changed = true;
+            }
+      } else {
+        for (NodeId W : Sol.valuesAt(Op.Recv)) {
+          NodeKind K = G.node(W).Kind;
+          if (K == NodeKind::Activity || K == NodeKind::Alloc)
+            if (G.addRootEdge(W, Root)) {
+              provEdge(FactKind::Root, W, Root, DerivRule::UnknownSource,
+                       provFlow(Op.Recv, W), provFlow(Op.IdArg, U));
+              Changed = true;
+            }
+        }
+      }
+    }
     return Changed;
   }
 
@@ -357,11 +418,21 @@ private:
     bool Filter = Options.TrackViewIds &&
                   (Op.Spec.Kind == OpKind::FindView1 ||
                    Op.Spec.Kind == OpKind::FindView2);
+    // Unknown-source handling mirrors Solution::resultsOf so the two
+    // engines agree on degraded apps (docs/ROBUSTNESS.md); gated on the
+    // graph actually holding unknown nodes so clean inputs pay nothing.
+    bool HaveUnknown = !G.nodesOfKind(NodeKind::UnknownView).empty() ||
+                       !G.nodesOfKind(NodeKind::UnknownId).empty();
     if (Filter) {
       std::unordered_set<NodeId> Wanted;
-      for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
+      NodeId UnknownIdAtArg = InvalidNode;
+      for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
         if (G.node(IdVal).Kind == NodeKind::ViewId)
           Wanted.insert(IdVal);
+        else if (HaveUnknown && G.node(IdVal).Kind == NodeKind::UnknownId &&
+                 UnknownIdAtArg == InvalidNode)
+          UnknownIdAtArg = IdVal;
+      }
       for (NodeId Cand : Candidates)
         for (NodeId IdNode : G.viewIds(Cand))
           if (Wanted.count(IdNode)) {
@@ -370,6 +441,45 @@ private:
                       Prov->edgeFact(FactKind::HasId, Cand, IdNode));
             Changed |= insert(Op.Out, Cand);
           }
+      if (UnknownIdAtArg != InvalidNode) {
+        // A non-constant id makes every candidate a sound match, capped
+        // by the deterministic fanout budget (first N of the sorted
+        // candidate universe, like Solution::resultsOf::appendCapped).
+        // The unknown-id flow is cited as a premise so --explain's
+        // derivation tree reaches the reason-carrying node.
+        Sol.markDegraded();
+        Sol.noteUnresolvedOp(
+            static_cast<uint32_t>(&Op - Sol.opSites().data()));
+        std::vector<NodeId> Universe = Candidates;
+        std::sort(Universe.begin(), Universe.end());
+        Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                       Universe.end());
+        size_t N = Options.UnknownFanoutBudget
+                       ? std::min<size_t>(Universe.size(),
+                                          Options.UnknownFanoutBudget)
+                       : Universe.size();
+        for (size_t I = 0; I < N; ++I) {
+          provCtx(DerivRule::UnknownSource, provFlow(Universe[I], Universe[I]),
+                  provFlow(Op.IdArg, UnknownIdAtArg));
+          Changed |= insert(Op.Out, Universe[I]);
+        }
+      } else if (HaveUnknown) {
+        // A view carrying an unknown id may match any constant lookup,
+        // and an unknown view matches any lookup it reaches.
+        for (NodeId Cand : Candidates) {
+          bool Match = G.node(Cand).Kind == NodeKind::UnknownView;
+          if (!Match)
+            for (NodeId IdNode : G.viewIds(Cand))
+              if (G.node(IdNode).Kind == NodeKind::UnknownId) {
+                Match = true;
+                break;
+              }
+          if (Match) {
+            provCtx(DerivRule::UnknownSource, provFlow(Cand, Cand));
+            Changed |= insert(Op.Out, Cand);
+          }
+        }
+      }
     } else {
       for (NodeId Cand : Candidates) {
         provCtx(DerivRule::FindView, provFlow(Cand, Cand));
@@ -441,13 +551,17 @@ private:
     case OpKind::SetId: {
       bool Changed = false;
       for (NodeId V : Sol.viewsAt(Op.Recv))
-        for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
-          if (G.node(IdVal).Kind == NodeKind::ViewId)
+        for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
+          NodeKind K = G.node(IdVal).Kind;
+          if (K == NodeKind::ViewId || K == NodeKind::UnknownId)
             if (G.addHasIdEdge(V, IdVal)) {
-              provEdge(FactKind::HasId, V, IdVal, DerivRule::SetId,
+              provEdge(FactKind::HasId, V, IdVal,
+                       K == NodeKind::UnknownId ? DerivRule::UnknownSource
+                                                : DerivRule::SetId,
                        provFlow(Op.Recv, V), provFlow(Op.IdArg, IdVal));
               Changed = true;
             }
+        }
       return Changed;
     }
     case OpKind::SetListener: {
@@ -670,14 +784,17 @@ std::unique_ptr<AnalysisResult> gator::analysis::runPhasedAnalysis(
     hier::ClassHierarchy CH(P, &Diags);
     GraphBuilder Builder(P, Layouts, AM, CH, Diags);
     Builder.setTrace(Options.Trace);
+    Builder.setModelUnknownSources(Options.ModelUnknownSources);
     if (!Builder.build(*Result->Graph, Result->Sol->opSites()))
       Result->Sol->markDegraded();
     BuildSpan.arg("nodes", Result->Graph->size());
   }
   Result->BuildSeconds = BuildTimer.seconds();
 
-  if (Options.RecordProvenance)
+  if (Options.RecordProvenance) {
     Result->Provenance = std::make_unique<ProvenanceRecorder>();
+    Result->Provenance->bindGraph(Result->Graph.get());
+  }
 
   Timer SolveTimer;
   {
@@ -686,5 +803,10 @@ std::unique_ptr<AnalysisResult> gator::analysis::runPhasedAnalysis(
                 Result->Provenance.get());
   }
   Result->SolveSeconds = SolveTimer.seconds();
+  // Unknown-source nodes mean conservative approximations of hostile
+  // input: the solution is usable but must not claim completeness.
+  if (!Result->Graph->nodesOfKind(NodeKind::UnknownView).empty() ||
+      !Result->Graph->nodesOfKind(NodeKind::UnknownId).empty())
+    Result->Sol->markDegraded();
   return Result;
 }

@@ -37,6 +37,8 @@ const char *gator::analysis::derivRuleName(DerivRule Rule) {
     return "SetAdapter";
   case DerivRule::External:
     return "External";
+  case DerivRule::UnknownSource:
+    return "UnknownSource";
   }
   return "Unknown";
 }
@@ -59,6 +61,18 @@ const char *gator::analysis::factKindName(FactKind Kind) {
   return "fact";
 }
 
+namespace {
+
+bool isUnknownNode(const graph::ConstraintGraph *G, graph::NodeId Id) {
+  if (!G || Id == graph::InvalidNode || Id >= G->size())
+    return false;
+  graph::NodeKind Kind = G->node(Id).Kind;
+  return Kind == graph::NodeKind::UnknownView ||
+         Kind == graph::NodeKind::UnknownId;
+}
+
+} // namespace
+
 void ProvenanceRecorder::record(FactKind Kind, graph::NodeId A,
                                 graph::NodeId B, DerivRule Rule, FactId P0,
                                 FactId P1, FactId P2) {
@@ -66,9 +80,14 @@ void ProvenanceRecorder::record(FactKind Kind, graph::NodeId A,
   D.Rule = Rule;
   D.Premises = {P0, P1, P2};
   D.Depth = 1;
+  D.Approx = Rule == DerivRule::UnknownSource || isUnknownNode(G, A) ||
+             isUnknownNode(G, B);
   for (FactId P : D.Premises)
-    if (P != NoFact && Derivs[P].Depth + 1 > D.Depth)
-      D.Depth = Derivs[P].Depth + 1;
+    if (P != NoFact) {
+      if (Derivs[P].Depth + 1 > D.Depth)
+        D.Depth = Derivs[P].Depth + 1;
+      D.Approx |= Derivs[P].Approx;
+    }
 
   auto &Map = IndexByKind[static_cast<size_t>(Kind)];
   auto [It, Inserted] =
@@ -76,9 +95,15 @@ void ProvenanceRecorder::record(FactKind Kind, graph::NodeId A,
   if (Inserted) {
     Facts.push_back(Fact{Kind, A, B});
     Derivs.push_back(D);
+    if (D.Approx)
+      ++ApproxFacts;
   } else if (D.Depth < Derivs[It->second].Depth) {
     // A shallower re-derivation wins: --explain reports the shortest
     // route the solve found to this fact.
+    if (D.Approx && !Derivs[It->second].Approx)
+      ++ApproxFacts;
+    else if (!D.Approx && Derivs[It->second].Approx)
+      --ApproxFacts;
     Derivs[It->second] = D;
   }
   if (D.Depth > MaxDepth)
@@ -95,6 +120,26 @@ ProvenanceRecorder::FactId ProvenanceRecorder::find(FactKind Kind,
 
 namespace {
 
+/// The `approx: <reason> at <site>` note for a fact resting directly on
+/// an unknown-source node (docs/ROBUSTNESS.md degradation taxonomy).
+void printApproxNote(std::ostream &OS, const graph::ConstraintGraph &G,
+                     const ProvenanceRecorder::Fact &F) {
+  for (graph::NodeId End : {F.A, F.B}) {
+    if (End == graph::InvalidNode || End >= G.size())
+      continue;
+    const graph::Node &N = G.node(End);
+    if (N.Kind != graph::NodeKind::UnknownView &&
+        N.Kind != graph::NodeKind::UnknownId)
+      continue;
+    OS << "  approx: " << graph::unknownReasonPhrase(N.Unknown);
+    if (N.Method)
+      OS << " at " << N.Method->qualifiedName();
+    if (N.Loc.isValid())
+      OS << ":" << N.Loc.line();
+    return;
+  }
+}
+
 void printOne(std::ostream &OS, const ProvenanceRecorder &Prov,
               ProvenanceRecorder::FactId Id, const graph::ConstraintGraph &G,
               unsigned Indent, unsigned MaxPrintDepth,
@@ -107,6 +152,10 @@ void printOne(std::ostream &OS, const ProvenanceRecorder &Prov,
   if (F.B != graph::InvalidNode)
     OS << ", " << G.label(F.B);
   OS << ")  [" << derivRuleName(D.Rule) << ']';
+  if (D.Approx) {
+    OS << " [approx]";
+    printApproxNote(OS, G, F);
+  }
   bool HasPremise = false;
   for (auto P : D.Premises)
     HasPremise |= P != ProvenanceRecorder::NoFact;

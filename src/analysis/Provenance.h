@@ -53,6 +53,8 @@ enum class DerivRule : uint8_t {
   FragmentAdd,      ///< fragment onCreateView wiring / container attach
   SetAdapter,       ///< adapter getView wiring / item attach
   External,         ///< recorded without a known producer (defensive)
+  UnknownSource,    ///< an unknown-source node seeded this fact
+                    ///< (docs/ROBUSTNESS.md); the fact is approximate
 };
 
 /// Printable rule name ("FlowEdge", "FindView", ...).
@@ -87,6 +89,11 @@ public:
     DerivRule Rule = DerivRule::External;
     std::array<FactId, 3> Premises{NoFact, NoFact, NoFact};
     uint32_t Depth = 1;
+    /// True when this fact rests on an unknown source: its rule is
+    /// UnknownSource, either endpoint is an unknown node, or any premise
+    /// is itself approximate. printDerivation flags such facts and names
+    /// the degradation reason at the unknown-source leaves.
+    bool Approx = false;
   };
 
   /// Records (or shallows) the derivation of flowsTo(\p Target, \p Value).
@@ -116,6 +123,14 @@ public:
   const Derivation &derivation(FactId Id) const { return Derivs[Id]; }
   size_t factCount() const { return Facts.size(); }
 
+  /// Binds the graph used to classify unknown-node endpoints when
+  /// computing Derivation::Approx. Optional; without it only the rule and
+  /// premise flags feed the classification.
+  void bindGraph(const graph::ConstraintGraph *Graph) { G = Graph; }
+
+  /// Number of recorded facts flagged approximate.
+  size_t approxFactCount() const { return ApproxFacts; }
+
   /// Deepest recorded derivation (1 for axioms; 0 when empty).
   uint32_t maxDepth() const { return MaxDepth; }
 
@@ -141,6 +156,8 @@ private:
   std::vector<Fact> Facts;
   std::vector<Derivation> Derivs;
   uint32_t MaxDepth = 0;
+  size_t ApproxFacts = 0;
+  const graph::ConstraintGraph *G = nullptr;
 };
 
 } // namespace analysis

@@ -79,8 +79,14 @@ std::vector<NodeId> Solution::listenersAtOp(const OpSite &Op) const {
 
 std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
                                         bool TrackHierarchy,
-                                        bool ChildOnlyRefinement) const {
+                                        bool ChildOnlyRefinement,
+                                        unsigned UnknownFanoutBudget) const {
   std::unordered_set<NodeId> Result;
+
+  // Unknown-source handling (docs/ROBUSTNESS.md) is gated on the graph
+  // actually holding unknown nodes, so clean inputs pay nothing.
+  bool HaveUnknown = !G.nodesOfKind(NodeKind::UnknownView).empty() ||
+                     !G.nodesOfKind(NodeKind::UnknownId).empty();
 
   // The roots to search under.
   std::vector<NodeId> SearchRoots;
@@ -102,15 +108,24 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
   case OpKind::Inflate1: {
     // The inflated root(s) for the layout ids reaching this site.
     for (NodeId V : valuesAt(Op.IdArg)) {
-      if (G.node(V).Kind != NodeKind::LayoutId)
-        continue;
-      // Roots minted at this site carry a roots-layout edge to V and an
-      // InflateSite of this op.
-      for (NodeId ViewNode : G.nodesOfKind(NodeKind::ViewInfl))
-        if (G.node(ViewNode).InflateSite == Op.OpNode)
-          for (NodeId L : G.rootsOfLayouts(ViewNode))
-            if (L == V)
-              Result.insert(ViewNode);
+      NodeKind VKind = G.node(V).Kind;
+      if (VKind == NodeKind::LayoutId) {
+        // Roots minted at this site carry a roots-layout edge to V and an
+        // InflateSite of this op.
+        for (NodeId ViewNode : G.nodesOfKind(NodeKind::ViewInfl))
+          if (G.node(ViewNode).InflateSite == Op.OpNode)
+            for (NodeId L : G.rootsOfLayouts(ViewNode))
+              if (L == V)
+                Result.insert(ViewNode);
+      } else if (VKind == NodeKind::UnknownId) {
+        // Unknown layout id: the solver minted one unknown root per
+        // (site, id) pair, linked the same way.
+        for (NodeId ViewNode : G.nodesOfKind(NodeKind::UnknownView))
+          if (G.node(ViewNode).InflateSite == Op.OpNode)
+            for (NodeId L : G.rootsOfLayouts(ViewNode))
+              if (L == V)
+                Result.insert(ViewNode);
+      }
     }
     std::vector<NodeId> Sorted(Result.begin(), Result.end());
     std::sort(Sorted.begin(), Sorted.end());
@@ -124,10 +139,33 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
   bool FilterByIds = TrackViewIds && (Op.Spec.Kind == OpKind::FindView1 ||
                                       Op.Spec.Kind == OpKind::FindView2);
 
+  // A non-constant id at the argument makes every candidate a sound
+  // match: drop the filter, capped by the per-app fanout budget.
+  bool UnknownIdAtArg = false;
+  if (HaveUnknown && FilterByIds)
+    for (NodeId IdVal : valuesAt(Op.IdArg))
+      if (G.node(IdVal).Kind == NodeKind::UnknownId) {
+        UnknownIdAtArg = true;
+        break;
+      }
+
   // Gather into a plain vector and sort+unique at the end: fire sites run
   // this on every input growth, and the match lists are small, so the
   // vector pass beats building a hash set per call.
   std::vector<NodeId> Out;
+
+  // Appends the first UnknownFanoutBudget of \p Universe (sorted, deduped
+  // — the cap must be deterministic). 0 = uncapped.
+  auto appendCapped = [&](std::vector<NodeId> Universe) {
+    std::sort(Universe.begin(), Universe.end());
+    Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                   Universe.end());
+    size_t N = UnknownFanoutBudget
+                   ? std::min<size_t>(Universe.size(), UnknownFanoutBudget)
+                   : Universe.size();
+    Out.insert(Out.end(), Universe.begin(), Universe.begin() + N);
+  };
+
   if (!TrackHierarchy) {
     // Every view is a candidate; with an id filter the reverse
     // viewId -> views index yields the matches directly.
@@ -136,11 +174,32 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
         if (G.node(IdVal).Kind == NodeKind::ViewId)
           for (NodeId V : G.viewsWithId(IdVal))
             Out.push_back(V);
+      if (UnknownIdAtArg) {
+        std::vector<NodeId> Universe;
+        for (NodeKind K : {NodeKind::ViewAlloc, NodeKind::ViewInfl,
+                           NodeKind::UnknownView}) {
+          const auto &Views = G.nodesOfKind(K);
+          Universe.insert(Universe.end(), Views.begin(), Views.end());
+        }
+        appendCapped(std::move(Universe));
+      } else if (HaveUnknown) {
+        // A view whose id is unknown may carry *any* constant id, and an
+        // unknown view matches any lookup it reaches.
+        for (NodeId U : G.nodesOfKind(NodeKind::UnknownId))
+          for (NodeId V : G.viewsWithId(U))
+            Out.push_back(V);
+        const auto &Unknowns = G.nodesOfKind(NodeKind::UnknownView);
+        Out.insert(Out.end(), Unknowns.begin(), Unknowns.end());
+      }
     } else {
       const auto &Allocs = G.nodesOfKind(NodeKind::ViewAlloc);
       const auto &Infls = G.nodesOfKind(NodeKind::ViewInfl);
       Out.insert(Out.end(), Allocs.begin(), Allocs.end());
       Out.insert(Out.end(), Infls.begin(), Infls.end());
+      if (HaveUnknown) {
+        const auto &Unknowns = G.nodesOfKind(NodeKind::UnknownView);
+        Out.insert(Out.end(), Unknowns.begin(), Unknowns.end());
+      }
     }
   } else {
     bool ChildOnly = Op.Spec.ChildOnly && ChildOnlyRefinement;
@@ -163,6 +222,17 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
           for (NodeId V : G.viewsWithId(IdVal))
             if (std::binary_search(Candidates.begin(), Candidates.end(), V))
               Out.push_back(V);
+      if (UnknownIdAtArg) {
+        appendCapped(Candidates);
+      } else if (HaveUnknown) {
+        for (NodeId U : G.nodesOfKind(NodeKind::UnknownId))
+          for (NodeId V : G.viewsWithId(U))
+            if (std::binary_search(Candidates.begin(), Candidates.end(), V))
+              Out.push_back(V);
+        for (NodeId V : G.nodesOfKind(NodeKind::UnknownView))
+          if (std::binary_search(Candidates.begin(), Candidates.end(), V))
+            Out.push_back(V);
+      }
     } else {
       Out = std::move(Candidates);
     }
@@ -174,7 +244,8 @@ std::vector<NodeId> Solution::resultsOf(const OpSite &Op, bool TrackViewIds,
 }
 
 void Solution::dump(std::ostream &OS, bool TrackViewIds, bool TrackHierarchy,
-                    bool ChildOnlyRefinement) const {
+                    bool ChildOnlyRefinement,
+                    unsigned UnknownFanoutBudget) const {
   auto printSet = [&](const std::vector<NodeId> &Values) {
     OS << '{';
     for (size_t I = 0; I < Values.size(); ++I) {
@@ -217,7 +288,7 @@ void Solution::dump(std::ostream &OS, bool TrackViewIds, bool TrackHierarchy,
         Op.Spec.Kind == OpKind::Inflate1) {
       OS << " -> ";
       printSet(resultsOf(Op, TrackViewIds, TrackHierarchy,
-                         ChildOnlyRefinement));
+                         ChildOnlyRefinement, UnknownFanoutBudget));
     }
     OS << '\n';
   }
@@ -225,7 +296,8 @@ void Solution::dump(std::ostream &OS, bool TrackViewIds, bool TrackHierarchy,
 
 Solution::PrecisionMetrics
 Solution::computeMetrics(bool TrackViewIds, bool TrackHierarchy,
-                         bool ChildOnlyRefinement) const {
+                         bool ChildOnlyRefinement,
+                         unsigned UnknownFanoutBudget) const {
   PrecisionMetrics M;
 
   // receivers: ops whose receiver role is a view.
@@ -272,7 +344,7 @@ Solution::computeMetrics(bool TrackViewIds, bool TrackHierarchy,
         Op.Spec.Kind == OpKind::FindView3) {
       HasFindView = true;
       size_t N = resultsOf(Op, TrackViewIds, TrackHierarchy,
-                           ChildOnlyRefinement)
+                           ChildOnlyRefinement, UnknownFanoutBudget)
                      .size();
       if (N > 0) {
         ++ResultOps;

@@ -149,9 +149,12 @@ public:
   /// Views an operation with an output (FindView1/2/3, Inflate1) resolves
   /// to, re-evaluating its rule over the final state. Options mirror the
   /// solver's (supplied because ablations change resolution).
+  /// \p UnknownFanoutBudget caps what an unknown id may yield
+  /// (docs/ROBUSTNESS.md); pass the solver's value for self-consistency.
   std::vector<graph::NodeId> resultsOf(const OpSite &Op, bool TrackViewIds,
                                        bool TrackHierarchy,
-                                       bool ChildOnlyRefinement) const;
+                                       bool ChildOnlyRefinement,
+                                       unsigned UnknownFanoutBudget = 64) const;
 
   /// Listener values flowing into a SetListener op.
   std::vector<graph::NodeId> listenersAtOp(const OpSite &Op) const;
@@ -177,7 +180,8 @@ public:
 
   PrecisionMetrics computeMetrics(bool TrackViewIds = true,
                                   bool TrackHierarchy = true,
-                                  bool ChildOnlyRefinement = true) const;
+                                  bool ChildOnlyRefinement = true,
+                                  unsigned UnknownFanoutBudget = 64) const;
 
   const graph::ConstraintGraph &constraintGraph() const { return G; }
   const android::AndroidModel &androidModel() const { return AM; }
@@ -186,7 +190,8 @@ public:
   /// result / listener sets, one op per line ("FindView2_10 @ A.onCreate/0
   /// recv{act:A} -> {Button~infl#4[ok]}").
   void dump(std::ostream &OS, bool TrackViewIds = true,
-            bool TrackHierarchy = true, bool ChildOnlyRefinement = true) const;
+            bool TrackHierarchy = true, bool ChildOnlyRefinement = true,
+            unsigned UnknownFanoutBudget = 64) const;
 
 private:
   const graph::ConstraintGraph &G;

@@ -136,7 +136,8 @@ private:
       const auto &OutSet = Sol.valuesAt(Op.Out);
       for (NodeId V : Sol.resultsOf(Op, Result.Options.TrackViewIds,
                                     Result.Options.TrackHierarchy,
-                                    Result.Options.FindView3ChildOnly))
+                                    Result.Options.FindView3ChildOnly,
+                                    Result.Options.UnknownFanoutBudget))
         if (!OutSet.count(V) && typeCompatible(Op.Out, V))
           violation("FindView closure: result " + G.label(V) +
                     " missing from output of " + G.label(Op.OpNode));
@@ -242,8 +243,11 @@ gator::analysis::checkSolutionConsistency(const AnalysisResult &Result) {
     for (NodeId C : G.children(N))
       if (C >= G.size() || !isViewNodeKind(G.node(C).Kind))
         violation("consistency: non-view child under " + G.label(N));
+    // Unknown-source modeling (docs/ROBUSTNESS.md) lets a tagged UnknownId
+    // stand in for a concrete view/layout id in both relations.
     for (NodeId Id : G.viewIds(N))
-      if (Id >= G.size() || G.node(Id).Kind != NodeKind::ViewId)
+      if (Id >= G.size() || (G.node(Id).Kind != NodeKind::ViewId &&
+                             G.node(Id).Kind != NodeKind::UnknownId))
         violation("consistency: has-id target of " + G.label(N) +
                   " is not a ViewId");
     for (NodeId R : G.roots(N))
@@ -253,17 +257,26 @@ gator::analysis::checkSolutionConsistency(const AnalysisResult &Result) {
       if (L >= G.size())
         violation("consistency: out-of-range listener under " + G.label(N));
     for (NodeId LId : G.rootsOfLayouts(N))
-      if (LId >= G.size() || G.node(LId).Kind != NodeKind::LayoutId)
+      if (LId >= G.size() || (G.node(LId).Kind != NodeKind::LayoutId &&
+                              G.node(LId).Kind != NodeKind::UnknownId))
         violation("consistency: roots-layout target of " + G.label(N) +
                   " is not a LayoutId");
   }
 
   // Minted views are self-seeded at mint time regardless of where a budget
-  // later stopped the run.
+  // later stopped the run. Unknown roots minted by the solver follow the
+  // same discipline.
   for (NodeId View : G.nodesOfKind(NodeKind::ViewInfl))
     if (!Sol.valuesAt(View).count(View))
       violation("consistency: minted view " + G.label(View) +
                 " not in its own set");
+  // Every unknown node must carry a reason tag — an untagged unknown would
+  // print as approximate with no explanation in `gator_cli --explain`.
+  for (NodeKind K : {NodeKind::UnknownView, NodeKind::UnknownId})
+    for (NodeId U : G.nodesOfKind(K))
+      if (G.node(U).Unknown == UnknownReason::None)
+        violation("consistency: unknown node " + G.label(U) +
+                  " without a degradation reason");
 
   for (uint32_t OpIndex : Sol.unresolvedOps())
     if (OpIndex >= Sol.ops().size())

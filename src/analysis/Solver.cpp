@@ -174,9 +174,16 @@ void Solver::sweepXmlOnClickHandlers() {
 void Solver::seedValueNodes() {
   ensureSets();
   provCtx(DerivRule::Seed);
-  for (NodeId Id = 0; Id < G.size(); ++Id)
-    if (isValueNodeKind(G.node(Id).Kind))
-      addValue(Id, Id);
+  for (NodeId Id = 0; Id < G.size(); ++Id) {
+    NodeKind K = G.node(Id).Kind;
+    if (!isValueNodeKind(K))
+      continue;
+    if (Prov)
+      provCtx(K == NodeKind::UnknownView || K == NodeKind::UnknownId
+                  ? DerivRule::UnknownSource
+                  : DerivRule::Seed);
+    addValue(Id, Id);
+  }
 }
 
 void Solver::registerOpUses() {
@@ -407,6 +414,64 @@ void Solver::fireInflate(OpSite &Op) {
       }
     }
   }
+
+  // Unknown-source ids (docs/ROBUSTNESS.md): a dynamic or missing layout
+  // id reaching an inflation site mints one tagged unknown root per
+  // (site, id) — enough to keep downstream rules flowing while the
+  // degradation stays visible through the node's reason tag.
+  std::vector<NodeId> UnknownIds;
+  for (NodeId V : Sol.valuesAt(Op.IdArg))
+    if (G.node(V).Kind == NodeKind::UnknownId)
+      UnknownIds.push_back(V);
+  for (NodeId U : UnknownIds) {
+    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | U;
+    auto It = InflatedAt.find(Key);
+    NodeId Root;
+    if (It != InflatedAt.end()) {
+      Root = It->second;
+    } else {
+      Root = G.makeUnknownViewNode(G.node(U).Unknown, Op.Method,
+                                   G.node(Op.OpNode).Loc, Op.OpNode);
+      InflatedAt.emplace(Key, Root);
+      ensureSets();
+      Sol.flowsToSets()[Root].insert(Sol.setArena(), Root);
+      if (Prov)
+        Prov->recordFlow(Root, Root, DerivRule::UnknownSource,
+                         provFlow(Op.IdArg, U));
+      G.addRootsLayoutEdge(Root, U);
+      provEdge(FactKind::RootsLayout, Root, U, DerivRule::UnknownSource,
+               provFlow(Op.IdArg, U));
+      Sol.markDegraded();
+      Sol.noteUnresolvedOp(static_cast<uint32_t>(OpIndex));
+      noteStructureChange();
+    }
+    if (Root == InvalidNode)
+      continue;
+    if (Op.Spec.Kind == OpKind::Inflate1) {
+      provCtx(DerivRule::UnknownSource, provFlow(Op.IdArg, U),
+              provFlow(Root, Root));
+      addValue(Op.Out, Root);
+      if (Op.AttachParent != InvalidNode)
+        for (NodeId P : Sol.viewsAt(Op.AttachParent))
+          if (P != Root && G.addParentChildEdge(P, Root)) {
+            provEdge(FactKind::ParentChild, P, Root,
+                     DerivRule::UnknownSource, provFlow(Op.AttachParent, P),
+                     provFlow(Root, Root));
+            noteStructureChange();
+          }
+    } else {
+      for (NodeId W : Sol.valuesAt(Op.Recv)) {
+        NodeKind K = G.node(W).Kind;
+        if (K != NodeKind::Activity && K != NodeKind::Alloc)
+          continue;
+        if (G.addRootEdge(W, Root)) {
+          provEdge(FactKind::Root, W, Root, DerivRule::UnknownSource,
+                   provFlow(Op.Recv, W), provFlow(Op.IdArg, U));
+          noteStructureChange();
+        }
+      }
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -442,13 +507,20 @@ void Solver::fireAddView2(OpSite &Op) {
 void Solver::fireSetId(OpSite &Op) {
   // Rule SETID: view.setId(id).
   for (NodeId V : Sol.viewsAt(Op.Recv))
-    for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
-      if (G.node(IdVal).Kind == NodeKind::ViewId)
+    for (NodeId IdVal : Sol.valuesAt(Op.IdArg)) {
+      NodeKind K = G.node(IdVal).Kind;
+      // An unknown id (dynamic/missing resource) still records the hasId
+      // association; FindView* treats views carrying an unknown id as
+      // matching any lookup (docs/ROBUSTNESS.md).
+      if (K == NodeKind::ViewId || K == NodeKind::UnknownId)
         if (G.addHasIdEdge(V, IdVal)) {
-          provEdge(FactKind::HasId, V, IdVal, DerivRule::SetId,
+          provEdge(FactKind::HasId, V, IdVal,
+                   K == NodeKind::UnknownId ? DerivRule::UnknownSource
+                                            : DerivRule::SetId,
                    provFlow(Op.Recv, V), provFlow(Op.IdArg, IdVal));
           noteStructureChange();
         }
+    }
 }
 
 void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
@@ -658,9 +730,23 @@ void Solver::fireFindView(OpSite &Op) {
   // Rules FINDVIEW1/2/3: resolve over the current hierarchy and id state.
   if (Op.Out == InvalidNode)
     return;
+  NodeId UnknownIdAtArg = InvalidNode;
+  if (Op.IdArg != InvalidNode)
+    for (NodeId IdVal : Sol.valuesAt(Op.IdArg))
+      if (G.node(IdVal).Kind == NodeKind::UnknownId) {
+        UnknownIdAtArg = IdVal;
+        break;
+      }
+  if (UnknownIdAtArg != InvalidNode) {
+    // An unknown id widens this lookup to the receiver's full view set
+    // (capped by UnknownFanoutBudget); the result is approximate.
+    Sol.markDegraded();
+    Sol.noteUnresolvedOp(static_cast<uint32_t>(&Op - Sol.opSites().data()));
+  }
   for (NodeId R :
        Sol.resultsOf(Op, Options.TrackViewIds, Options.TrackHierarchy,
-                     Options.FindView3ChildOnly)) {
+                     Options.FindView3ChildOnly,
+                     Options.UnknownFanoutBudget)) {
     if (Prov) {
       // Premises: the view's existence, and — for id-driven lookups — the
       // hasId fact that matched one of the ids reaching the id argument.
@@ -673,7 +759,16 @@ void Solver::fireFindView(OpSite &Op) {
           if (MatchedId != ProvenanceRecorder::NoFact)
             break;
         }
-      provCtx(DerivRule::FindView, provFlow(R, R), MatchedId);
+      // A result with no concrete matching id that arrived because an
+      // unknown id widened the lookup derives from the unknown source;
+      // citing the unknown-id flow as a premise routes --explain's
+      // derivation tree to the node that carries the degradation reason.
+      if (MatchedId == ProvenanceRecorder::NoFact &&
+          UnknownIdAtArg != InvalidNode)
+        provCtx(DerivRule::UnknownSource, provFlow(R, R),
+                provFlow(Op.IdArg, UnknownIdAtArg));
+      else
+        provCtx(DerivRule::FindView, provFlow(R, R), MatchedId);
     }
     addValue(Op.Out, R);
   }

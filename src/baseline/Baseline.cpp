@@ -172,6 +172,18 @@ void BaselineSolver::buildInvoke(const MethodDecl &M, const Stmt &S) {
     }
   }
 
+  // Reflective construction: `c.newInstance()` may return any object, so
+  // the baseline models it as a summary value of the result variable's
+  // declared type (java.lang.Object when untyped) — the coarse analogue
+  // of the main pipeline's tagged UnknownView (docs/ROBUSTNESS.md).
+  if (S.MethodName == "newInstance" && S.Lhs != InvalidVar) {
+    const ClassDecl *K = declaredClass(M, S.Lhs);
+    if (!K)
+      K = P.findClass(ObjectClassName);
+    if (K)
+      addValue(varNode(&M, S.Lhs), newValue(K, /*IsSummary=*/true));
+  }
+
   if (Options.Treatment == PlatformCallTreatment::SummaryObjects &&
       S.Lhs != InvalidVar && Resolved &&
       !isPrimitiveTypeName(Resolved->returnTypeName()) &&

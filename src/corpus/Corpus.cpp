@@ -320,6 +320,48 @@ private:
       }
     }
 
+    // Hostile shapes (docs/ROBUSTNESS.md): each site below is statically
+    // unresolvable and mints a tagged unknown source in the analysis, so
+    // any of them degrades the app's solution to DegradedInput. No ground
+    // truth is recorded — there is none to record.
+    if (Spec.ReflectiveViewsPerActivity > 0) {
+      // Fetch the root container once, then per view:
+      //   v := classof(Button).newInstance(); root.addView(v)
+      OnCreate.local("hrid", IntTypeName);
+      OnCreate.local("hcont", LinearT);
+      OnCreate.viewId("hrid", rootId(Act));
+      OnCreate.invoke(std::string("hcont"), "this", "findViewById",
+                      {"hrid"});
+      Out.Finds.push_back(FindViewExpectation{actClass(Act), "onCreate",
+                                              "hcont", rootId(Act), false});
+      for (unsigned J = 0; J < Spec.ReflectiveViewsPerActivity; ++J) {
+        std::string CV = "rcls" + std::to_string(J);
+        std::string RV = "rnew" + std::to_string(J);
+        OnCreate.local(CV, ClassT);
+        OnCreate.local(RV, ViewT);
+        OnCreate.classConst(CV, ButtonT);
+        OnCreate.invoke(std::string(RV), CV, "newInstance", {});
+        OnCreate.call("hcont", "addView", {RV});
+      }
+    }
+    for (unsigned J = 0; J < Spec.DynamicFindsPerActivity; ++J) {
+      // id := getIdentifier(...); v := findViewById(id)
+      std::string IV = "did" + std::to_string(J);
+      std::string OV = "dv" + std::to_string(J);
+      OnCreate.local(IV, IntTypeName);
+      OnCreate.local(OV, ViewT);
+      OnCreate.invoke(std::string(IV), "this", "getIdentifier", {});
+      OnCreate.invoke(std::string(OV), "this", "findViewById", {IV});
+    }
+    for (unsigned J = 0; J < Spec.MissingLayoutRefsPerActivity; ++J) {
+      // lid := @layout/<nonexistent>; setContentView(lid)
+      std::string LV = "mlid" + std::to_string(J);
+      OnCreate.local(LV, IntTypeName);
+      OnCreate.layoutId(LV, "missing_" + std::to_string(Act) + "_" +
+                                std::to_string(J));
+      OnCreate.call("this", "setContentView", {LV});
+    }
+
     // Show the app's info dialog (dialog extension).
     if (Spec.UseDialog) {
       OnCreate.local("dlg", dialogClass());
@@ -662,6 +704,20 @@ std::vector<AppSpec> gator::corpus::makeFleet(const FleetSpec &Fleet) {
     }
     Spec.UseFlipper = (splitMix64(State) & 7) == 0;
     Spec.UseDialog = (splitMix64(State) & 7) == 1;
+
+    // Hostile-shape draws (docs/ROBUSTNESS.md), guarded on the rate so a
+    // clean fleet (all rates 0) consumes exactly the same stream values —
+    // and therefore generates byte-identical apps — as before the knobs
+    // existed.
+    if (Fleet.ReflectivePercent &&
+        drawIn(State, 0, 99) < Fleet.ReflectivePercent)
+      Spec.ReflectiveViewsPerActivity = drawIn(State, 1, 2);
+    if (Fleet.DynamicIdPercent &&
+        drawIn(State, 0, 99) < Fleet.DynamicIdPercent)
+      Spec.DynamicFindsPerActivity = drawIn(State, 1, 2);
+    if (Fleet.MissingLayoutPercent &&
+        drawIn(State, 0, 99) < Fleet.MissingLayoutPercent)
+      Spec.MissingLayoutRefsPerActivity = 1;
     Specs.push_back(std::move(Spec));
   }
   return Specs;

@@ -68,6 +68,19 @@ struct AppSpec {
   /// Item layouts inflated via LayoutInflater.inflate + addView.
   unsigned InflateItemsPerActivity = 0;
 
+  // Hostile-input shapes (docs/ROBUSTNESS.md): sites no static analysis
+  // can resolve exactly. Each mints a tagged unknown source, so any
+  // nonzero knob makes the generated app analyze as DegradedInput.
+
+  /// Views built reflectively (`classof(C).newInstance()`) and attached
+  /// under the root container per activity.
+  unsigned ReflectiveViewsPerActivity = 0;
+  /// findViewById calls whose id comes from `getIdentifier(...)` — a
+  /// run-time resource lookup the analysis models as an unknown id.
+  unsigned DynamicFindsPerActivity = 0;
+  /// setContentView references to layout resources that do not exist.
+  unsigned MissingLayoutRefsPerActivity = 0;
+
   /// Register the activity itself as a click listener on one view.
   bool ActivityAsListener = false;
   /// Give every main layout a node with the app-wide shared id
@@ -156,6 +169,16 @@ struct FleetSpec {
   unsigned DeepTreePercent = 15;
   unsigned WideListenerPercent = 15;
   unsigned SharedHelperPercent = 15;
+
+  /// Hostile-shape rates (docs/ROBUSTNESS.md), drawn independently of the
+  /// shape bucket: the percentage of apps carrying reflective view
+  /// construction, dynamic (getIdentifier) find ids, and missing-layout
+  /// references respectively. Apps that draw a hostile shape analyze as
+  /// DegradedInput; at the default 0 the hostile draws consume no stream
+  /// values, so clean fleets are byte-identical to earlier releases.
+  unsigned ReflectivePercent = 0;
+  unsigned DynamicIdPercent = 0;
+  unsigned MissingLayoutPercent = 0;
 };
 
 /// Expands a FleetSpec into per-app generation specs. Every app's knobs

@@ -33,6 +33,42 @@ const char *gator::graph::nodeKindName(NodeKind Kind) {
     return "ClassConst";
   case NodeKind::Op:
     return "Op";
+  case NodeKind::UnknownView:
+    return "UnknownView";
+  case NodeKind::UnknownId:
+    return "UnknownId";
+  }
+  return "unknown";
+}
+
+const char *gator::graph::unknownReasonPhrase(UnknownReason Reason) {
+  switch (Reason) {
+  case UnknownReason::None:
+    return "none";
+  case UnknownReason::ReflectiveNew:
+    return "reflective construction";
+  case UnknownReason::UnknownClass:
+    return "unresolved class";
+  case UnknownReason::DynamicId:
+    return "non-constant id";
+  case UnknownReason::MissingLayout:
+    return "missing layout resource";
+  }
+  return "unknown";
+}
+
+const char *gator::graph::unknownReasonSlug(UnknownReason Reason) {
+  switch (Reason) {
+  case UnknownReason::None:
+    return "none";
+  case UnknownReason::ReflectiveNew:
+    return "reflective_new";
+  case UnknownReason::UnknownClass:
+    return "unknown_class";
+  case UnknownReason::DynamicId:
+    return "dynamic_id";
+  case UnknownReason::MissingLayout:
+    return "missing_layout";
   }
   return "unknown";
 }
@@ -46,6 +82,8 @@ bool gator::graph::isValueNodeKind(NodeKind Kind) {
   case NodeKind::LayoutId:
   case NodeKind::ViewId:
   case NodeKind::ClassConst:
+  case NodeKind::UnknownView:
+  case NodeKind::UnknownId:
     return true;
   default:
     return false;
@@ -53,7 +91,8 @@ bool gator::graph::isValueNodeKind(NodeKind Kind) {
 }
 
 bool gator::graph::isViewNodeKind(NodeKind Kind) {
-  return Kind == NodeKind::ViewAlloc || Kind == NodeKind::ViewInfl;
+  return Kind == NodeKind::ViewAlloc || Kind == NodeKind::ViewInfl ||
+         Kind == NodeKind::UnknownView;
 }
 
 //===----------------------------------------------------------------------===//
@@ -208,6 +247,31 @@ NodeId ConstraintGraph::makeViewInflNode(const ClassDecl *Klass,
   return push(std::move(N));
 }
 
+NodeId ConstraintGraph::makeUnknownViewNode(UnknownReason Reason,
+                                            const MethodDecl *M,
+                                            SourceLocation Loc, NodeId Site) {
+  assert(Reason != UnknownReason::None && "unknown node needs a reason");
+  Node N;
+  N.Kind = NodeKind::UnknownView;
+  N.Unknown = Reason;
+  N.Method = M;
+  N.InflateSite = Site;
+  N.Loc = std::move(Loc);
+  return push(std::move(N));
+}
+
+NodeId ConstraintGraph::makeUnknownIdNode(UnknownReason Reason,
+                                          const MethodDecl *M,
+                                          SourceLocation Loc) {
+  assert(Reason != UnknownReason::None && "unknown node needs a reason");
+  Node N;
+  N.Kind = NodeKind::UnknownId;
+  N.Unknown = Reason;
+  N.Method = M;
+  N.Loc = std::move(Loc);
+  return push(std::move(N));
+}
+
 //===----------------------------------------------------------------------===//
 // Edges
 //===----------------------------------------------------------------------===//
@@ -284,7 +348,9 @@ bool ConstraintGraph::addHasIdEdge(NodeId View, NodeId ViewIdNode) {
                    "dangling node id on has-id edge; edge dropped") ||
       !GATOR_CHECK(isViewNodeKind(Nodes[View].Kind), Diags,
                    "has-id edge from non-view; edge dropped") ||
-      !GATOR_CHECK(Nodes[ViewIdNode].Kind == NodeKind::ViewId, Diags,
+      !GATOR_CHECK(Nodes[ViewIdNode].Kind == NodeKind::ViewId ||
+                       Nodes[ViewIdNode].Kind == NodeKind::UnknownId,
+                   Diags,
                    "has-id edge target is not a ViewId; edge dropped")) {
     ++DroppedInvariants;
     return false;
@@ -326,7 +392,9 @@ bool ConstraintGraph::addListenerEdge(NodeId View, NodeId ListenerValue) {
 bool ConstraintGraph::addRootsLayoutEdge(NodeId View, NodeId LayoutIdNode) {
   if (!GATOR_CHECK(View < Nodes.size() && LayoutIdNode < Nodes.size(), Diags,
                    "dangling node id on roots-layout edge; edge dropped") ||
-      !GATOR_CHECK(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId, Diags,
+      !GATOR_CHECK(Nodes[LayoutIdNode].Kind == NodeKind::LayoutId ||
+                       Nodes[LayoutIdNode].Kind == NodeKind::UnknownId,
+                   Diags,
                    "roots-layout edge target is not a LayoutId; edge dropped")) {
     ++DroppedInvariants;
     return false;
@@ -451,6 +519,15 @@ std::string ConstraintGraph::label(NodeId Id) const {
     if (N.Loc.isValid())
       OS << '_' << N.Loc.line();
     break;
+  case NodeKind::UnknownView:
+  case NodeKind::UnknownId:
+    OS << (N.Kind == NodeKind::UnknownView ? "unknown-view(" : "unknown-id(")
+       << unknownReasonPhrase(N.Unknown) << ')';
+    if (N.Method)
+      OS << '@' << N.Method->qualifiedName();
+    if (N.Loc.isValid())
+      OS << '_' << N.Loc.line();
+    break;
   }
   return OS.str();
 }
@@ -503,7 +580,7 @@ void ConstraintGraph::dumpDot(std::ostream &OS, bool IncludeVarNodes) const {
 }
 
 void ConstraintGraph::dumpStats(std::ostream &OS) const {
-  size_t Counts[10] = {};
+  size_t Counts[NumNodeKinds] = {};
   for (const Node &N : Nodes)
     ++Counts[static_cast<int>(N.Kind)];
   OS << "nodes=" << Nodes.size();
@@ -511,7 +588,7 @@ void ConstraintGraph::dumpStats(std::ostream &OS) const {
       NodeKind::Var,      NodeKind::Field,    NodeKind::Alloc,
       NodeKind::ViewAlloc, NodeKind::ViewInfl, NodeKind::Activity,
       NodeKind::LayoutId, NodeKind::ViewId,   NodeKind::ClassConst,
-      NodeKind::Op};
+      NodeKind::Op,       NodeKind::UnknownView, NodeKind::UnknownId};
   for (NodeKind K : Kinds)
     OS << ' ' << nodeKindName(K) << '=' << Counts[static_cast<int>(K)];
   OS << " flowEdges=" << NumFlowEdges

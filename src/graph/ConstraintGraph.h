@@ -63,9 +63,34 @@ enum class NodeKind {
   ViewId,     ///< an R.id integer constant
   ClassConst, ///< `classof C` (activity-transition-graph client)
   Op,         ///< one occurrence of an Android operation (Section 3.2)
+  UnknownView, ///< a view from an unknown source (docs/ROBUSTNESS.md)
+  UnknownId,   ///< an id constant the frontends could not resolve
 };
 
+inline constexpr size_t NumNodeKinds =
+    static_cast<size_t>(NodeKind::UnknownId) + 1;
+
 const char *nodeKindName(NodeKind Kind);
+
+/// Why an UnknownView/UnknownId node exists: the degradation-reason
+/// taxonomy of the incomplete-information layer (docs/ROBUSTNESS.md).
+/// Ordering is part of the output contract (--explain, metrics labels).
+enum class UnknownReason : uint8_t {
+  None,          ///< not an unknown node
+  ReflectiveNew, ///< view constructed reflectively (newInstance-style)
+  UnknownClass,  ///< `new C` / layout class the program cannot resolve
+  DynamicId,     ///< non-constant id (e.g. Resources.getIdentifier)
+  MissingLayout, ///< layout/resource reference that resolves to nothing
+};
+
+inline constexpr size_t NumUnknownReasons =
+    static_cast<size_t>(UnknownReason::MissingLayout) + 1;
+
+/// Short reason phrase used in --explain output and node labels, e.g.
+/// "non-constant id" for DynamicId.
+const char *unknownReasonPhrase(UnknownReason Reason);
+/// Stable metric-label slug, e.g. "dynamic_id".
+const char *unknownReasonSlug(UnknownReason Reason);
 
 /// Payload of one graph node; which members are meaningful depends on Kind.
 struct Node {
@@ -99,6 +124,10 @@ struct Node {
   const android::ListenerSpec *Listener = nullptr;
   /// Op(FindView3): child-only refinement.
   bool ChildOnly = false;
+
+  /// UnknownView/UnknownId: why this unknown-source node was minted.
+  /// Method (when non-null) and Loc name the hostile site.
+  UnknownReason Unknown = UnknownReason::None;
 
   /// Site location (ops, allocs) for labels and debugging.
   SourceLocation Loc;
@@ -140,6 +169,16 @@ public:
   /// Mints a fresh inflated-view node for \p LNode inflated at \p Site.
   NodeId makeViewInflNode(const ir::ClassDecl *Klass,
                           const layout::LayoutNode *LNode, NodeId Site);
+
+  /// Mints an unknown-source node (docs/ROBUSTNESS.md): one per hostile
+  /// site, unmemoized, so every node carries the site (\p Method, \p Loc)
+  /// that made it approximate. \p Reason must not be UnknownReason::None.
+  /// \p Site, when valid, marks the inflate Op node that minted this
+  /// unknown root (mirrors ViewInfl::InflateSite for resultsOf).
+  NodeId makeUnknownViewNode(UnknownReason Reason, const ir::MethodDecl *M,
+                             SourceLocation Loc, NodeId Site = InvalidNode);
+  NodeId makeUnknownIdNode(UnknownReason Reason, const ir::MethodDecl *M,
+                           SourceLocation Loc);
 
   //===--------------------------------------------------------------------===//
   // Node access
@@ -283,7 +322,7 @@ private:
 
   std::vector<Node> Nodes;
   /// Node ids per NodeKind, in creation order.
-  std::vector<NodeList> KindIndex = std::vector<NodeList>(10);
+  std::vector<NodeList> KindIndex = std::vector<NodeList>(NumNodeKinds);
 
   std::vector<NodeList> FlowSucc;
   /// Flow-edge dedup is hybrid: nodes with few successors scan their

@@ -1,7 +1,10 @@
 # Determinism harness for the parallel batch driver (docs/PARALLEL.md):
 # `gator_cli --batch --no-times` must produce byte-identical stdout and
 # stderr, and the same exit code, at every -j value. Invoked by ctest with
-# -DCLI=<gator_cli> -DDIR=<batch input dir>.
+# -DCLI=<gator_cli> -DDIR=<batch input dir>. Pass -DEXPECT_CODE=<n> to
+# additionally pin the (identical) exit code itself — the hostile-batch
+# test uses this to assert "some apps degraded" is exit 1, not 0 or 2
+# (docs/ROBUSTNESS.md exit-code contract).
 
 set(jobs_values 1 2 4 8)
 set(reference_out "")
@@ -32,6 +35,14 @@ foreach(jobs ${jobs_values})
     endif()
   endif()
 endforeach()
+
+if(DEFINED EXPECT_CODE)
+  if(NOT reference_code EQUAL ${EXPECT_CODE})
+    message(FATAL_ERROR
+      "batch exit code is ${reference_code}, expected ${EXPECT_CODE}\n"
+      "--- stdout ---\n${reference_out}\n--- stderr ---\n${reference_err}")
+  endif()
+endif()
 
 message(STATUS "batch output byte-identical at -j ${jobs_values} "
                "(exit ${reference_code})")

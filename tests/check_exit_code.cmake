@@ -1,0 +1,24 @@
+# Runs gator_cli with the given arguments and asserts the exact exit code
+# (docs/ROBUSTNESS.md, "Exit-code contract"): 0 = complete, 1 = degraded
+# (input diagnostics, unknown-source degradation, or budget truncation),
+# 2 = internal error. WILL_FAIL would accept any non-zero code and so could
+# not tell a degraded run (1) from a crash (2); this script can.
+#
+# Usage:
+#   cmake -DCLI=<gator_cli> -DEXPECT=<code> "-DARGS=<arg;arg;...>"
+#         -P check_exit_code.cmake
+if(NOT DEFINED CLI OR NOT DEFINED EXPECT OR NOT DEFINED ARGS)
+  message(FATAL_ERROR "check_exit_code.cmake needs -DCLI, -DEXPECT, -DARGS")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+
+if(NOT CODE EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "gator_cli ${ARGS} exited ${CODE}, expected ${EXPECT}\n"
+    "--- stdout ---\n${OUT}\n--- stderr ---\n${ERR}")
+endif()

@@ -27,3 +27,30 @@ foreach(needle
 endforeach()
 
 message(STATUS "--explain printed the FindView derivation tree")
+
+# Degradation-reason visibility (docs/ROBUSTNESS.md): on a hostile app
+# whose find id comes from getIdentifier, --explain must flag the facts as
+# approximate and name the reason and site. The run itself exits 1 — the
+# degraded-input code — which is the expected outcome, not a failure.
+if(DEFINED HOSTILE_APP)
+  execute_process(
+    COMMAND ${CLI} ${HOSTILE_APP} --explain v@DynActivity
+    OUTPUT_VARIABLE hostile_out
+    RESULT_VARIABLE hostile_code)
+  if(NOT hostile_code EQUAL 1)
+    message(FATAL_ERROR
+      "hostile --explain run exited ${hostile_code}, expected 1 "
+      "(degraded input):\n${hostile_out}")
+  endif()
+  foreach(needle
+      "fidelity: degraded-input"
+      "[UnknownSource] [approx]"
+      "approx: non-constant id at DynActivity.onCreate")
+    string(FIND "${hostile_out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+        "hostile --explain output is missing \"${needle}\":\n${hostile_out}")
+    endif()
+  endforeach()
+  message(STATUS "--explain named the degradation reason on a hostile app")
+endif()

@@ -261,6 +261,71 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 //===----------------------------------------------------------------------===//
+// Hostile-fleet sweep: corpus hostile-shape knobs through the fidelity /
+// exit-code contract (docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+
+TEST(HostileFleetSweep, HostileShapesDegradePredictably) {
+  // A small fleet with every hostile rate engaged. The contract swept
+  // here is exactly what gator_cli maps to exit codes: an app that drew
+  // a hostile shape analyzes as DegradedInput (exit 1), a clean app as
+  // Complete (exit 0), and nothing crashes or fails the checker.
+  FleetSpec Fleet;
+  Fleet.Apps = 40;
+  Fleet.ReflectivePercent = 35;
+  Fleet.DynamicIdPercent = 35;
+  Fleet.MissingLayoutPercent = 35;
+  std::vector<AppSpec> Specs = makeFleet(Fleet);
+
+  unsigned Degraded = 0, Complete = 0;
+  for (bool Delta : {true, false}) {
+    for (const AppSpec &Spec : Specs) {
+      bool Hostile = Spec.ReflectiveViewsPerActivity ||
+                     Spec.DynamicFindsPerActivity ||
+                     Spec.MissingLayoutRefsPerActivity;
+      GeneratedApp App = generateApp(Spec);
+      auto R = runAnalysis(*App.Bundle, withMode(Delta));
+      ASSERT_TRUE(R) << Spec.Name;
+      EXPECT_EQ(R->Sol->fidelity(),
+                Hostile ? Fidelity::DegradedInput : Fidelity::Complete)
+          << Spec.Name << " mode=" << (Delta ? "delta" : "naive");
+      EXPECT_TRUE(checkSolutionClosure(*R).empty())
+          << Spec.Name << " mode=" << (Delta ? "delta" : "naive");
+      ++(Hostile ? Degraded : Complete);
+    }
+  }
+  // The sweep only means something if both buckets are populated.
+  EXPECT_GT(Degraded, 0u);
+  EXPECT_GT(Complete, 0u);
+}
+
+TEST(HostileFleetSweep, HostileShapesComposeWithBudgets) {
+  // Hostile shapes and budget trips interact: a degraded app that also
+  // trips a budget reports TruncatedBudget (markDegraded never downgrades
+  // it), and the checker accepts every combination.
+  FleetSpec Fleet;
+  Fleet.Apps = 8;
+  Fleet.ReflectivePercent = 100;
+  Fleet.DynamicIdPercent = 100;
+  Fleet.MissingLayoutPercent = 100;
+  for (const AppSpec &Spec : makeFleet(Fleet)) {
+    for (unsigned long Work : {4ul, 64ul}) {
+      GeneratedApp App = generateApp(Spec);
+      AnalysisOptions Options;
+      Options.Budget.MaxWorkItems = Work;
+      auto R = runAnalysis(*App.Bundle, Options);
+      ASSERT_TRUE(R) << Spec.Name;
+      EXPECT_EQ(R->Sol->fidelity(), R->Stats.HitWorkLimit
+                                        ? Fidelity::TruncatedBudget
+                                        : Fidelity::DegradedInput)
+          << Spec.Name << " work=" << Work;
+      EXPECT_TRUE(checkSolutionClosure(*R).empty())
+          << Spec.Name << " work=" << Work;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Seeded input-mutation sweep over examples/sample_full_app
 //===----------------------------------------------------------------------===//
 
