@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Incremental.h"
 #include "corpus/BatchRunner.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
@@ -22,8 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace gator;
@@ -120,6 +123,119 @@ std::vector<SweepPoint> sweep(const char *Label,
   return Points;
 }
 
+struct CachePoint {
+  unsigned Jobs = 1;
+  double ColdSeconds = 0.0;
+  double WarmSeconds = 0.0;
+  double EditSeconds = 0.0;
+  unsigned long long WarmHits = 0;
+  unsigned long long EditMisses = 0;
+};
+
+/// Cold/warm/edit sweep of the content-addressed solution cache
+/// (docs/INCREMENTAL.md) over one spec list. Per job count: a fresh cache
+/// is populated cold, replayed warm (every app a hit; the aggregate
+/// counters must match the cold pass exactly), then hit with an "edited"
+/// fleet — 1% of specs changed — where only the edited apps re-solve.
+std::vector<CachePoint> cacheSweep(const std::vector<AppSpec> &Specs,
+                                   const std::vector<unsigned> &JobValues) {
+  std::vector<AppSpec> Edited = Specs;
+  unsigned EditedApps = 0;
+  for (size_t I = 0; I < Edited.size(); I += 100) {
+    Edited[I].DirectFindsPerActivity += 1;
+    ++EditedApps;
+  }
+  std::printf("solution-cache sweep (%zu apps, %u edited in the edit pass)\n",
+              Specs.size(), EditedApps);
+  std::printf("%6s %10s %10s %9s %10s\n", "jobs", "cold(s)", "warm(s)",
+              "speedup", "edit(s)");
+  std::vector<CachePoint> Points;
+  for (unsigned Jobs : JobValues) {
+    AnalysisOptions Options;
+    Options.Jobs = Jobs;
+    // Memory tier sized to the fleet so the warm pass measures replay,
+    // not FIFO churn.
+    analysis::SolutionCache Cache("", Specs.size() + 64);
+    CachePoint P;
+    P.Jobs = Jobs;
+    Timer TC;
+    std::vector<BatchAppResult> Cold = analyzeCorpus(
+        Specs, Options, nullptr, /*KeepArtifacts=*/false, &Cache);
+    P.ColdSeconds = TC.seconds();
+    const unsigned long long ColdMisses = Cache.misses();
+    Timer TW;
+    std::vector<BatchAppResult> Warm = analyzeCorpus(
+        Specs, Options, nullptr, /*KeepArtifacts=*/false, &Cache);
+    P.WarmSeconds = TW.seconds();
+    P.WarmHits = Cache.hits();
+    Timer TE;
+    std::vector<BatchAppResult> Edit = analyzeCorpus(
+        Edited, Options, nullptr, /*KeepArtifacts=*/false, &Cache);
+    P.EditSeconds = TE.seconds();
+    P.EditMisses = Cache.misses() - ColdMisses;
+    std::printf("%6u %10.3f %10.3f %8.1fx %10.3f\n", Jobs, P.ColdSeconds,
+                P.WarmSeconds, P.ColdSeconds / P.WarmSeconds, P.EditSeconds);
+    if (aggregateLine(Warm) != aggregateLine(Cold))
+      std::printf("  WARM COUNTERS DIVERGED from cold (replay bug!)\n");
+    if (P.WarmHits != Specs.size())
+      std::printf("  warm hits %llu != %zu apps (eligibility bug?)\n",
+                  P.WarmHits, Specs.size());
+    if (P.EditMisses != EditedApps)
+      std::printf("  edit pass missed %llu apps, expected %u\n", P.EditMisses,
+                  EditedApps);
+    Points.push_back(P);
+  }
+  std::printf("\n");
+  return Points;
+}
+
+struct EditMicro {
+  double ScratchSeconds = 0.0;
+  double IncSeconds = 0.0;
+  unsigned long IncPropagations = 0;
+  unsigned long ScratchPropagations = 0;
+};
+
+/// Edit-scale micro-measure: one layout edit re-solved incrementally
+/// (DRed retract + re-derive) vs a from-scratch solve of the edited app.
+EditMicro editScaleMicro() {
+  EditMicro M;
+  AppSpec Spec = paperCorpus().front();
+  GeneratedApp App = generateApp(Spec);
+  corpus::AppBundle &B = *App.Bundle;
+  analysis::IncrementalAnalysis Inc(B.Program, *B.Layouts, B.Android, {},
+                                    B.Diags);
+  Inc.solveInitial();
+  // Reverse the child order of the first editable layout.
+  for (const auto &Def : B.Layouts->layouts()) {
+    if (!Def->root())
+      continue;
+    auto NewRoot = Def->root()->clone();
+    auto Children = NewRoot->takeChildren();
+    for (auto It = Children.rbegin(); It != Children.rend(); ++It)
+      NewRoot->addChild(std::move(*It));
+    Timer TI;
+    if (!Inc.reanalyzeLayout(Def->name(), std::move(NewRoot)))
+      continue; // include target; try the next layout
+    M.IncSeconds = TI.seconds();
+    M.IncPropagations = Inc.lastStats().Propagations;
+    break;
+  }
+  AnalysisOptions ScratchOptions;
+  ScratchOptions.RecordProvenance = false;
+  Timer TS;
+  auto Scratch = analysis::GuiAnalysis::run(B.Program, *B.Layouts, B.Android,
+                                            ScratchOptions, B.Diags);
+  M.ScratchSeconds = TS.seconds();
+  if (Scratch)
+    M.ScratchPropagations = Scratch->Stats.Propagations;
+  std::printf("edit-scale micro (1 layout edit, %s): incremental %.4fs "
+              "(%lu propagations) vs scratch %.4fs (%lu propagations)\n\n",
+              Spec.Name.c_str(), M.IncSeconds, M.IncPropagations,
+              M.ScratchSeconds, M.ScratchPropagations);
+  return M;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -132,8 +248,14 @@ int main(int Argc, char **Argv) {
   //                P percent of apps (default 20) draw reflective
   //                construction, dynamic find ids, and missing-layout
   //                references each; such apps analyze as DegradedInput
+  // --cache        replace the scaling sweep with the solution-cache
+  //                cold/warm/edit sweep over the fleet plus the
+  //                edit-scale incremental micro-measure
+  //                (docs/INCREMENTAL.md); results go to
+  //                bench/BENCH_incremental.json
   unsigned FleetApps = 10000;
   bool FleetOnly = false;
+  bool CacheMode = false;
   unsigned HostilePercent = 0;
   std::vector<unsigned> JobValues = {1, 2, 4, 8};
   for (int I = 1; I < Argc; ++I) {
@@ -141,6 +263,8 @@ int main(int Argc, char **Argv) {
       FleetApps = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--fleet-only"))
       FleetOnly = true;
+    else if (!std::strcmp(Argv[I], "--cache"))
+      CacheMode = true;
     else if (!std::strcmp(Argv[I], "--hostile"))
       HostilePercent = (I + 1 < Argc &&
                         std::isdigit(static_cast<unsigned char>(*Argv[I + 1])))
@@ -156,6 +280,33 @@ int main(int Argc, char **Argv) {
           ++P;
       }
     }
+  }
+
+  if (CacheMode) {
+    std::printf("Solution-cache cold/warm/edit sweep "
+                "(docs/INCREMENTAL.md)\n");
+    std::printf("hardware concurrency: %u\n\n",
+                std::thread::hardware_concurrency());
+    FleetSpec FS;
+    FS.Apps = FleetApps;
+    std::vector<CachePoint> Points = cacheSweep(makeFleet(FS), JobValues);
+    EditMicro Micro = editScaleMicro();
+    // Machine-readable tail for bench/BENCH_incremental.json.
+    std::printf("json: {\"apps\": %u, \"sweep\": {", FleetApps);
+    const char *Sep = "";
+    for (const CachePoint &P : Points) {
+      std::printf("%s\"j%u\": {\"cold\": %.4f, \"warm\": %.4f, "
+                  "\"edit\": %.4f, \"warm_speedup\": %.1f}",
+                  Sep, P.Jobs, P.ColdSeconds, P.WarmSeconds, P.EditSeconds,
+                  P.ColdSeconds / P.WarmSeconds);
+      Sep = ", ";
+    }
+    std::printf("}, \"edit_micro\": {\"incremental\": %.6f, "
+                "\"scratch\": %.6f, \"incremental_propagations\": %lu, "
+                "\"scratch_propagations\": %lu}}\n",
+                Micro.IncSeconds, Micro.ScratchSeconds, Micro.IncPropagations,
+                Micro.ScratchPropagations);
+    return 0;
   }
 
   std::printf("Strong-scaling sweep of the parallel batch engine "

@@ -52,6 +52,8 @@
 
 #include "analysis/AppStats.h"
 #include "analysis/GuiAnalysis.h"
+#include "analysis/Incremental.h"
+#include "analysis/SolutionCache.h"
 #include "android/Manifest.h"
 #include "corpus/AppBundle.h"
 #include "dex/DexLite.h"
@@ -97,7 +99,8 @@ void printUsage(std::ostream &OS) {
         "[--max-nodes <n>] [--max-edges <n>] [--trace-out <file>] "
         "[--metrics-out <file>] [--metrics-format json|prom] "
         "[--explain <substr>] [--diag-format text|json] "
-        "[--no-unknown-sources] [--unknown-fanout <n>] [--help]\n"
+        "[--no-unknown-sources] [--unknown-fanout <n>] "
+        "[--cache-dir <dir>] [--incremental-edit <dir2>] [--help]\n"
         "  --batch        analyze every immediate subdirectory of <dir> "
         "as one app\n"
         "  -j, --jobs <n> batch worker threads; 0 = hardware concurrency "
@@ -132,7 +135,21 @@ void printUsage(std::ostream &OS) {
         "  --unknown-fanout <n>\n"
         "                 cap on views an unknown id may match at "
         "FindView sites\n"
-        "                 (0 = uncapped; default 64)\n";
+        "                 (0 = uncapped; default 64)\n"
+        "  --cache-dir <dir>\n"
+        "                 content-addressed solution cache "
+        "(docs/INCREMENTAL.md):\n"
+        "                 warm hits replay a prior run's output and "
+        "metrics without\n"
+        "                 re-analyzing; corrupt entries degrade to a "
+        "full solve\n"
+        "  --incremental-edit <dir2>\n"
+        "                 treat <dir2> as an edited copy of <dir>: solve "
+        "<dir>, apply\n"
+        "                 the edits through the incremental re-solver, "
+        "and verify the\n"
+        "                 result against a from-scratch solve "
+        "(single-app mode only)\n";
 }
 
 int usage() {
@@ -160,9 +177,15 @@ struct CliConfig {
   bool MetricsProm = false; ///< --metrics-format prom
   std::string ExplainQuery; ///< --explain: node-label substring
   bool DiagJson = false;    ///< --diag-format json
+  std::string CacheDir; ///< --cache-dir: content-addressed solution cache
+  std::string EditDir;  ///< --incremental-edit: edited copy of the app
   /// Where per-app stats are recorded when --metrics-out is given. The
   /// batch driver points each task's copy at a thread-confined registry.
   support::MetricsRegistry *Metrics = nullptr;
+  /// When non-null, runOneAppUnguarded fills the cacheable outcome
+  /// (stats, precision row, flowset histogram) after a completed
+  /// analysis; the cache wrapper adds exit code and captured text.
+  analysis::CachedAnalysis *CacheCapture = nullptr;
   analysis::AnalysisOptions Options;
 };
 
@@ -284,12 +307,19 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
     return 2; // the facade contract is "always a result"
   }
 
-  if (Cfg.Metrics)
-    analysis::recordAppMetrics(
-        *Cfg.Metrics,
-        analysis::collectAppStats(fs::path(InputDir).filename().string(),
-                                  App.Program, *Result),
-        Result->Sol.get());
+  if (Cfg.Metrics || Cfg.CacheCapture) {
+    analysis::AppStats Stats = analysis::collectAppStats(
+        fs::path(InputDir).filename().string(), App.Program, *Result);
+    if (Cfg.Metrics)
+      analysis::recordAppMetrics(*Cfg.Metrics, Stats, Result->Sol.get());
+    if (Cfg.CacheCapture) {
+      Cfg.CacheCapture->Stats = std::move(Stats);
+      Cfg.CacheCapture->Precision = Result->metrics();
+      analysis::captureFlowsetHistogram(
+          *Result->Sol, Cfg.CacheCapture->FlowHistCounts,
+          Cfg.CacheCapture->FlowHistSum, Cfg.CacheCapture->FlowHistCount);
+    }
+  }
 
   Out << "classes: " << App.Program.appClassCount()
             << "  methods: " << App.Program.appMethodCount()
@@ -455,6 +485,219 @@ int runOneApp(const std::string &InputDir, const CliConfig &Cfg,
   }
 }
 
+/// The cache key of one CLI app run: the analysis content key (input
+/// files + canonical options) folded with every flag that shapes the
+/// captured output text. Two invocations share an entry only when they
+/// would print the same bytes.
+support::Hash128 cliCacheKey(const std::string &Dir, const CliConfig &Cfg) {
+  const support::Hash128 Base = analysis::cacheKeyFor(Dir, Cfg.Options);
+  support::ContentHasher H;
+  H.field("gator-cli-key", "v1");
+  H.u64("base.hi", Base.Hi);
+  H.u64("base.lo", Base.Lo);
+  H.boolean("tuples", Cfg.WantTuples);
+  H.boolean("hierarchy", Cfg.WantHierarchy);
+  H.boolean("atg", Cfg.WantAtg);
+  H.boolean("solution", Cfg.WantSolution);
+  H.boolean("reach", Cfg.WantReach);
+  H.boolean("lint", Cfg.WantLint);
+  H.boolean("no-times", Cfg.NoTimes);
+  H.boolean("diag-json", Cfg.DiagJson);
+  H.field("sequences", Cfg.SequencesFrom);
+  H.field("explain", Cfg.ExplainQuery);
+  return H.digest();
+}
+
+/// runOneApp behind the solution cache. A hit replays the captured
+/// stdout/stderr text, exit code, and metrics contribution without
+/// parsing or solving anything; a miss runs cold, captures, and stores.
+/// A corrupt on-disk entry degrades to a cold run with a stderr warning —
+/// stdout and the exit code are identical to an uncached run.
+int runOneAppCached(const std::string &InputDir, const CliConfig &Cfg,
+                    analysis::SolutionCache *Cache, std::ostream &Out,
+                    std::ostream &Err) {
+  if (!Cache)
+    return runOneApp(InputDir, Cfg, Out, Err);
+  const support::Hash128 Key = cliCacheKey(InputDir, Cfg);
+  analysis::CachedAnalysis Entry;
+  const analysis::SolutionCache::Outcome Found = Cache->lookup(Key, Entry);
+  if (Found == analysis::SolutionCache::Outcome::Hit) {
+    Out << Entry.OutText;
+    Err << Entry.ErrText;
+    if (Cfg.Metrics)
+      analysis::replayAppMetrics(*Cfg.Metrics, Entry);
+    return Entry.ExitCode;
+  }
+  if (Found == analysis::SolutionCache::Outcome::Corrupt)
+    Err << "warning: corrupt cache entry for '" << InputDir
+        << "' ignored; re-analyzing\n";
+
+  std::ostringstream CapOut, CapErr;
+  analysis::CachedAnalysis Fresh;
+  CliConfig RunCfg = Cfg;
+  RunCfg.CacheCapture = &Fresh;
+  const int Code = runOneApp(InputDir, RunCfg, CapOut, CapErr);
+  Fresh.ExitCode = Code;
+  Fresh.OutText = CapOut.str();
+  Fresh.ErrText = CapErr.str();
+  Out << Fresh.OutText;
+  Err << Fresh.ErrText;
+  // FlowHistCounts is filled (even if all-zero buckets) exactly when the
+  // analysis completed; early-exit error paths stay uncached.
+  if (!Fresh.FlowHistCounts.empty())
+    Cache->store(Key, Fresh);
+  return Code;
+}
+
+/// Loads one app directory into \p App for the incremental-edit path:
+/// the same file census as runOneAppUnguarded, but demanding a clean
+/// parse (diagnostics go to stderr; any error fails the load).
+bool loadBundle(const std::string &Dir, corpus::AppBundle &App) {
+  App.Android.install(App.Program);
+  std::vector<fs::path> AliteFiles, DexFiles, XmlFiles;
+  std::error_code EC;
+  for (const auto &Entry : fs::recursive_directory_iterator(Dir, EC)) {
+    if (!Entry.is_regular_file())
+      continue;
+    if (Entry.path().extension() == ".alite")
+      AliteFiles.push_back(Entry.path());
+    else if (Entry.path().extension() == ".dexlite")
+      DexFiles.push_back(Entry.path());
+    else if (Entry.path().filename() != "AndroidManifest.xml" &&
+             Entry.path().extension() == ".xml")
+      XmlFiles.push_back(Entry.path());
+  }
+  if (EC) {
+    std::cerr << "error: cannot read directory '" << Dir
+              << "': " << EC.message() << "\n";
+    return false;
+  }
+  std::sort(AliteFiles.begin(), AliteFiles.end());
+  std::sort(DexFiles.begin(), DexFiles.end());
+  std::sort(XmlFiles.begin(), XmlFiles.end());
+  if (AliteFiles.empty() && DexFiles.empty()) {
+    std::cerr << "error: no .alite or .dexlite files under '" << Dir << "'\n";
+    return false;
+  }
+  bool Ok = true;
+  std::string Text;
+  for (const fs::path &Path : AliteFiles) {
+    if (!readFile(Path, Text))
+      return false;
+    Ok &= parser::parseAlite(Text, Path.string(), App.Program, App.Diags);
+  }
+  for (const fs::path &Path : DexFiles) {
+    if (!readFile(Path, Text))
+      return false;
+    Ok &= dex::parseDexLite(Text, Path.string(), App.Program, App.Diags);
+  }
+  for (const fs::path &Path : XmlFiles) {
+    if (!readFile(Path, Text))
+      return false;
+    Ok &= layout::readLayoutXml(*App.Layouts, Path.stem().string(), Text,
+                                App.Diags) != nullptr;
+  }
+  Ok &= App.finalize();
+  App.Diags.print(std::cerr);
+  return Ok && !App.Diags.hasErrors();
+}
+
+/// --incremental-edit: solve the base app, apply the edited copy's
+/// method/layout differences through the DRed incremental session
+/// (docs/INCREMENTAL.md), then differentially verify the result against a
+/// from-scratch solve of the edited program. Unsupported edit shapes
+/// (class/method/field set changes, include-target layout edits) fall
+/// back to a plain full solve of the edited app.
+int runIncrementalEdit(const std::string &BaseDir, const std::string &EditDir,
+                       const CliConfig &Cfg) {
+  corpus::AppBundle Base, Edited;
+  if (!loadBundle(BaseDir, Base) || !loadBundle(EditDir, Edited)) {
+    std::cerr << "error: --incremental-edit requires cleanly parsing base "
+                 "and edited apps\n";
+    return 2;
+  }
+  analysis::EditDiff Diff = analysis::diffBundles(
+      Base.Program, Edited.Program, *Base.Layouts, *Edited.Layouts);
+  if (!Diff.Unsupported.empty()) {
+    for (const std::string &Reason : Diff.Unsupported)
+      std::cout << "unsupported edit: " << Reason << "\n";
+    std::cout << "fallback: full solve of the edited app\n";
+    return runOneApp(EditDir, Cfg, std::cout, std::cerr);
+  }
+  std::cout << "edit diff: " << Diff.Methods.size() << " method(s), "
+            << Diff.Layouts.size() << " layout(s)\n";
+
+  analysis::IncrementalAnalysis Inc(Base.Program, *Base.Layouts, Base.Android,
+                                    Cfg.Options, Base.Diags);
+  Inc.solveInitial();
+
+  unsigned long IncPropagations = 0;
+  size_t Retracted = 0;
+  bool Applied = true;
+  for (auto &[BaseMethod, EditMethod] : Diff.Methods) {
+    if (!analysis::graftMethodBody(*BaseMethod, *EditMethod) ||
+        !Inc.reanalyzeMethod(*BaseMethod)) {
+      Applied = false;
+      break;
+    }
+    IncPropagations += Inc.lastStats().Propagations;
+    Retracted += Inc.lastFactsRetracted();
+  }
+  if (Applied)
+    for (const std::string &Name : Diff.Layouts) {
+      const layout::LayoutDef *Def = Edited.Layouts->findByName(Name);
+      if (!Def || !Def->root() ||
+          !Inc.reanalyzeLayout(Name, Def->root()->clone())) {
+        Applied = false;
+        break;
+      }
+      IncPropagations += Inc.lastStats().Propagations;
+      Retracted += Inc.lastFactsRetracted();
+    }
+  if (!Applied) {
+    std::cout << "fallback: full solve of the edited app\n";
+    return runOneApp(EditDir, Cfg, std::cout, std::cerr);
+  }
+
+  // Differential check: a from-scratch solve over the same (now grafted)
+  // program and layout objects must reach the same fixed point.
+  analysis::AnalysisOptions ScratchOptions = Cfg.Options;
+  ScratchOptions.RecordProvenance = false;
+  auto Scratch = analysis::GuiAnalysis::run(Base.Program, *Base.Layouts,
+                                            Base.Android, ScratchOptions,
+                                            Base.Diags);
+  if (!Scratch)
+    return 2;
+  const std::string IncDigest = analysis::solutionDigest(Inc.solution());
+  const std::string ScratchDigest = analysis::solutionDigest(*Scratch->Sol);
+  const bool Match = IncDigest == ScratchDigest;
+  std::cout << "facts retracted: " << Retracted << "\n"
+            << "incremental propagations: " << IncPropagations
+            << "  scratch propagations: " << Scratch->Stats.Propagations
+            << "\n"
+            << "incremental matches scratch: " << (Match ? "yes" : "no")
+            << "\n";
+  if (!Match) {
+    // Line-level digest diff, capped — enough to localize a divergence.
+    auto Split = [](const std::string &Text) {
+      std::vector<std::string> Lines;
+      std::istringstream SS(Text);
+      for (std::string Line; std::getline(SS, Line);)
+        Lines.push_back(Line);
+      return Lines;
+    };
+    const std::vector<std::string> A = Split(IncDigest), B = Split(ScratchDigest);
+    unsigned Shown = 0;
+    for (const std::string &L : A)
+      if (!std::binary_search(B.begin(), B.end(), L) && Shown++ < 16)
+        std::cout << "  only-incremental: " << L << "\n";
+    for (const std::string &L : B)
+      if (!std::binary_search(A.begin(), A.end(), L) && Shown++ < 32)
+        std::cout << "  only-scratch: " << L << "\n";
+  }
+  return Match ? 0 : 1;
+}
+
 /// Parses a non-negative number for a --max-* flag; false on garbage.
 bool parseCount(const std::string &Text, unsigned long &Out) {
   if (Text.empty() ||
@@ -606,6 +849,12 @@ int main(int argc, char **argv) {
                   << "' (expected text or json)\n";
         return 2;
       }
+    } else if (Arg == "--cache-dir") {
+      if (!NextValue(Cfg.CacheDir) || Cfg.CacheDir.empty())
+        return usage();
+    } else if (Arg == "--incremental-edit") {
+      if (!NextValue(Cfg.EditDir) || Cfg.EditDir.empty())
+        return usage();
     } else if (Arg == "--lint") {
       Cfg.WantLint = true;
     } else if (Arg == "--no-times") {
@@ -675,12 +924,45 @@ int main(int argc, char **argv) {
   support::TraceSink Trace;
   support::MetricsRegistry Metrics;
 
+  if (!Cfg.EditDir.empty()) {
+    if (Cfg.Batch) {
+      std::cerr << "error: --incremental-edit works on a single app and "
+                   "cannot be combined with --batch\n";
+      return 2;
+    }
+    if (WantTrace)
+      Cfg.Options.Trace = &Trace;
+    if (WantMetrics)
+      Cfg.Metrics = &Metrics;
+    int Code = runIncrementalEdit(InputDir, Cfg.EditDir, Cfg);
+    if (!writeTelemetry(Cfg, Trace, Metrics))
+      return 2;
+    return Code;
+  }
+
+  // The solution cache (docs/INCREMENTAL.md). Runs whose outcome can
+  // depend on timing (wall-clock budgets) or that write per-app artifact
+  // files are never cached — the flag is ignored with a note rather than
+  // serving a result that could differ from the cold run.
+  std::unique_ptr<analysis::SolutionCache> Cache;
+  if (!Cfg.CacheDir.empty()) {
+    if (!analysis::cacheEligible(Cfg.Options) || !Cfg.JsonFile.empty() ||
+        !Cfg.DotFile.empty())
+      std::cerr << "note: --cache-dir ignored (wall-clock budget or per-app "
+                   "artifact files make runs uncacheable)\n";
+    else
+      Cache = std::make_unique<analysis::SolutionCache>(Cfg.CacheDir);
+  }
+
   if (!Cfg.Batch) {
     if (WantTrace)
       Cfg.Options.Trace = &Trace;
     if (WantMetrics)
       Cfg.Metrics = &Metrics;
-    int Code = runOneApp(InputDir, Cfg, std::cout, std::cerr);
+    int Code = runOneAppCached(InputDir, Cfg, Cache.get(), std::cout,
+                               std::cerr);
+    if (Cache && WantMetrics)
+      Cache->recordMetrics(Metrics);
     if (!writeTelemetry(Cfg, Trace, Metrics))
       return 2;
     return Code;
@@ -742,7 +1024,8 @@ int main(int argc, char **argv) {
         {
           support::TraceSpan AppSpan(AppCfg.Options.Trace, "analyze-app");
           AppSpan.arg("index", I);
-          R.Code = runOneApp(AppDirs[I].string(), AppCfg, Out, Err);
+          R.Code = runOneAppCached(AppDirs[I].string(), AppCfg, Cache.get(),
+                                   Out, Err);
         }
         R.OutText = Out.str();
         R.ErrText = Err.str();
@@ -765,6 +1048,8 @@ int main(int argc, char **argv) {
       Metrics.mergeFrom(Records[I].Metrics);
     Worst = std::max(Worst, Records[I].Code);
   }
+  if (Cache && WantMetrics)
+    Cache->recordMetrics(Metrics);
   if (!writeTelemetry(Cfg, Trace, Metrics))
     Worst = std::max(Worst, 2);
   return Worst;

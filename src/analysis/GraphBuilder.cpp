@@ -47,7 +47,7 @@ void GraphBuilder::buildActivityNodes(ConstraintGraph &G) {
         std::string Key = M->name() + "/" + std::to_string(M->paramCount());
         if (!Seen.insert(Key).second)
           continue; // overridden below; dispatch target already recorded
-        G.addFlowEdge(ActNode, G.getVarNode(M, M->thisVar()));
+        addFlow(G, ActNode, G.getVarNode(M, M->thisVar()));
       }
     }
   }
@@ -62,19 +62,19 @@ void GraphBuilder::buildCallEdges(ConstraintGraph &G, const MethodDecl &M,
       continue;
     // Receiver into `this`.
     if (!T->isStatic())
-      G.addFlowEdge(G.getVarNode(&M, S.Base), G.getVarNode(T, T->thisVar()));
+      addFlow(G, G.getVarNode(&M, S.Base), G.getVarNode(T, T->thisVar()));
     // Arguments into parameters.
     unsigned N = std::min<unsigned>(T->paramCount(),
                                     static_cast<unsigned>(S.Args.size()));
     for (unsigned I = 0; I < N; ++I)
-      G.addFlowEdge(G.getVarNode(&M, S.Args[I]),
+      addFlow(G, G.getVarNode(&M, S.Args[I]),
                     G.getVarNode(T, T->paramVar(I)));
     // Returned values into the call result.
     if (S.Lhs != InvalidVar) {
       NodeId LhsNode = G.getVarNode(&M, S.Lhs);
       for (const Stmt &Ret : T->body())
         if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
-          G.addFlowEdge(G.getVarNode(T, Ret.Lhs), LhsNode);
+          addFlow(G, G.getVarNode(T, Ret.Lhs), LhsNode);
     }
   }
 }
@@ -82,32 +82,30 @@ void GraphBuilder::buildCallEdges(ConstraintGraph &G, const MethodDecl &M,
 void GraphBuilder::buildOpSite(ConstraintGraph &G, std::vector<OpSite> &Ops,
                                const MethodDecl &M, const Stmt &S,
                                const OpSpec &Spec) {
+  // Roles are resolved before the op node is minted so an edit-scale
+  // rebuild can match this site against a dead predecessor by (kind,
+  // roles) and resurrect its slot — keeping op indices and OpNode ids
+  // stable memo keys (docs/INCREMENTAL.md). Role-edge emission order below
+  // matches the historical per-kind order (Recv, IdArg, AttachParent /
+  // ValArg, Out) byte for byte.
   OpSite Site;
   Site.Spec = Spec;
   Site.Method = &M;
-  Site.OpNode = G.makeOpNode(Spec.Kind, S.Loc, Spec.Listener, Spec.ChildOnly);
-
-  NodeId BaseNode = G.getVarNode(&M, S.Base);
-  Site.Recv = BaseNode;
-  G.addFlowEdge(BaseNode, Site.OpNode);
+  Site.Recv = G.getVarNode(&M, S.Base);
 
   auto argNode = [&](unsigned I) { return G.getVarNode(&M, S.Args[I]); };
 
   switch (Spec.Kind) {
   case OpKind::Inflate1:
     Site.IdArg = argNode(0);
-    G.addFlowEdge(Site.IdArg, Site.OpNode);
-    if (Spec.AttachParentArgIndex >= 0) {
+    if (Spec.AttachParentArgIndex >= 0)
       Site.AttachParent = argNode(Spec.AttachParentArgIndex);
-      G.addFlowEdge(Site.AttachParent, Site.OpNode);
-    }
     break;
   case OpKind::Inflate2:
   case OpKind::SetId:
   case OpKind::FindView1:
   case OpKind::FindView2:
     Site.IdArg = argNode(0);
-    G.addFlowEdge(Site.IdArg, Site.OpNode);
     break;
   case OpKind::AddView1:
   case OpKind::AddView2:
@@ -115,28 +113,39 @@ void GraphBuilder::buildOpSite(ConstraintGraph &G, std::vector<OpSite> &Ops,
   case OpKind::SetAdapter:
   case OpKind::StartActivity:
     Site.ValArg = argNode(0);
-    G.addFlowEdge(Site.ValArg, Site.OpNode);
     break;
   case OpKind::SetIntentClass:
     Site.ValArg = argNode(1); // the Class argument
-    G.addFlowEdge(Site.ValArg, Site.OpNode);
     break;
   case OpKind::FragmentAdd:
     Site.IdArg = argNode(0);
     Site.ValArg = argNode(1); // the Fragment argument
-    G.addFlowEdge(Site.IdArg, Site.OpNode);
-    G.addFlowEdge(Site.ValArg, Site.OpNode);
     break;
   case OpKind::FindView3:
     break; // receiver only (getChildAt's index is not a view id)
   }
 
-  if (S.Lhs != InvalidVar) {
+  if (S.Lhs != InvalidVar)
     Site.Out = G.getVarNode(&M, S.Lhs);
-    G.addFlowEdge(Site.OpNode, Site.Out);
+
+  uint32_t Reused = OpReuse ? OpReuse(Site) : ~0u;
+  if (Reused != ~0u) {
+    Site.OpNode = Ops[Reused].OpNode;
+    Ops[Reused] = Site; // Dead defaults false: the slot is live again
+  } else {
+    Site.OpNode = G.makeOpNode(Spec.Kind, S.Loc, Spec.Listener, Spec.ChildOnly);
+    Ops.push_back(Site);
   }
 
-  Ops.push_back(Site);
+  addFlow(G, Site.Recv, Site.OpNode);
+  if (Site.IdArg != InvalidNode)
+    addFlow(G, Site.IdArg, Site.OpNode);
+  if (Site.ValArg != InvalidNode)
+    addFlow(G, Site.ValArg, Site.OpNode);
+  if (Site.AttachParent != InvalidNode)
+    addFlow(G, Site.AttachParent, Site.OpNode);
+  if (Site.Out != InvalidNode)
+    addFlow(G, Site.OpNode, Site.Out);
 }
 
 void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
@@ -150,13 +159,13 @@ void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
     if (!ModelUnknown || S.Lhs == InvalidVar)
       return false;
     if (S.MethodName == "newInstance" && S.Args.empty()) {
-      G.addFlowEdge(
+      addFlow(G, 
           G.makeUnknownViewNode(UnknownReason::ReflectiveNew, &M, S.Loc),
           G.getVarNode(&M, S.Lhs));
       return true;
     }
     if (S.MethodName == "getIdentifier") {
-      G.addFlowEdge(G.makeUnknownIdNode(UnknownReason::DynamicId, &M, S.Loc),
+      addFlow(G, G.makeUnknownIdNode(UnknownReason::DynamicId, &M, S.Loc),
                     G.getVarNode(&M, S.Lhs));
       return true;
     }
@@ -194,11 +203,11 @@ void GraphBuilder::buildInvoke(ConstraintGraph &G, std::vector<OpSite> &Ops,
       const ir::FieldDecl *Elements = AM.listElementsField();
       if (Elements) {
         if (S.MethodName == "add" && S.Args.size() == 1)
-          G.addFlowEdge(G.getVarNode(&M, S.Args[0]),
+          addFlow(G, G.getVarNode(&M, S.Args[0]),
                         G.getFieldNode(Elements));
         else if ((S.MethodName == "get" || S.MethodName == "remove") &&
                  S.Lhs != InvalidVar)
-          G.addFlowEdge(G.getFieldNode(Elements), G.getVarNode(&M, S.Lhs));
+          addFlow(G, G.getFieldNode(Elements), G.getVarNode(&M, S.Lhs));
       }
     } else {
       mintUnknownResult();
@@ -215,7 +224,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
     const Stmt &S = M.body()[I];
     switch (S.Kind) {
     case StmtKind::AssignVar:
-      G.addFlowEdge(G.getVarNode(&M, S.Base), G.getVarNode(&M, S.Lhs));
+      addFlow(G, G.getVarNode(&M, S.Base), G.getVarNode(&M, S.Lhs));
       break;
     case StmtKind::AssignNew: {
       const ClassDecl *C = findClassCached(S.ClassName);
@@ -226,7 +235,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
         if (ModelUnknown && S.Lhs != InvalidVar) {
           Diags.warning(S.Loc, "new of unresolved class '" + S.ClassName +
                                    "'; modeling result as unknown");
-          G.addFlowEdge(
+          addFlow(G, 
               G.makeUnknownViewNode(UnknownReason::UnknownClass, &M, S.Loc),
               G.getVarNode(&M, S.Lhs));
         }
@@ -235,7 +244,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       bool IsView = AM.isViewClass(C);
       NodeId Alloc = G.getAllocNode(&M, static_cast<int32_t>(I), C, IsView,
                                     S.Loc);
-      G.addFlowEdge(Alloc, G.getVarNode(&M, S.Lhs));
+      addFlow(G, Alloc, G.getVarNode(&M, S.Lhs));
       // Dialogs are created by the application but their lifecycle
       // callbacks (onCreate etc.) are invoked by the framework, exactly
       // like activities (Section 3.2's "similar operations on non-
@@ -255,7 +264,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
                               std::to_string(Callback->paramCount());
             if (!Seen.insert(Key).second)
               continue;
-            G.addFlowEdge(Alloc,
+            addFlow(G, Alloc,
                           G.getVarNode(Callback, Callback->thisVar()));
           }
       }
@@ -269,7 +278,7 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
           BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
-        G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
+        addFlow(G, G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::StoreField: {
@@ -278,21 +287,21 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
           BaseVar.TypeName.empty() ? nullptr : findClassCached(BaseVar.TypeName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
-        G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
+        addFlow(G, G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
       break;
     }
     case StmtKind::LoadStaticField: {
       const ClassDecl *C = findClassCached(S.ClassName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
-        G.addFlowEdge(G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
+        addFlow(G, G.getFieldNode(F), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::StoreStaticField: {
       const ClassDecl *C = findClassCached(S.ClassName);
       const FieldDecl *F = C ? C->findField(S.FieldName) : nullptr;
       if (F)
-        G.addFlowEdge(G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
+        addFlow(G, G.getVarNode(&M, S.Rhs), G.getFieldNode(F));
       break;
     }
     case StmtKind::AssignLayoutId: {
@@ -303,12 +312,12 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
         // Missing layout resource: the id still reaches inflate sites as a
         // tagged unknown so downstream ops degrade instead of vanishing.
         if (ModelUnknown && S.Lhs != InvalidVar)
-          G.addFlowEdge(
+          addFlow(G, 
               G.makeUnknownIdNode(UnknownReason::MissingLayout, &M, S.Loc),
               G.getVarNode(&M, S.Lhs));
         break;
       }
-      G.addFlowEdge(G.getLayoutIdNode(Id), G.getVarNode(&M, S.Lhs));
+      addFlow(G, G.getLayoutIdNode(Id), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::AssignViewId: {
@@ -316,13 +325,13 @@ void GraphBuilder::buildMethod(ConstraintGraph &G, std::vector<OpSite> &Ops,
       // them (e.g. used only with setId); intern on demand.
       layout::ResourceId Id =
           Layouts.resources().internViewId(S.ResourceName);
-      G.addFlowEdge(G.getViewIdNode(Id), G.getVarNode(&M, S.Lhs));
+      addFlow(G, G.getViewIdNode(Id), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::AssignClassConst: {
       const ClassDecl *C = findClassCached(S.ClassName);
       if (C)
-        G.addFlowEdge(G.getClassConstNode(C), G.getVarNode(&M, S.Lhs));
+        addFlow(G, G.getClassConstNode(C), G.getVarNode(&M, S.Lhs));
       break;
     }
     case StmtKind::Invoke:

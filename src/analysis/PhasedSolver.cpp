@@ -33,6 +33,7 @@ public:
         Diags(Diags), Tracker(Options.Budget), Prov(Prov) {}
 
   PhasedStats run() {
+    reconstructMinted();
     seed();
     {
       support::TraceSpan S(Options.Trace, "phased.reachability");
@@ -140,14 +141,35 @@ private:
     return Prov ? Prov->flowFact(Target, Value) : ProvenanceRecorder::NoFact;
   }
 
+  /// The (inflate-site, layout) memo is engine-local, but a warm re-run
+  /// over an edit-scale-retracted graph (docs/INCREMENTAL.md) must not
+  /// re-mint ViewInfl subtrees that survived retraction. Surviving roots
+  /// are recoverable from graph state alone: every minted root carries its
+  /// InflateSite and a RootsLayout edge to the layout id that produced it.
+  /// On a cold run the graph has no minted roots yet, so this is a no-op.
+  /// (InvalidNode entries for skipped degenerate sites are not
+  /// reconstructible; those sites re-diagnose on a warm run.)
+  void reconstructMinted() {
+    for (NodeKind K : {NodeKind::ViewInfl, NodeKind::UnknownView})
+      for (NodeId V : G.nodesOfKind(K)) {
+        const Node &N = G.node(V);
+        if (N.Retired || N.InflateSite == InvalidNode)
+          continue;
+        for (NodeId L : G.rootsOfLayouts(V))
+          Minted.emplace((static_cast<uint64_t>(N.InflateSite) << 32) | L, V);
+      }
+  }
+
   void seed() {
     provCtx(DerivRule::Seed);
     for (NodeId Id = 0; Id < G.size(); ++Id) {
-      NodeKind K = G.node(Id).Kind;
-      if (!isValueNodeKind(K))
+      const Node &N = G.node(Id);
+      // Retired nodes are orphans of an edit-scale retraction
+      // (docs/INCREMENTAL.md); their minting site no longer exists.
+      if (!isValueNodeKind(N.Kind) || N.Retired)
         continue;
       if (Prov)
-        provCtx(K == NodeKind::UnknownView || K == NodeKind::UnknownId
+        provCtx(N.Kind == NodeKind::UnknownView || N.Kind == NodeKind::UnknownId
                     ? DerivRule::UnknownSource
                     : DerivRule::Seed);
       insert(Id, Id);
@@ -253,7 +275,17 @@ private:
         layout::ResourceId VId =
             Layouts.resources().lookupViewId(LNode.viewIdName());
         if (VId != layout::InvalidResourceId) {
+          size_t NodesBefore = G.size();
           NodeId IdNode = G.getViewIdNode(VId);
+          if (IdNode >= NodesBefore) {
+            // An id name first interned by an edit-scale layout
+            // re-analysis has no pre-built node, so the seed phase never
+            // saw it; seed the fresh node here or its value set stays
+            // empty.
+            provCtx(DerivRule::Seed);
+            insert(IdNode, IdNode);
+            provCtx(DerivRule::Inflate, IdFact);
+          }
           G.addHasIdEdge(ViewNode, IdNode);
           provEdge(FactKind::HasId, ViewNode, IdNode, DerivRule::Inflate,
                    IdFact);
@@ -371,7 +403,8 @@ private:
     const auto &Ops = Sol.opSites();
     for (size_t I = 0, E = Ops.size(); I < E; ++I) {
       const OpSite &Op = Ops[I];
-      if (Op.Spec.Kind != OpKind::Inflate1 && Op.Spec.Kind != OpKind::Inflate2)
+      if (Op.Dead || (Op.Spec.Kind != OpKind::Inflate1 &&
+                      Op.Spec.Kind != OpKind::Inflate2))
         continue;
       if (!Tracker.charge())
         break;
@@ -494,9 +527,11 @@ private:
     const ClassDecl *LClass = G.node(ListenerValue).Klass;
     if (!LClass || LClass->isPlatform())
       return false;
+    FactId LFact =
+        Prov ? Prov->edgeFact(FactKind::Listener, View, ListenerValue)
+             : ProvenanceRecorder::NoFact;
     if (Prov)
-      provCtx(DerivRule::ListenerCallback,
-              Prov->edgeFact(FactKind::Listener, View, ListenerValue));
+      provCtx(DerivRule::ListenerCallback, LFact);
     bool Changed = false;
     for (const HandlerSig &Sig : Spec.Handlers) {
       const MethodDecl *Handler =
@@ -505,6 +540,8 @@ private:
         continue;
       NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
       Changed |= G.addFlowEdge(ListenerValue, ThisNode);
+      provEdge(FactKind::FlowLink, ListenerValue, ThisNode,
+               DerivRule::ListenerCallback, LFact);
       Changed |= insert(ThisNode, ListenerValue);
       if (Sig.ViewParamIndex >= 0 &&
           static_cast<unsigned>(Sig.ViewParamIndex) < Handler->paramCount())
@@ -518,6 +555,8 @@ private:
 
   bool fireOp(size_t OpIndex) {
     const OpSite &Op = Sol.opSites()[OpIndex];
+    if (Op.Dead)
+      return false; // edit-scale tombstone (docs/INCREMENTAL.md)
     switch (Op.Spec.Kind) {
     case OpKind::Inflate1:
     case OpKind::Inflate2:
@@ -614,6 +653,8 @@ private:
         continue;
       NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
       Changed |= G.addFlowEdge(F, ThisNode);
+      provEdge(FactKind::FlowLink, F, ThisNode, DerivRule::FragmentAdd,
+               provFlow(Op.ValArg, F));
       provCtx(DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
       Changed |= insert(ThisNode, F);
       for (const Stmt &Ret : Factory->body())
@@ -659,6 +700,8 @@ private:
         continue;
       NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
       Changed |= G.addFlowEdge(A, ThisNode);
+      provEdge(FactKind::FlowLink, A, ThisNode, DerivRule::SetAdapter,
+               provFlow(Op.ValArg, A));
       provCtx(DerivRule::SetAdapter, provFlow(Op.ValArg, A));
       Changed |= insert(ThisNode, A);
       for (const Stmt &Ret : Factory->body()) {
@@ -710,9 +753,12 @@ private:
           }
           NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
           Changed |= G.addFlowEdge(Holder, ThisNode);
-          if (Prov)
-            provCtx(DerivRule::XmlOnClick,
-                    Prov->edgeFact(FactKind::Listener, V, Holder));
+          if (Prov) {
+            FactId LFact = Prov->edgeFact(FactKind::Listener, V, Holder);
+            provEdge(FactKind::FlowLink, Holder, ThisNode,
+                     DerivRule::XmlOnClick, LFact);
+            provCtx(DerivRule::XmlOnClick, LFact);
+          }
           Changed |= insert(ThisNode, Holder);
           Changed |= insert(G.getVarNode(Handler, Handler->paramVar(0)), V);
         }

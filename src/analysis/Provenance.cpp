@@ -57,6 +57,8 @@ const char *gator::analysis::factKindName(FactKind Kind) {
     return "listens";
   case FactKind::RootsLayout:
     return "rootsLayout";
+  case FactKind::FlowLink:
+    return "flowLink";
   }
   return "fact";
 }

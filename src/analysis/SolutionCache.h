@@ -1,0 +1,183 @@
+//===- SolutionCache.h - Content-addressed analysis cache -------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed caching of whole-app analysis outcomes
+/// (docs/INCREMENTAL.md). The key is a 128-bit content hash over the
+/// app's inputs — every source unit, layout, and manifest file, plus the
+/// canonicalized analysis options — so a warm hit in batch/fleet mode
+/// skips parse, build, and solve entirely while merging into
+/// byte-identical output at every job count.
+///
+/// Two tiers:
+///  - an in-memory FIFO tier (bounded, mutex-guarded, shared across batch
+///    tasks within one process);
+///  - an optional on-disk tier (`--cache-dir`): one file per key named
+///    `<hex>.gsc`, written atomically (tmp + rename) in a versioned,
+///    checksummed binary format ("GSC1"). Corrupt, truncated, or
+///    version-skewed entries are *misses, never errors* — the caller
+///    falls back to a full solve and the poisoned entry is counted.
+///
+/// What a cached entry stores is the externally observable outcome of a
+/// run: the exit code, the captured stdout/stderr text, the AppStats row,
+/// and the raw gator_flowset_size histogram contribution (the only
+/// metrics signal recordAppMetrics derives from the Solution itself, so
+/// it must be replayed from raw buckets on a hit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_ANALYSIS_SOLUTIONCACHE_H
+#define GATOR_ANALYSIS_SOLUTIONCACHE_H
+
+#include "analysis/AppStats.h"
+#include "analysis/Options.h"
+#include "support/Hash.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gator {
+namespace analysis {
+
+/// The externally observable outcome of one app analysis, as cached.
+struct CachedAnalysis {
+  int ExitCode = 0;
+  /// Captured stdout/stderr text of the run (produced under the same
+  /// options the key hashes, so replaying it verbatim is sound).
+  std::string OutText;
+  std::string ErrText;
+  /// The Table-1 row plus solver/fidelity telemetry — everything
+  /// recordAppMetrics needs except the Solution.
+  AppStats Stats;
+  /// The Table-2 precision row (Solution::computeMetrics under the keyed
+  /// options), so corpus drivers can replay their summary tables without
+  /// a Solution.
+  Solution::PrecisionMetrics Precision;
+  /// Raw gator_flowset_size contribution of this app: bucket counts
+  /// (including the overflow slot), sum, and observation count, captured
+  /// with captureFlowsetHistogram at store time and folded back with
+  /// Histogram::addRaw on a hit.
+  std::vector<uint64_t> FlowHistCounts;
+  uint64_t FlowHistSum = 0;
+  uint64_t FlowHistCount = 0;
+};
+
+/// Two-tier content-addressed cache. Thread-safe: batch tasks share one
+/// instance. Counters are atomics so recordMetrics can run after a
+/// parallel sweep without synchronization.
+class SolutionCache {
+public:
+  /// On-disk format version; bumped on any layout change so stale
+  /// artifacts from older binaries read as version-skewed (a miss).
+  static constexpr uint32_t FormatVersion = 1;
+
+  enum class Outcome {
+    Hit,     ///< found in memory or on disk, checksum verified
+    Miss,    ///< no entry under this key
+    Corrupt, ///< an entry existed but failed validation; treat as a miss
+  };
+
+  /// \p DiskDir empty disables the disk tier. \p MemCapacity bounds the
+  /// in-memory tier (FIFO eviction; disk entries are never evicted).
+  explicit SolutionCache(std::string DiskDir = std::string(),
+                         size_t MemCapacity = 512);
+
+  Outcome lookup(const support::Hash128 &Key, CachedAnalysis &Out);
+  void store(const support::Hash128 &Key, const CachedAnalysis &Entry);
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  uint64_t corruptEntries() const {
+    return Corrupt.load(std::memory_order_relaxed);
+  }
+
+  /// Emits gator_cache_hits_total / gator_cache_misses_total /
+  /// gator_cache_evictions_total / gator_cache_corrupt_total counters.
+  void recordMetrics(support::MetricsRegistry &Metrics) const;
+
+  const std::string &diskDir() const { return Dir; }
+
+  /// The GSC1 artifact codec, exposed for tests: little-endian payload
+  /// behind a magic + version + size + FNV-1a checksum header.
+  /// deserialize returns false (leaving \p Out partially written but the
+  /// caller discarding it) on any truncation, overrun, magic or version
+  /// mismatch, or checksum failure.
+  static void serialize(const CachedAnalysis &Entry, std::string &Bytes);
+  static bool deserialize(std::string_view Bytes, CachedAnalysis &Out);
+
+private:
+  std::string Dir;
+  size_t Capacity;
+
+  std::mutex Mu;
+  /// Hex key -> entry; FIFO order tracked separately for eviction.
+  std::unordered_map<std::string, CachedAnalysis> Mem;
+  std::deque<std::string> Order;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Corrupt{0};
+
+  void insertMem(const std::string &Hex, const CachedAnalysis &Entry);
+};
+
+/// Hashes every analysis input file under \p Dir — *.alite, *.dexlite,
+/// AndroidManifest.xml, and layout *.xml — as (relative path, content)
+/// pairs in sorted path order. Relative paths matter (layout names come
+/// from file stems); the directory's own location does not, so moving an
+/// app tree yields the same key.
+support::Hash128 hashAppDir(const std::string &Dir);
+
+/// Canonical hash of the semantically meaningful options: every knob that
+/// changes the solution, the output text, or the deterministic budget
+/// limits. Deliberately excludes Jobs, Trace, and the wall-clock /
+/// cancellation budget fields — those change scheduling, not results.
+support::Hash128 hashAnalysisOptions(const AnalysisOptions &Options);
+
+/// Combines an input-content hash (hashAppDir, corpus::hashAppSpec, ...)
+/// with an options hash into one cache key.
+support::Hash128 combineCacheKey(const support::Hash128 &Inputs,
+                                 const support::Hash128 &OptionsHash);
+
+/// The cache key for analyzing the app at \p Dir under \p Options.
+support::Hash128 cacheKeyFor(const std::string &Dir,
+                             const AnalysisOptions &Options);
+
+/// False when the run's outcome can depend on timing — a wall-clock
+/// deadline or an external cancel flag can truncate the solve at an
+/// arbitrary point, and a truncated solution must never be served as the
+/// canonical result for its inputs.
+bool cacheEligible(const AnalysisOptions &Options);
+
+/// Captures the app's raw gator_flowset_size contribution (same bounds as
+/// recordAppMetrics uses) for storage in a CachedAnalysis.
+void captureFlowsetHistogram(const Solution &Sol,
+                             std::vector<uint64_t> &Counts, uint64_t &Sum,
+                             uint64_t &Count);
+
+/// The warm-hit replacement for recordAppMetrics(Metrics, Stats, Sol):
+/// records the cached AppStats row and folds the raw flowset histogram
+/// back in. A warm batch merges into the same metrics document as a cold
+/// one.
+void replayAppMetrics(support::MetricsRegistry &Metrics,
+                      const CachedAnalysis &Entry);
+
+} // namespace analysis
+} // namespace gator
+
+#endif // GATOR_ANALYSIS_SOLUTIONCACHE_H

@@ -160,9 +160,11 @@ void Solver::sweepXmlOnClickHandlers() {
         }
         NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
         G.addFlowEdge(Holder, ThisNode);
-        if (Prov)
-          provCtx(DerivRule::XmlOnClick,
-                  Prov->edgeFact(FactKind::Listener, V, Holder));
+        if (Prov) {
+          FactId LFact = Prov->edgeFact(FactKind::Listener, V, Holder);
+          provLink(Holder, ThisNode, DerivRule::XmlOnClick, LFact);
+          provCtx(DerivRule::XmlOnClick, LFact);
+        }
         addValue(ThisNode, Holder);
         NodeId ParamNode = G.getVarNode(Handler, Handler->paramVar(0));
         addValue(ParamNode, V);
@@ -175,11 +177,14 @@ void Solver::seedValueNodes() {
   ensureSets();
   provCtx(DerivRule::Seed);
   for (NodeId Id = 0; Id < G.size(); ++Id) {
-    NodeKind K = G.node(Id).Kind;
-    if (!isValueNodeKind(K))
+    const Node &N = G.node(Id);
+    // Retired nodes are orphans of an edit-scale retraction
+    // (docs/INCREMENTAL.md); re-seeding one would resurrect a value whose
+    // minting site no longer exists.
+    if (!isValueNodeKind(N.Kind) || N.Retired)
       continue;
     if (Prov)
-      provCtx(K == NodeKind::UnknownView || K == NodeKind::UnknownId
+      provCtx(N.Kind == NodeKind::UnknownView || N.Kind == NodeKind::UnknownId
                   ? DerivRule::UnknownSource
                   : DerivRule::Seed);
     addValue(Id, Id);
@@ -201,6 +206,9 @@ void Solver::registerOpUses() {
   ensureSets();
   for (size_t I = 0; I < Ops.size(); ++I) {
     const OpSite &Op = Ops[I];
+    if (Op.Dead)
+      continue; // tombstoned by an edit-scale re-analysis; slot kept so
+                // op indices stay stable memo keys (docs/INCREMENTAL.md)
     for (NodeId Role : {Op.Recv, Op.IdArg, Op.ValArg, Op.AttachParent})
       if (Role != InvalidNode)
         addOpUse(Role, I);
@@ -347,7 +355,15 @@ NodeId Solver::inflateAt(size_t OpIndex, NodeId LayoutIdNode) {
           F.LNode->setResolvedViewIdRes(VId);
       }
       if (VId != layout::InvalidResourceId) {
+        size_t NodesBefore = G.size();
         NodeId IdNode = G.getViewIdNode(VId);
+        if (IdNode >= NodesBefore) {
+          // An id name first interned by an edit-scale layout re-analysis
+          // has no pre-built node, so seedValueNodes() never saw it; seed
+          // the fresh node here or its value set stays empty.
+          provCtx(DerivRule::Seed);
+          addValue(IdNode, IdNode);
+        }
         G.addHasIdEdge(ViewNode, IdNode);
         provEdge(FactKind::HasId, ViewNode, IdNode, DerivRule::Inflate,
                  IdFact);
@@ -530,9 +546,11 @@ void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
   const ClassDecl *LClass = G.node(ListenerValue).Klass;
   if (!LClass || LClass->isPlatform())
     return;
+  FactId LFact = Prov
+                     ? Prov->edgeFact(FactKind::Listener, View, ListenerValue)
+                     : ProvenanceRecorder::NoFact;
   if (Prov)
-    provCtx(DerivRule::ListenerCallback,
-            Prov->edgeFact(FactKind::Listener, View, ListenerValue));
+    provCtx(DerivRule::ListenerCallback, LFact);
   for (const HandlerSig &Sig : Spec.Handlers) {
     const MethodDecl *Handler =
         hier::ClassHierarchy::dispatch(LClass, Sig.MethodName, Sig.Arity);
@@ -540,6 +558,7 @@ void Solver::wireListenerCallback(NodeId View, NodeId ListenerValue,
       continue;
     NodeId ThisNode = G.getVarNode(Handler, Handler->thisVar());
     G.addFlowEdge(ListenerValue, ThisNode);
+    provLink(ListenerValue, ThisNode, DerivRule::ListenerCallback, LFact);
     addValue(ThisNode, ListenerValue);
     if (Sig.ViewParamIndex >= 0 &&
         static_cast<unsigned>(Sig.ViewParamIndex) < Handler->paramCount()) {
@@ -585,22 +604,27 @@ void Solver::fireFragmentAdd(size_t OpIndex) {
   for (NodeId F : FragmentValues) {
     if (G.node(F).Kind != NodeKind::Alloc)
       continue;
-    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | F;
-    if (!FragmentWired.insert(Key).second)
-      continue;
     const ClassDecl *FClass = G.node(F).Klass;
     const MethodDecl *Factory =
         FClass ? hier::ClassHierarchy::dispatch(FClass, "onCreateView", 1)
                : nullptr;
     if (!Factory || Factory->owner()->isPlatform())
       continue;
-    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
-    G.addFlowEdge(F, ThisNode);
-    provCtx(DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
-    addValue(ThisNode, F);
+    // Register on the factory's returns outside the FragmentWired guard:
+    // registerOpUses rebuilds OpUses from role edges only, so a re-solve
+    // must re-establish this registration even when the callback wiring
+    // is already memoized (addOpUse dedups).
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
         addOpUse(G.getVarNode(Factory, Ret.Lhs), OpIndex);
+    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | F;
+    if (!FragmentWired.insert(Key).second)
+      continue;
+    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
+    G.addFlowEdge(F, ThisNode);
+    provLink(F, ThisNode, DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
+    provCtx(DerivRule::FragmentAdd, provFlow(Op.ValArg, F));
+    addValue(ThisNode, F);
   }
 
   // 2. Attach every known fragment root under every container view whose
@@ -684,22 +708,25 @@ void Solver::fireSetAdapter(size_t OpIndex) {
   for (NodeId A : AdapterValues) {
     if (G.node(A).Kind != NodeKind::Alloc)
       continue;
-    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | A;
-    if (!FragmentWired.insert(Key).second)
-      continue; // reuse the factory-wiring dedup table
     const ClassDecl *AClass = G.node(A).Klass;
     const MethodDecl *Factory =
         AClass ? hier::ClassHierarchy::dispatch(AClass, "getView", 1)
                : nullptr;
     if (!Factory || Factory->owner()->isPlatform())
       continue;
-    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
-    G.addFlowEdge(A, ThisNode);
-    provCtx(DerivRule::SetAdapter, provFlow(Op.ValArg, A));
-    addValue(ThisNode, A);
+    // As in fireFragmentAdd: return-variable registration must survive a
+    // registerOpUses rebuild, so it stays outside the memo guard.
     for (const Stmt &Ret : Factory->body())
       if (Ret.Kind == StmtKind::Return && Ret.Lhs != InvalidVar)
         addOpUse(G.getVarNode(Factory, Ret.Lhs), OpIndex);
+    uint64_t Key = (static_cast<uint64_t>(OpIndex) << 32) | A;
+    if (!FragmentWired.insert(Key).second)
+      continue; // reuse the factory-wiring dedup table
+    NodeId ThisNode = G.getVarNode(Factory, Factory->thisVar());
+    G.addFlowEdge(A, ThisNode);
+    provLink(A, ThisNode, DerivRule::SetAdapter, provFlow(Op.ValArg, A));
+    provCtx(DerivRule::SetAdapter, provFlow(Op.ValArg, A));
+    addValue(ThisNode, A);
   }
 
   for (NodeId A : AdapterValues) {
@@ -775,8 +802,10 @@ void Solver::fireFindView(OpSite &Op) {
 }
 
 void Solver::fireOp(size_t OpIndex) {
-  ++Stats.OpFirings;
   OpSite &Op = Sol.opSites()[OpIndex];
+  if (Op.Dead)
+    return; // tombstoned by an edit-scale re-analysis (docs/INCREMENTAL.md)
+  ++Stats.OpFirings;
   ++Stats.FiringsByKind[static_cast<size_t>(Op.Spec.Kind)];
   switch (Op.Spec.Kind) {
   case OpKind::Inflate1:
@@ -816,15 +845,106 @@ void Solver::fireOp(size_t OpIndex) {
 
 SolverStats Solver::solve() {
   Stats = SolverStats();
-  support::TraceSpan FixpointSpan(Options.Trace, "solver.fixpoint");
   ViewBaseClass = AM.program().findClass(names::View);
   GroupBaseClass = AM.program().findClass(names::ViewGroup);
-  uint64_t StartRev = G.hierarchyRevision();
-  unsigned long StartDescHits = G.descendantsCacheHits();
-  unsigned long StartDescMisses = G.descendantsCacheMisses();
   ensureSets();
   registerOpUses();
   seedValueNodes();
+  return runFixpoint();
+}
+
+SolverStats Solver::resolveIncremental(
+    const std::vector<graph::NodeId> &Touched) {
+  Stats = SolverStats();
+  ViewBaseClass = AM.program().findClass(names::View);
+  GroupBaseClass = AM.program().findClass(names::ViewGroup);
+  ensureSets();
+  registerOpUses();
+  seedValueNodes();
+
+  // The retraction closure may have deleted facts at a touched node that
+  // an untouched (fully committed) flow predecessor still implies, and
+  // committed values never re-propagate on their own — pull every
+  // predecessor's full set across edges into the touched nodes. One
+  // reverse-adjacency scan; edit-scale, not per-solve.
+  if (!Touched.empty()) {
+    std::vector<bool> IsTouched(G.size(), false);
+    for (NodeId T : Touched)
+      if (T < G.size())
+        IsTouched[T] = true;
+    auto &Sets = Sol.flowsToSets();
+    for (NodeId P = 0; P < G.size() && P < Sets.size(); ++P) {
+      bool AnyTouchedSucc = false;
+      for (NodeId S : G.flowSuccessors(P))
+        if (IsTouched[S] && G.node(S).Kind != NodeKind::Op) {
+          AnyTouchedSucc = true;
+          break;
+        }
+      if (!AnyTouchedSucc || Sets[P].empty())
+        continue;
+      // Copy out: addValue may grow Sets and invalidate the iterators.
+      std::vector<NodeId> Values(Sets[P].begin(), Sets[P].end());
+      for (NodeId S : G.flowSuccessors(P)) {
+        if (S >= IsTouched.size() || !IsTouched[S] ||
+            G.node(S).Kind == NodeKind::Op)
+          continue;
+        for (NodeId V : Values) {
+          if (Prov)
+            provCtx(DerivRule::FlowEdge, Prov->flowFact(P, V));
+          addValue(S, V);
+        }
+      }
+    }
+    // Surviving values in touched sets are all-delta (FlowSet::eraseValues
+    // reset the commit mark); enqueue them so they re-push downstream.
+    for (NodeId T : Touched)
+      if (T < Sol.flowsToSets().size() && Sol.flowsToSets()[T].hasDelta() &&
+          !InVarWorklist[T]) {
+        InVarWorklist[T] = true;
+        VarWorklist.push_back(T);
+      }
+  }
+
+  // Re-fire every live op once: rules read full role sets, so this
+  // re-derives over-deleted op facts and re-mints forgotten inflations
+  // even when no role set has a delta. Idempotent (dedup absorbs the
+  // rest) and edit-scale cheap.
+  for (size_t I = 0; I < Sol.opSites().size(); ++I)
+    if (!Sol.opSites()[I].Dead)
+      enqueueOp(I);
+
+  // Force one structure round: retraction may have removed hierarchy/id
+  // edges the structure-sensitive ops and the XML sweep must re-derive.
+  StructureDirty = true;
+  return runFixpoint();
+}
+
+void Solver::forgetOpMemos(uint32_t OpIndex) {
+  for (auto It = InflatedAt.begin(); It != InflatedAt.end();)
+    It = (It->first >> 32) == OpIndex ? InflatedAt.erase(It) : std::next(It);
+  for (auto It = FragmentWired.begin(); It != FragmentWired.end();)
+    It = (*It >> 32) == OpIndex ? FragmentWired.erase(It) : std::next(It);
+}
+
+void Solver::forgetLayoutMemos(graph::NodeId LayoutIdNode) {
+  for (auto It = InflatedAt.begin(); It != InflatedAt.end();)
+    It = static_cast<NodeId>(It->first & 0xffffffffu) == LayoutIdNode
+             ? InflatedAt.erase(It)
+             : std::next(It);
+}
+
+void Solver::forgetWiredValue(graph::NodeId Value) {
+  for (auto It = FragmentWired.begin(); It != FragmentWired.end();)
+    It = static_cast<NodeId>(*It & 0xffffffffu) == Value
+             ? FragmentWired.erase(It)
+             : std::next(It);
+}
+
+SolverStats Solver::runFixpoint() {
+  support::TraceSpan FixpointSpan(Options.Trace, "solver.fixpoint");
+  uint64_t StartRev = G.hierarchyRevision();
+  unsigned long StartDescHits = G.descendantsCacheHits();
+  unsigned long StartDescMisses = G.descendantsCacheMisses();
 
   support::BudgetTracker Tracker(Options.Budget);
   for (;;) {

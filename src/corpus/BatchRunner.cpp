@@ -9,11 +9,20 @@ std::vector<BatchAppResult>
 gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
                              const analysis::AnalysisOptions &Options,
                              support::ParallelForStats *Stats,
-                             bool KeepArtifacts) {
+                             bool KeepArtifacts,
+                             analysis::SolutionCache *Cache) {
   analysis::AnalysisOptions TaskOptions = Options;
   if (!TaskOptions.Budget.SharedDeadline)
     TaskOptions.Budget.SharedDeadline =
         support::makeSharedDeadline(Options.Budget.MaxWallSeconds);
+
+  // The cache serves a record without artifacts, so it only applies to
+  // stats-only sweeps; a wall deadline makes outcomes timing-dependent
+  // and thus uncacheable (docs/INCREMENTAL.md).
+  if (KeepArtifacts || !analysis::cacheEligible(TaskOptions))
+    Cache = nullptr;
+  const support::Hash128 OptionsKey =
+      Cache ? analysis::hashAnalysisOptions(TaskOptions) : support::Hash128{};
 
   return support::parallelMap<BatchAppResult>(
       Options.Jobs, Specs.size(),
@@ -21,6 +30,22 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
         BatchAppResult R;
         R.Index = I;
         R.Name = Specs[I].Name;
+
+        support::Hash128 Key{};
+        if (Cache) {
+          Key = analysis::combineCacheKey(hashAppSpec(Specs[I]), OptionsKey);
+          analysis::CachedAnalysis Entry;
+          if (Cache->lookup(Key, Entry) ==
+              analysis::SolutionCache::Outcome::Hit) {
+            R.Stats = Entry.Stats;
+            R.Metrics = Entry.Precision;
+            R.BuildSeconds = Entry.Stats.BuildSeconds;
+            R.SolveSeconds = Entry.Stats.SolveSeconds;
+            return R;
+          }
+          // Corrupt degrades to a miss: fall through to the full solve.
+        }
+
         // Tracing is thread-confined: each task records into its own sink
         // and the caller merges them in spec order. The shared sink from
         // the options is never touched inside the fan-out.
@@ -44,6 +69,16 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
         R.Metrics = R.Result->metrics();
         R.BuildSeconds = R.Result->BuildSeconds;
         R.SolveSeconds = R.Result->SolveSeconds;
+        if (Cache) {
+          analysis::CachedAnalysis Entry;
+          Entry.Stats = R.Stats;
+          Entry.Precision = R.Metrics;
+          analysis::captureFlowsetHistogram(*R.Result->Sol,
+                                            Entry.FlowHistCounts,
+                                            Entry.FlowHistSum,
+                                            Entry.FlowHistCount);
+          Cache->store(Key, Entry);
+        }
         if (!KeepArtifacts) {
           // All per-app ownership (IR decls, graph adjacency, flow sets)
           // lives on arenas inside the bundle and the result, so this is

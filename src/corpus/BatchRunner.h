@@ -21,6 +21,7 @@
 
 #include "analysis/AppStats.h"
 #include "analysis/GuiAnalysis.h"
+#include "analysis/SolutionCache.h"
 #include "corpus/Corpus.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -69,11 +70,22 @@ struct BatchAppResult {
 /// stats-only consumers (see bench/BENCH_parallel.json). Callers that
 /// read Result or App afterwards (solution JSON, differential tests)
 /// need the default KeepArtifacts = true.
+///
+/// \p Cache, when non-null, is the content-addressed solution cache
+/// (docs/INCREMENTAL.md): each task keys its spec + options, serves hits
+/// without generating or solving, and stores misses. Served only when
+/// KeepArtifacts is false (a hit has no bundle or AnalysisResult to keep)
+/// and the options are cache-eligible (no wall-clock deadline); otherwise
+/// the cache is ignored. Hit records are field-identical to cold ones —
+/// Stats, Metrics, and phase times replay from the entry — so a warm
+/// sweep's summary output is byte-identical to a cold one at every job
+/// count.
 std::vector<BatchAppResult>
 analyzeCorpus(const std::vector<AppSpec> &Specs,
               const analysis::AnalysisOptions &Options,
               support::ParallelForStats *Stats = nullptr,
-              bool KeepArtifacts = true);
+              bool KeepArtifacts = true,
+              analysis::SolutionCache *Cache = nullptr);
 
 } // namespace corpus
 } // namespace gator

@@ -705,20 +705,55 @@ std::vector<AppSpec> gator::corpus::makeFleet(const FleetSpec &Fleet) {
     Spec.UseFlipper = (splitMix64(State) & 7) == 0;
     Spec.UseDialog = (splitMix64(State) & 7) == 1;
 
-    // Hostile-shape draws (docs/ROBUSTNESS.md), guarded on the rate so a
-    // clean fleet (all rates 0) consumes exactly the same stream values —
-    // and therefore generates byte-identical apps — as before the knobs
-    // existed.
-    if (Fleet.ReflectivePercent &&
-        drawIn(State, 0, 99) < Fleet.ReflectivePercent)
-      Spec.ReflectiveViewsPerActivity = drawIn(State, 1, 2);
-    if (Fleet.DynamicIdPercent &&
-        drawIn(State, 0, 99) < Fleet.DynamicIdPercent)
-      Spec.DynamicFindsPerActivity = drawIn(State, 1, 2);
-    if (Fleet.MissingLayoutPercent &&
-        drawIn(State, 0, 99) < Fleet.MissingLayoutPercent)
+    // Hostile-shape draws (docs/ROBUSTNESS.md) come from their own
+    // unconditional per-app stream: every roll happens whether or not a
+    // rate is set, so the knobs never perturb the shape stream or each
+    // other. Clean fleets stay byte-identical to earlier releases (the
+    // shape stream above is untouched), and enabling one hostile rate no
+    // longer re-rolls the others — one code path for clean and hostile.
+    uint64_t HostileState = Fleet.Seed ^ 0xd1b54a32d192ed03ULL ^
+                            (uint64_t(I) * 0x9e3779b97f4a7c15ULL);
+    const unsigned ReflectiveRoll = drawIn(HostileState, 0, 99);
+    const unsigned ReflectiveCount = drawIn(HostileState, 1, 2);
+    const unsigned DynamicRoll = drawIn(HostileState, 0, 99);
+    const unsigned DynamicCount = drawIn(HostileState, 1, 2);
+    const unsigned MissingRoll = drawIn(HostileState, 0, 99);
+    if (ReflectiveRoll < Fleet.ReflectivePercent)
+      Spec.ReflectiveViewsPerActivity = ReflectiveCount;
+    if (DynamicRoll < Fleet.DynamicIdPercent)
+      Spec.DynamicFindsPerActivity = DynamicCount;
+    if (MissingRoll < Fleet.MissingLayoutPercent)
       Spec.MissingLayoutRefsPerActivity = 1;
     Specs.push_back(std::move(Spec));
   }
   return Specs;
+}
+
+support::Hash128 gator::corpus::hashAppSpec(const AppSpec &Spec) {
+  support::ContentHasher H;
+  H.field("gator-app-spec", "v1");
+  H.field("Name", Spec.Name);
+  H.u64("Seed", Spec.Seed);
+  H.u64("Activities", Spec.Activities);
+  H.u64("FillerClasses", Spec.FillerClasses);
+  H.u64("MethodsPerFillerClass", Spec.MethodsPerFillerClass);
+  H.u64("ViewsPerLayout", Spec.ViewsPerLayout);
+  H.u64("IdsPerLayout", Spec.IdsPerLayout);
+  H.u64("DirectFindsPerActivity", Spec.DirectFindsPerActivity);
+  H.u64("SharedFindsPerActivity", Spec.SharedFindsPerActivity);
+  H.u64("SharedHelperUsers", Spec.SharedHelperUsers);
+  H.u64("ListenersPerActivity", Spec.ListenersPerActivity);
+  H.u64("ProgViewsPerActivity", Spec.ProgViewsPerActivity);
+  H.u64("InflateItemsPerActivity", Spec.InflateItemsPerActivity);
+  H.u64("ReflectiveViewsPerActivity", Spec.ReflectiveViewsPerActivity);
+  H.u64("DynamicFindsPerActivity", Spec.DynamicFindsPerActivity);
+  H.u64("MissingLayoutRefsPerActivity", Spec.MissingLayoutRefsPerActivity);
+  H.boolean("ActivityAsListener", Spec.ActivityAsListener);
+  H.boolean("UseCommonIds", Spec.UseCommonIds);
+  H.boolean("UseXmlOnClick", Spec.UseXmlOnClick);
+  H.boolean("UseDialog", Spec.UseDialog);
+  H.boolean("UseFragment", Spec.UseFragment);
+  H.boolean("UseFlipper", Spec.UseFlipper);
+  H.boolean("EmitTransitions", Spec.EmitTransitions);
+  return H.digest();
 }

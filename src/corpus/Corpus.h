@@ -29,6 +29,7 @@
 
 #include "android/Ops.h"
 #include "corpus/AppBundle.h"
+#include "support/Hash.h"
 
 #include <cstdint>
 #include <memory>
@@ -174,8 +175,10 @@ struct FleetSpec {
   /// shape bucket: the percentage of apps carrying reflective view
   /// construction, dynamic (getIdentifier) find ids, and missing-layout
   /// references respectively. Apps that draw a hostile shape analyze as
-  /// DegradedInput; at the default 0 the hostile draws consume no stream
-  /// values, so clean fleets are byte-identical to earlier releases.
+  /// DegradedInput. The rolls come from a dedicated per-app stream, drawn
+  /// unconditionally: the knobs never perturb the shape stream or each
+  /// other, and a clean fleet (all rates 0) is byte-identical to earlier
+  /// releases.
   unsigned ReflectivePercent = 0;
   unsigned DynamicIdPercent = 0;
   unsigned MissingLayoutPercent = 0;
@@ -187,6 +190,13 @@ struct FleetSpec {
 /// deterministic and order-independent, and a parallel batch produces the
 /// same fleet at every -j value (docs/PARALLEL.md determinism contract).
 std::vector<AppSpec> makeFleet(const FleetSpec &Fleet);
+
+/// Content hash over every generation parameter of \p Spec. Since
+/// generateApp is a pure function of the spec, this key identifies the
+/// generated app's entire input — the corpus-side analogue of
+/// analysis::hashAppDir for on-disk apps, and the key the batch drivers
+/// use for the content-addressed solution cache (docs/INCREMENTAL.md).
+support::Hash128 hashAppSpec(const AppSpec &Spec);
 
 } // namespace corpus
 } // namespace gator

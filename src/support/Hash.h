@@ -1,0 +1,176 @@
+//===- Hash.h - Shared hashing primitives -----------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one home for the project's hashing primitives (docs/INCREMENTAL.md).
+/// Before this header existed, FNV-1a and the Fibonacci multiply-shift
+/// spread were re-implemented inline in StringInterner, FlatIdMap, and the
+/// graph key packers; they now all delegate here, and the content-addressed
+/// solution cache builds its 128-bit keys on the same primitives.
+///
+///  - fnv1a64(): the classic 64-bit FNV-1a byte loop. Identifiers and
+///    source units are short-to-medium byte strings, so the simple loop
+///    beats fancier mixers at these sizes.
+///  - fibonacciSlot(): multiply-shift spreading for power-of-2 open
+///    addressing; FNV low bits correlate on short common-suffix names and
+///    packed ids share low-bit structure, so every probe multiplies first.
+///  - Hash128 / ContentHasher: a streaming 128-bit content key built from
+///    two independent FNV-1a lanes (distinct offset bases, the second lane
+///    additionally pre-mixed per chunk). 64 bits is not enough for a
+///    content-addressed cache that must never alias two different apps;
+///    two decorrelated 64-bit lanes give a practical 128-bit key without
+///    pulling in a new dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_HASH_H
+#define GATOR_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gator {
+namespace support {
+
+/// FNV-1a offset basis / prime (64-bit variant).
+inline constexpr uint64_t Fnv1aOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t Fnv1aPrime = 1099511628211ULL;
+
+/// The golden-ratio multiplier used by every Fibonacci multiply-shift
+/// spread in the project (interner slots, FlatIdMap probing).
+inline constexpr uint64_t GoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// One FNV-1a step over a single byte.
+inline constexpr uint64_t fnv1a64Step(uint64_t H, unsigned char C) {
+  return (H ^ C) * Fnv1aPrime;
+}
+
+/// FNV-1a over \p Text, continuing from \p Seed (defaults to the standard
+/// offset basis, so `fnv1a64(text)` is the classic hash).
+inline constexpr uint64_t fnv1a64(std::string_view Text,
+                                  uint64_t Seed = Fnv1aOffsetBasis) {
+  uint64_t H = Seed;
+  for (unsigned char C : Text)
+    H = fnv1a64Step(H, C);
+  return H;
+}
+
+/// Maps \p Hash into a power-of-2 slot table of size `Mask + 1`.
+/// Multiply-shift before masking: the raw low bits of FNV (and of packed
+/// integer keys) correlate, the golden-ratio product's high bits do not.
+inline constexpr size_t fibonacciSlot(uint64_t Hash, size_t Mask) {
+  return static_cast<size_t>((Hash * GoldenGamma) >> 32) & Mask;
+}
+
+/// A 128-bit content key as two 64-bit lanes.
+struct Hash128 {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Hash128 &O) const { return Hi == O.Hi && Lo == O.Lo; }
+  bool operator!=(const Hash128 &O) const { return !(*this == O); }
+
+  /// 32 lowercase hex digits; doubles as the on-disk cache file stem.
+  std::string hex() const {
+    static const char Digits[] = "0123456789abcdef";
+    std::string S(32, '0');
+    uint64_t Parts[2] = {Hi, Lo};
+    for (int P = 0; P < 2; ++P)
+      for (int I = 0; I < 16; ++I)
+        S[P * 16 + I] = Digits[(Parts[P] >> (60 - 4 * I)) & 0xF];
+    return S;
+  }
+};
+
+/// Streaming 128-bit hasher. Feed it tagged chunks; the tag bytes make the
+/// encoding prefix-free enough that ("ab","c") and ("a","bc") produce
+/// different keys (each chunk is framed by its length).
+class ContentHasher {
+public:
+  ContentHasher() = default;
+
+  /// Mixes a length-framed byte chunk into both lanes.
+  ContentHasher &update(std::string_view Bytes) {
+    mixU64(Bytes.size());
+    for (unsigned char C : Bytes) {
+      A = fnv1a64Step(A, C);
+      B = fnv1a64Step(B, C);
+    }
+    // Decorrelate the lanes between chunks: lane B absorbs a rotated,
+    // golden-mixed copy of lane A so the two lanes never track each other
+    // even though both run the same byte loop.
+    B ^= (A * GoldenGamma);
+    B = (B << 27) | (B >> 37);
+    return *this;
+  }
+
+  /// Convenience: a named field. The label keeps reordered field writes
+  /// from colliding.
+  ContentHasher &field(std::string_view Label, std::string_view Value) {
+    update(Label);
+    update(Value);
+    return *this;
+  }
+
+  ContentHasher &u64(uint64_t V) {
+    mixU64(V);
+    return *this;
+  }
+
+  ContentHasher &u64(std::string_view Label, uint64_t V) {
+    update(Label);
+    mixU64(V);
+    return *this;
+  }
+
+  ContentHasher &f64(std::string_view Label, double V) {
+    // Bit-pattern hashing; -0.0 vs 0.0 producing distinct keys is fine for
+    // a cache (worst case: one redundant miss).
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    return u64(Label, Bits);
+  }
+
+  ContentHasher &boolean(std::string_view Label, bool V) {
+    return u64(Label, V ? 1 : 0);
+  }
+
+  Hash128 digest() const {
+    // Final avalanche so short inputs still touch every output bit.
+    uint64_t Hi = A, Lo = B;
+    Hi ^= Hi >> 33;
+    Hi *= GoldenGamma;
+    Hi ^= Hi >> 29;
+    Lo ^= Hi;
+    Lo *= Fnv1aPrime;
+    Lo ^= Lo >> 32;
+    return {Hi, Lo};
+  }
+
+private:
+  void mixU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      unsigned char C = static_cast<unsigned char>(V >> (I * 8));
+      A = fnv1a64Step(A, C);
+      B = fnv1a64Step(B, C);
+    }
+  }
+
+  /// Lane seeds: the standard offset basis and an independently chosen
+  /// second basis (the standard basis advanced over "gator/2") so the two
+  /// lanes disagree from the first byte on.
+  uint64_t A = Fnv1aOffsetBasis;
+  uint64_t B = fnv1a64("gator/2");
+};
+
+} // namespace support
+} // namespace gator
+
+#endif // GATOR_SUPPORT_HASH_H

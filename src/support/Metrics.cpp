@@ -43,6 +43,17 @@ void Histogram::merge(const Histogram &Other) {
   Count += Other.Count;
 }
 
+bool Histogram::addRaw(const std::vector<uint64_t> &RawCounts, uint64_t RawSum,
+                       uint64_t RawCount) {
+  if (RawCounts.size() != Counts.size())
+    return false;
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] += RawCounts[I];
+  Sum += RawSum;
+  Count += RawCount;
+  return true;
+}
+
 MetricsRegistry::Instrument &
 MetricsRegistry::intern(const std::string &Name, const std::string &Help,
                         Kind K, MetricUnit Unit, const std::string &LabelKey,

@@ -110,6 +110,14 @@ public:
   /// Bucket-wise addition; both histograms must share bounds.
   void merge(const Histogram &Other);
 
+  /// Folds previously captured raw bucket data back in — the cache-replay
+  /// path (docs/INCREMENTAL.md): a warm hit re-contributes the cold run's
+  /// observations without a Solution to observe. Returns false and leaves
+  /// the histogram untouched when \p RawCounts does not match this
+  /// histogram's bucket count (including the overflow slot).
+  bool addRaw(const std::vector<uint64_t> &RawCounts, uint64_t RawSum,
+              uint64_t RawCount);
+
 private:
   std::vector<uint64_t> Bounds;
   std::vector<uint64_t> Counts;

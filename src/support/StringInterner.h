@@ -22,6 +22,7 @@
 #define GATOR_SUPPORT_STRINGINTERNER_H
 
 #include "support/Arena.h"
+#include "support/Hash.h"
 
 #include <cassert>
 #include <cstdint>
@@ -98,20 +99,12 @@ private:
 
   static constexpr uint32_t EmptySlot = ~0u;
 
-  /// FNV-1a; identifiers are short, so the byte loop beats fancier mixers.
   static uint64_t hashText(std::string_view Text) {
-    uint64_t H = 1469598103934665603ULL;
-    for (unsigned char C : Text) {
-      H ^= C;
-      H *= 1099511628211ULL;
-    }
-    return H;
+    return support::fnv1a64(Text);
   }
 
-  /// Fibonacci spread: FNV low bits correlate on short common-suffix
-  /// names, so multiply-shift before masking.
   static size_t slotIndex(uint64_t Hash, size_t Mask) {
-    return static_cast<size_t>((Hash * 0x9e3779b97f4a7c15ULL) >> 32) & Mask;
+    return support::fibonacciSlot(Hash, Mask);
   }
 
   std::string_view textOf(uint32_t Index) const {

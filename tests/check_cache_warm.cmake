@@ -1,0 +1,82 @@
+# Content-addressed cache contract (docs/INCREMENTAL.md), CLI level:
+#  1. a cold run with --cache-dir populates the disk tier;
+#  2. a warm run replays byte-identical stdout and the same exit code;
+#  3. a warm *batch* run stays byte-identical at -j 1/2/4/8;
+#  4. poisoning every cached artifact degrades the next run to a full
+#     solve — same stdout, same exit code as cold, a warning on stderr —
+#     never a crash, never different results.
+# Invoked by ctest with -DCLI=<gator_cli> -DAPP=<single app dir>
+# -DDIR=<batch input dir> -DWORK=<scratch dir>.
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+set(cache_dir ${WORK}/cache)
+
+# --- Single app: cold, then warm ---------------------------------------
+execute_process(
+  COMMAND ${CLI} ${APP} --tuples --solution --no-times --cache-dir ${cache_dir}
+  OUTPUT_VARIABLE cold_out ERROR_VARIABLE cold_err RESULT_VARIABLE cold_code)
+file(GLOB cached_entries ${cache_dir}/*.gsc)
+if(cached_entries STREQUAL "")
+  message(FATAL_ERROR "cold run left no .gsc artifact in ${cache_dir}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${APP} --tuples --solution --no-times --cache-dir ${cache_dir}
+  OUTPUT_VARIABLE warm_out ERROR_VARIABLE warm_err RESULT_VARIABLE warm_code)
+if(NOT warm_out STREQUAL cold_out)
+  message(FATAL_ERROR "warm stdout differs from cold stdout")
+endif()
+if(NOT warm_code EQUAL cold_code)
+  message(FATAL_ERROR
+    "warm exit code ${warm_code} differs from cold ${cold_code}")
+endif()
+
+# --- Warm batch determinism across job counts --------------------------
+execute_process(
+  COMMAND ${CLI} --batch --no-times -j 1 --cache-dir ${cache_dir} ${DIR}
+  OUTPUT_VARIABLE batch_ref_out ERROR_VARIABLE batch_ref_err
+  RESULT_VARIABLE batch_ref_code)
+foreach(jobs 2 4 8)
+  execute_process(
+    COMMAND ${CLI} --batch --no-times -j ${jobs} --cache-dir ${cache_dir} ${DIR}
+    OUTPUT_VARIABLE batch_out ERROR_VARIABLE batch_err
+    RESULT_VARIABLE batch_code)
+  if(NOT batch_out STREQUAL batch_ref_out)
+    message(FATAL_ERROR
+      "warm batch stdout differs between -j 1 and -j ${jobs}")
+  endif()
+  if(NOT batch_err STREQUAL batch_ref_err)
+    message(FATAL_ERROR
+      "warm batch stderr differs between -j 1 and -j ${jobs}")
+  endif()
+  if(NOT batch_code EQUAL batch_ref_code)
+    message(FATAL_ERROR
+      "warm batch exit code differs between -j 1 and -j ${jobs}")
+  endif()
+endforeach()
+
+# --- Poisoned artifacts degrade to a full solve ------------------------
+file(GLOB cached_entries ${cache_dir}/*.gsc)
+foreach(entry ${cached_entries})
+  file(WRITE ${entry} "poisoned, not a GSC1 artifact")
+endforeach()
+execute_process(
+  COMMAND ${CLI} ${APP} --tuples --solution --no-times --cache-dir ${cache_dir}
+  OUTPUT_VARIABLE poisoned_out ERROR_VARIABLE poisoned_err
+  RESULT_VARIABLE poisoned_code)
+if(NOT poisoned_out STREQUAL cold_out)
+  message(FATAL_ERROR "poisoned-cache stdout differs from cold stdout")
+endif()
+if(NOT poisoned_code EQUAL cold_code)
+  message(FATAL_ERROR
+    "poisoned-cache exit code ${poisoned_code} differs from cold "
+    "${cold_code}")
+endif()
+if(NOT poisoned_err MATCHES "corrupt cache entry")
+  message(FATAL_ERROR
+    "poisoned-cache run printed no corrupt-entry diagnostic:\n"
+    "${poisoned_err}")
+endif()
+
+message(STATUS "cache cold/warm/poisoned contract holds (exit ${cold_code})")

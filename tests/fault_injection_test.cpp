@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/PhasedSolver.h"
+#include "analysis/SolutionCache.h"
 #include "analysis/SolutionChecker.h"
 #include "android/Manifest.h"
 #include "corpus/Corpus.h"
@@ -31,6 +32,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -416,6 +418,70 @@ TEST(MutationSweep, MutatorsAreDeterministic) {
     EXPECT_EQ(truncateInput(Original, Seed), truncateInput(Original, Seed));
     EXPECT_EQ(corruptInput(Original, Seed), corruptInput(Original, Seed));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-artifact poisoning (docs/INCREMENTAL.md): the same seeded
+// mutators, aimed at GSC1 solution-cache entries. The contract extends
+// the pipeline's fail-soft rule to the cache tier — a poisoned artifact
+// is a counted Corrupt outcome (a miss), never a crash and never a
+// fabricated analysis result.
+//===----------------------------------------------------------------------===//
+
+std::string sampleCacheArtifact() {
+  CachedAnalysis E;
+  E.ExitCode = 0;
+  E.OutText = "app CachedApp: ok\n";
+  E.Stats.Name = "CachedApp";
+  E.Stats.GraphNodes = 64;
+  E.FlowHistCounts.assign(12, 1);
+  E.FlowHistSum = 12;
+  E.FlowHistCount = 12;
+  std::string Bytes;
+  SolutionCache::serialize(E, Bytes);
+  return Bytes;
+}
+
+TEST(CacheMutationSweep, PoisonedArtifactsNeverDeserialize) {
+  std::string Artifact = sampleCacheArtifact();
+  for (uint64_t Seed = 0; Seed < 32; ++Seed) {
+    CachedAnalysis Out;
+    EXPECT_FALSE(
+        SolutionCache::deserialize(truncateInput(Artifact, Seed), Out))
+        << "truncation seed " << Seed;
+    EXPECT_FALSE(
+        SolutionCache::deserialize(corruptInput(Artifact, Seed), Out))
+        << "corruption seed " << Seed;
+  }
+}
+
+TEST(CacheMutationSweep, PoisonedDiskEntriesAreCountedMisses) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "gator_fault_cache_sweep";
+  fs::remove_all(Dir);
+
+  support::Hash128 Key;
+  Key.Hi = 0xabcdef;
+  Key.Lo = 0x123456;
+  std::string Artifact = sampleCacheArtifact();
+  uint64_t Corrupt = 0;
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    for (const std::string &Poison :
+         {truncateInput(Artifact, Seed), corruptInput(Artifact, Seed)}) {
+      SolutionCache Cache(Dir.string());
+      std::ofstream OutF(Dir / (Key.hex() + ".gsc"),
+                         std::ios::binary | std::ios::trunc);
+      OutF.write(Poison.data(), static_cast<std::streamsize>(Poison.size()));
+      OutF.close();
+      CachedAnalysis Out;
+      EXPECT_EQ(Cache.lookup(Key, Out), SolutionCache::Outcome::Corrupt);
+      EXPECT_EQ(Cache.corruptEntries(), 1u);
+      EXPECT_EQ(Cache.hits(), 0u);
+      ++Corrupt;
+    }
+  }
+  EXPECT_EQ(Corrupt, 32u);
+  fs::remove_all(Dir);
 }
 
 } // namespace
