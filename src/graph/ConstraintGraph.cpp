@@ -516,36 +516,70 @@ const NodeList &ConstraintGraph::viewsWithId(NodeId ViewIdNode) const {
   return ViewsByIdTable[ViewIdNode];
 }
 
+ConstraintGraph::DescCacheEntry &
+ConstraintGraph::descCacheSlot(NodeId View) const {
+  // Slots live in a deque, which never relocates elements on growth, so
+  // the references descendantsOf hands out survive cache insertions for
+  // other views; the FlatIdMap only stores the (trivially copyable) slot
+  // number and may rehash freely.
+  uint32_t Slot = DescCacheIndex.getOrInsert(
+      View, static_cast<uint32_t>(DescStore.size()));
+  if (Slot == DescStore.size())
+    DescStore.emplace_back();
+  return DescStore[Slot];
+}
+
 const std::vector<NodeId> &ConstraintGraph::descendantsOf(NodeId View) const {
-  // unordered_map never invalidates element references on rehash, so the
-  // returned reference survives cache insertions for other views.
-  DescCacheEntry &Entry = DescCache[View];
+  DescCacheEntry &Entry = descCacheSlot(View);
   if (Entry.Rev == HierarchyRev) {
     ++DescCacheHits;
     return Entry.Views;
   }
   ++DescCacheMisses;
   Entry.Rev = HierarchyRev;
-  Entry.Views.clear();
-  if (DescSeenStamp.size() < Nodes.size())
-    DescSeenStamp.resize(Nodes.size(), 0);
-  uint32_t Gen = ++DescSeenGen;
+  computeDescendantsInto(View, Entry.Views, DescSeenStamp, DescSeenGen);
+  return Entry.Views;
+}
+
+const std::vector<NodeId> *
+ConstraintGraph::descendantsCurrent(NodeId View) const {
+  const uint32_t *Slot = DescCacheIndex.get(View);
+  if (!Slot)
+    return nullptr;
+  const DescCacheEntry &Entry = DescStore[*Slot];
+  return Entry.Rev == HierarchyRev ? &Entry.Views : nullptr;
+}
+
+void ConstraintGraph::computeDescendantsInto(NodeId View,
+                                             std::vector<NodeId> &Out,
+                                             std::vector<uint32_t> &SeenStamp,
+                                             uint32_t &SeenGen) const {
+  Out.clear();
+  if (SeenStamp.size() < Nodes.size())
+    SeenStamp.resize(Nodes.size(), 0);
+  uint32_t Gen = ++SeenGen;
   if (Gen == 0) { // stamp counter wrapped: invalidate all marks
-    std::fill(DescSeenStamp.begin(), DescSeenStamp.end(), 0);
-    Gen = ++DescSeenGen;
+    std::fill(SeenStamp.begin(), SeenStamp.end(), 0);
+    Gen = ++SeenGen;
   }
   std::vector<NodeId> Work{View};
   while (!Work.empty()) {
     NodeId Cur = Work.back();
     Work.pop_back();
-    if (DescSeenStamp[Cur] == Gen)
+    if (SeenStamp[Cur] == Gen)
       continue;
-    DescSeenStamp[Cur] = Gen;
-    Entry.Views.push_back(Cur);
+    SeenStamp[Cur] = Gen;
+    Out.push_back(Cur);
     for (NodeId Child : children(Cur))
       Work.push_back(Child);
   }
-  return Entry.Views;
+}
+
+void ConstraintGraph::seedDescendants(NodeId View,
+                                      std::vector<NodeId> &&Views) const {
+  DescCacheEntry &Entry = descCacheSlot(View);
+  Entry.Rev = HierarchyRev;
+  Entry.Views = std::move(Views);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,215 @@
+//===- SccIndex.cpp - Flow-graph SCC condensation ---------------*- C++ -*-===//
+
+#include "graph/SccIndex.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace gator;
+using namespace gator::graph;
+
+namespace {
+
+/// One frame of the iterative Tarjan walk: a node and a cursor into its
+/// flow-successor list (so re-entry resumes after the edge just explored).
+struct TarjanFrame {
+  NodeId Node;
+  uint32_t SuccIdx;
+};
+
+constexpr uint32_t Unvisited = ~0u;
+
+} // namespace
+
+void SccIndex::build(const ConstraintGraph &G) {
+  if (EverBuilt)
+    ++Recondensations;
+  EverBuilt = true;
+  Dirty = false;
+  EdgesAtBuild = G.flowEdgeCount();
+
+  size_t N = G.size();
+  Mem.reset();
+  NodeScc = support::ArenaVector<uint32_t>();
+  NodeStratum = support::ArenaVector<uint32_t>();
+  NodeHasSucc = support::ArenaVector<uint8_t>();
+  NodeScc.resize(Mem, N, Unvisited);
+  NodeStratum.resize(Mem, N, 0);
+  NodeHasSucc.resize(Mem, N, 0);
+  StableNodeCount = N;
+
+  // Iterative Tarjan. Scratch lives on the heap, not the arena: it is dead
+  // the moment build() returns, while the arena holds the long-lived
+  // tables. Index doubles as the visit mark; OnStack marks membership in
+  // the Tarjan stack.
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> Lowlink(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<NodeId> Stack;
+  std::vector<TarjanFrame> Frames;
+  // SCC ids are assigned in completion (pop) order, which for Tarjan is a
+  // reverse topological order of the condensation — so one sweep from the
+  // highest SCC id downwards visits sources before sinks.
+  std::vector<uint32_t> SccSize;
+  uint32_t NextIndex = 0;
+
+  // Op nodes carry no propagated values (the delta drain skips them as
+  // flow successors), so they are excluded from the walk entirely and
+  // assigned trivial singleton SCCs afterwards.
+  auto isValueNode = [&](NodeId Id) {
+    return G.node(Id).Kind != NodeKind::Op;
+  };
+
+  for (NodeId Root = 0; Root < N; ++Root) {
+    if (Index[Root] != Unvisited || !isValueNode(Root))
+      continue;
+    Frames.push_back({Root, 0});
+    Index[Root] = Lowlink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    while (!Frames.empty()) {
+      TarjanFrame &F = Frames.back();
+      const NodeList &Succ = G.flowSuccessors(F.Node);
+      if (F.SuccIdx < Succ.size()) {
+        NodeId Next = Succ[F.SuccIdx++];
+        if (!isValueNode(Next))
+          continue;
+        if (Index[Next] == Unvisited) {
+          Frames.push_back({Next, 0});
+          Index[Next] = Lowlink[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = 1;
+        } else if (OnStack[Next]) {
+          Lowlink[F.Node] = std::min(Lowlink[F.Node], Index[Next]);
+        }
+        continue;
+      }
+      // Node exhausted: close its SCC if it is a root, then fold the
+      // lowlink into the parent frame.
+      NodeId Done = F.Node;
+      Frames.pop_back();
+      if (Lowlink[Done] == Index[Done]) {
+        uint32_t Scc = static_cast<uint32_t>(SccSize.size());
+        uint32_t Size = 0;
+        for (;;) {
+          NodeId Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = 0;
+          NodeScc[Member] = Scc;
+          ++Size;
+          if (Member == Done)
+            break;
+        }
+        SccSize.push_back(Size);
+      }
+      if (!Frames.empty()) {
+        NodeId Parent = Frames.back().Node;
+        Lowlink[Parent] = std::min(Lowlink[Parent], Lowlink[Done]);
+      }
+    }
+  }
+
+  // Op nodes: trivial singletons, stratum 0 (never scheduled as targets).
+  for (NodeId Id = 0; Id < N; ++Id)
+    if (!isValueNode(Id)) {
+      NodeScc[Id] = static_cast<uint32_t>(SccSize.size());
+      SccSize.push_back(1);
+    }
+
+  // Longest-path layering of the condensation. Bucket nodes by SCC with a
+  // counting sort (O(N + E)), then sweep SCC ids from highest to lowest —
+  // condensation topo order — relaxing each cross-SCC edge after its
+  // source SCC's stratum is final.
+  std::vector<uint32_t> SccStratum(SccSize.size(), 0);
+  {
+    std::vector<uint32_t> Offsets(SccSize.size() + 1, 0);
+    for (NodeId Id = 0; Id < N; ++Id)
+      ++Offsets[NodeScc[Id] + 1];
+    for (size_t S = 1; S < Offsets.size(); ++S)
+      Offsets[S] += Offsets[S - 1];
+    std::vector<NodeId> ByScc(N);
+    {
+      std::vector<uint32_t> Cursor(Offsets.begin(), Offsets.end() - 1);
+      for (NodeId Id = 0; Id < N; ++Id)
+        ByScc[Cursor[NodeScc[Id]]++] = Id;
+    }
+    for (uint32_t Scc = static_cast<uint32_t>(SccSize.size()); Scc-- > 0;) {
+      uint32_t Base = SccStratum[Scc];
+      for (uint32_t Pos = Offsets[Scc]; Pos < Offsets[Scc + 1]; ++Pos) {
+        NodeId From = ByScc[Pos];
+        if (!isValueNode(From))
+          continue;
+        for (NodeId To : G.flowSuccessors(From)) {
+          if (!isValueNode(To))
+            continue;
+          uint32_t ToScc = NodeScc[To];
+          if (ToScc != Scc && SccStratum[ToScc] < Base + 1)
+            SccStratum[ToScc] = Base + 1;
+        }
+      }
+    }
+  }
+
+  NumSccs = static_cast<uint32_t>(SccSize.size());
+  NumStrata = 0;
+  Singletons = Small = Large = MaxSize = 0;
+  for (uint32_t Size : SccSize) {
+    if (Size == 1)
+      ++Singletons;
+    else if (Size <= 8)
+      ++Small;
+    else
+      ++Large;
+    MaxSize = std::max(MaxSize, Size);
+  }
+  for (NodeId Id = 0; Id < N; ++Id) {
+    NodeStratum[Id] = SccStratum[NodeScc[Id]];
+    NumStrata = std::max(NumStrata, NodeStratum[Id] + 1);
+  }
+}
+
+void SccIndex::ensure(size_t NodeCount) {
+  while (NodeScc.size() < NodeCount) {
+    // Fresh node: its own singleton SCC, provisionally at stratum 0. The
+    // first noteEdge targeting it lifts it below its source instead.
+    NodeScc.push_back(Mem, NumSccs++);
+    NodeStratum.push_back(Mem, 0);
+    NodeHasSucc.push_back(Mem, 0);
+    ++Singletons;
+    MaxSize = std::max(MaxSize, 1u);
+    NumStrata = std::max(NumStrata, 1u);
+  }
+}
+
+bool SccIndex::noteEdge(NodeId From, NodeId To) {
+  ensure(static_cast<size_t>(std::max(From, To)) + 1);
+  if (Dirty)
+    return false;
+  if (NodeScc[From] == NodeScc[To]) {
+    ++IncrementalAccepts;
+    NodeHasSucc[From] = 1;
+    return true;
+  }
+  if (NodeStratum[From] < NodeStratum[To]) {
+    ++IncrementalAccepts;
+    NodeHasSucc[From] = 1;
+    return true;
+  }
+  // A fresh post-build singleton with no outgoing edges can be lifted just
+  // below its source without disturbing any other ordering the layering
+  // already promised — raising a sink-so-far target preserves every
+  // accepted `stratum(from) < stratum(to)`. That keeps pure fan-out growth
+  // (listener wiring into freshly minted callback nodes) incremental. A
+  // pre-build node at stratum 0 is a topological source that may have
+  // build-time successors also at low strata, so lifting it is unsound;
+  // anything but the fresh-sink case marks the index dirty.
+  if (To >= StableNodeCount && NodeStratum[To] == 0 && !NodeHasSucc[To]) {
+    NodeStratum[To] = NodeStratum[From] + 1;
+    NumStrata = std::max(NumStrata, NodeStratum[To] + 1);
+    ++IncrementalAccepts;
+    NodeHasSucc[From] = 1;
+    return true;
+  }
+  Dirty = true;
+  return false;
+}

@@ -1,0 +1,122 @@
+//===- SccIndex.h - Flow-graph SCC condensation -----------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SCC condensation of the constraint graph's value-flow topology, and a
+/// topological stratification of the condensed DAG (docs/PARALLEL.md).
+/// The parallel solve engine uses it as its scheduling index: work for
+/// one round is grouped by stratum so each classification wave touches a
+/// topologically coherent slice of the graph, tiny SCCs are batched into
+/// one grain, and the SCC/strata shape is exported as solver telemetry.
+///
+/// The index is advisory, never semantic: the engine's replay commits in
+/// exact serial order regardless of how the strata were scheduled, so a
+/// stale (but accepted) stratification can cost locality, not correctness.
+/// That is what makes the cheap incremental maintenance below sound — an
+/// edge consistent with the current layering is accepted without any
+/// recomputation, and anything else just marks the index for a full
+/// recondensation at the solver's next synchronization point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_GRAPH_SCCINDEX_H
+#define GATOR_GRAPH_SCCINDEX_H
+
+#include "graph/ConstraintGraph.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+
+namespace gator {
+namespace graph {
+
+/// Tarjan condensation over flow edges, with per-SCC topological strata.
+///
+/// Op nodes never carry propagated values (the solver skips them as flow
+/// successors), so edges into an Op node are ignored: every Op node is a
+/// trivial singleton of stratum 0 and the condensation describes exactly
+/// the value-flow topology the delta drain walks.
+class SccIndex {
+public:
+  /// Full (re)condensation: iterative Tarjan over the flow successors of
+  /// every current node, then a longest-path layering of the condensed
+  /// DAG (stratum(S) = 1 + max over predecessor SCCs, sources at 0).
+  /// Counted as a recondensation after the first build.
+  void build(const ConstraintGraph &G);
+
+  bool built() const { return EverBuilt; }
+
+  /// Extends the node tables for nodes minted after the last build. Fresh
+  /// nodes become singleton SCCs at stratum 0 until an edge says more.
+  void ensure(size_t NodeCount);
+
+  /// Records a new flow edge. Returns true when the edge is consistent
+  /// with the current condensation (same SCC, or strictly increasing
+  /// stratum — a DAG edge the existing layering already orders); false
+  /// marks the index dirty for a full recondensation. A target not seen
+  /// by the last build is lifted to stratum(From) + 1, which keeps pure
+  /// fan-out growth (listener-callback wiring into freshly minted nodes)
+  /// incremental.
+  bool noteEdge(NodeId From, NodeId To);
+
+  /// True when noteEdge saw an order-violating edge since the last build.
+  bool dirty() const { return Dirty; }
+
+  /// Churn policy: rebuild when dirty, or when more than ~25% new flow
+  /// edges arrived since the last build (a heavily grown graph deserves a
+  /// fresh layering even if every edge happened to be accepted).
+  bool needsRebuild(size_t CurrentFlowEdges) const {
+    return Dirty || (built() && CurrentFlowEdges > EdgesAtBuild +
+                                    EdgesAtBuild / 4 + 16);
+  }
+
+  uint32_t sccOf(NodeId N) const { return NodeScc[N]; }
+  uint32_t stratumOf(NodeId N) const { return NodeStratum[N]; }
+
+  uint32_t sccCount() const { return NumSccs; }
+  uint32_t strataCount() const { return NumStrata; }
+  /// Size-histogram summary: singletons, small (2..8), large (9+), max.
+  uint32_t singletonSccs() const { return Singletons; }
+  uint32_t smallSccs() const { return Small; }
+  uint32_t largeSccs() const { return Large; }
+  uint32_t maxSccSize() const { return MaxSize; }
+
+  unsigned long recondensations() const { return Recondensations; }
+  unsigned long incrementalAccepts() const { return IncrementalAccepts; }
+
+private:
+  /// Backs the per-node tables; reset() on every build keeps the largest
+  /// slab, so steady-state recondensation allocates nothing.
+  support::Arena Mem;
+  support::ArenaVector<uint32_t> NodeScc;
+  support::ArenaVector<uint32_t> NodeStratum;
+  /// 1 when the node was the source of an accepted noteEdge; a fresh sink
+  /// may be lifted to a later stratum only while this stays 0 (raising a
+  /// node with successors could reorder it past them).
+  support::ArenaVector<uint8_t> NodeHasSucc;
+  /// Nodes below this count were covered by the last build(); stratum 0
+  /// means "topological source" for them, not "provisional".
+  size_t StableNodeCount = 0;
+
+  uint32_t NumSccs = 0;
+  uint32_t NumStrata = 0;
+  uint32_t Singletons = 0;
+  uint32_t Small = 0;
+  uint32_t Large = 0;
+  uint32_t MaxSize = 0;
+  size_t EdgesAtBuild = 0;
+  bool Dirty = false;
+  bool EverBuilt = false;
+
+  unsigned long Recondensations = 0;
+  unsigned long IncrementalAccepts = 0;
+};
+
+} // namespace graph
+} // namespace gator
+
+#endif // GATOR_GRAPH_SCCINDEX_H

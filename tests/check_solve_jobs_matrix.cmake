@@ -1,0 +1,81 @@
+# Interaction matrix for intra-solve parallelism (docs/PARALLEL.md,
+# "Inside one solve"): --solve-jobs must compose with every other driver
+# feature without changing a byte of output. Invoked by ctest with
+# -DCLI=<gator_cli> -DAPP=<single app dir> -DDIR=<batch dir>
+# -DWORK=<scratch dir>. Compared against the all-serial reference:
+#  1. single-app analysis at --solve-jobs 2/4/8;
+#  2. a cache-dir cold+warm pair at --solve-jobs 4 (the warm hit replays
+#     a serially-written entry; SolveJobs is excluded from the cache key);
+#  3. batch -j 4 with --solve-jobs 4 (the driver clamps nested
+#     parallelism to 1 per task, so this must equal plain batch -j 4).
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_cli out_var err_var code_var)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_code)
+  set(${out_var} "${run_out}" PARENT_SCOPE)
+  set(${err_var} "${run_err}" PARENT_SCOPE)
+  set(${code_var} "${run_code}" PARENT_SCOPE)
+endfunction()
+
+function(expect_same label ref_out ref_err ref_code out err code)
+  if(NOT out STREQUAL ref_out)
+    message(FATAL_ERROR "${label}: stdout differs from the serial reference")
+  endif()
+  if(NOT err STREQUAL ref_err)
+    message(FATAL_ERROR "${label}: stderr differs from the serial reference")
+  endif()
+  if(NOT code EQUAL ref_code)
+    message(FATAL_ERROR
+      "${label}: exit code ${code} differs from serial ${ref_code}")
+  endif()
+endfunction()
+
+# --- 1. single-app sweep ----------------------------------------------------
+set(single_args --no-times --tuples --hierarchy --solution --lint ${APP})
+run_cli(ref_out ref_err ref_code ${single_args})
+foreach(jobs 2 4 8)
+  run_cli(out err code --solve-jobs ${jobs} ${single_args})
+  expect_same("single-app --solve-jobs ${jobs}"
+              "${ref_out}" "${ref_err}" "${ref_code}"
+              "${out}" "${err}" "${code}")
+endforeach()
+
+# --- 2. cache warm under --solve-jobs ---------------------------------------
+# Serial cold run writes the entry; a parallel run must hit it (SolveJobs
+# is not part of the cache key) and replay identical output; a parallel
+# cold run into a fresh cache must also write an entry a serial run hits.
+set(cache_args --no-times --solution ${APP})
+run_cli(cache_ref_out cache_ref_err cache_ref_code
+        --cache-dir ${WORK}/cache ${cache_args})
+run_cli(out err code --cache-dir ${WORK}/cache --solve-jobs 4 ${cache_args})
+expect_same("warm cache hit at --solve-jobs 4"
+            "${cache_ref_out}" "${cache_ref_err}" "${cache_ref_code}"
+            "${out}" "${err}" "${code}")
+run_cli(out err code --cache-dir ${WORK}/cache2 --solve-jobs 4 ${cache_args})
+expect_same("cold parallel cache write"
+            "${cache_ref_out}" "${cache_ref_err}" "${cache_ref_code}"
+            "${out}" "${err}" "${code}")
+run_cli(out err code --cache-dir ${WORK}/cache2 ${cache_args})
+expect_same("serial hit on a parallel-written cache"
+            "${cache_ref_out}" "${cache_ref_err}" "${cache_ref_code}"
+            "${out}" "${err}" "${code}")
+
+# --- 3. nested batch parallelism --------------------------------------------
+run_cli(batch_ref_out batch_ref_err batch_ref_code
+        --batch --no-times ${DIR})
+run_cli(out err code --batch --no-times -j 4 --solve-jobs 4 ${DIR})
+expect_same("batch -j 4 --solve-jobs 4"
+            "${batch_ref_out}" "${batch_ref_err}" "${batch_ref_code}"
+            "${out}" "${err}" "${code}")
+run_cli(out err code --batch --no-times --solve-jobs 4 ${DIR})
+expect_same("batch -j 1 --solve-jobs 4"
+            "${batch_ref_out}" "${batch_ref_err}" "${batch_ref_code}"
+            "${out}" "${err}" "${code}")
+
+message(STATUS "solve-jobs interaction matrix byte-identical to serial")

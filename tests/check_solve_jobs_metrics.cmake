@@ -1,0 +1,46 @@
+# Prometheus export of the parallel intra-solve engine (docs/PARALLEL.md):
+# a --solve-jobs run whose engine engaged must export the SCC condensation
+# and barrier counters, and a serial run must not (its export stays the
+# historical document). Invoked by ctest with -DCLI=<gator_cli>
+# -DAPP=<app dir> -DWORK=<scratch dir>. CI greps the same names.
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(
+  COMMAND ${CLI} --no-times --solve-jobs 2
+          --metrics-out ${WORK}/par.prom --metrics-format prom ${APP}
+  OUTPUT_QUIET ERROR_VARIABLE run_err RESULT_VARIABLE run_code)
+if(NOT run_code EQUAL 0)
+  message(FATAL_ERROR "parallel run failed (${run_code}):\n${run_err}")
+endif()
+file(READ ${WORK}/par.prom par_doc)
+
+foreach(series
+    gator_scc_count
+    gator_scc_max_size
+    gator_scc_strata
+    gator_scc_recondensations_total
+    gator_solve_barrier_waves_total
+    gator_solve_barrier_stalls_total)
+  string(FIND "${par_doc}" "${series}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "parallel export is missing the ${series} series:\n${par_doc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLI} --no-times
+          --metrics-out ${WORK}/ser.prom --metrics-format prom ${APP}
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE run_code)
+if(NOT run_code EQUAL 0)
+  message(FATAL_ERROR "serial run failed (${run_code})")
+endif()
+file(READ ${WORK}/ser.prom ser_doc)
+string(FIND "${ser_doc}" "gator_scc_count" found)
+if(NOT found EQUAL -1)
+  message(FATAL_ERROR "serial export unexpectedly carries SCC series")
+endif()
+
+message(STATUS "solve-jobs metrics series present in the parallel export")

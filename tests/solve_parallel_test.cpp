@@ -1,0 +1,541 @@
+//===- solve_parallel_test.cpp - Intra-solve parallel engine tests --------===//
+//
+// The topology-aware parallel solve (docs/PARALLEL.md, "Inside one
+// solve") must be an *exact* replay of the serial schedule: for every
+// SolveJobs value the committed solution, its digest, every flowsTo set's
+// insertion order, and every scheduling-independent solver counter are
+// identical to SolveJobs=1. Covered here:
+//  - parallelForGrained units (chunking, serial fallback, exceptions);
+//  - SccIndex units (condensation, strata, incremental edge admission);
+//  - the descendants-cache FlatIdMap rewrite (hit/miss counters, the
+//    probe/compute/seed split the prewarm path relies on);
+//  - differential runs: semantic options matrix x SolveJobs {1,2,4,8} on
+//    fixture and corpus apps (hostile shapes included), plus the
+//    incremental-edit re-solve, all asserting solutionDigest equality
+//    and exact per-node set equality with the serial engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Incremental.h"
+#include "corpus/Corpus.h"
+#include "graph/SccIndex.h"
+#include "ir/ProgramBuilder.h"
+#include "support/ThreadPool.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace gator;
+using namespace gator::analysis;
+using namespace gator::graph;
+using gator::test::makeBundle;
+using gator::test::runAnalysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parallelForGrained
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelForGrainedTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    for (size_t Grain : {size_t(1), size_t(3), size_t(16), size_t(1000)}) {
+      std::vector<std::atomic<int>> Hits(257);
+      support::parallelForGrained(Jobs, Hits.size(), Grain,
+                                  [&](size_t I) { Hits[I].fetch_add(1); });
+      for (size_t I = 0; I < Hits.size(); ++I)
+        ASSERT_EQ(Hits[I].load(), 1) << "jobs " << Jobs << " grain " << Grain
+                                     << " index " << I;
+    }
+  }
+}
+
+TEST(ParallelForGrainedTest, SerialFallbackRunsInIndexOrder) {
+  // Jobs=1 and N<=Grain are both the inline path: strict index order.
+  for (auto [Jobs, N, Grain] : {std::tuple<unsigned, size_t, size_t>{1, 64, 4},
+                                {8, 5, 16}}) {
+    std::vector<size_t> Order;
+    support::parallelForGrained(Jobs, N, Grain,
+                                [&](size_t I) { Order.push_back(I); });
+    std::vector<size_t> Expect(N);
+    std::iota(Expect.begin(), Expect.end(), 0);
+    EXPECT_EQ(Order, Expect);
+  }
+}
+
+TEST(ParallelForGrainedTest, LowestChunkExceptionWins) {
+  for (unsigned Jobs : {1u, 4u}) {
+    try {
+      support::parallelForGrained(Jobs, 40, 4, [&](size_t I) {
+        if (I == 7 || I == 23)
+          throw std::runtime_error("boom " + std::to_string(I));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "boom 7") << "jobs " << Jobs;
+    }
+  }
+}
+
+TEST(ParallelForGrainedTest, PoolOverloadIsABarrier) {
+  support::ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(100);
+  support::parallelForGrained(Pool, Hits.size(), 8,
+                              [&](size_t B, size_t E) {
+                                for (size_t I = B; I < E; ++I)
+                                  Hits[I].fetch_add(1);
+                              });
+  // The call returned, so every chunk must have completed.
+  for (size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << I;
+
+  // N <= Grain runs inline without touching the pool.
+  auto TotalTasks = [&Pool] {
+    unsigned long Sum = 0;
+    for (unsigned long T : Pool.tasksExecuted())
+      Sum += T;
+    return Sum;
+  };
+  unsigned long Before = TotalTasks();
+  std::vector<size_t> Small;
+  support::parallelForGrained(Pool, 3, 8, [&](size_t B, size_t E) {
+    for (size_t I = B; I < E; ++I)
+      Small.push_back(I);
+  });
+  EXPECT_EQ(Small, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(TotalTasks(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// SccIndex
+//===----------------------------------------------------------------------===//
+
+/// A graph with Var nodes 0..N-1 minted up front, for direct edge wiring.
+struct SccFixture : ::testing::Test {
+  void SetUp() override {
+    ir::ProgramBuilder Builder(P, Diags);
+    ir::ClassBuilder A = Builder.makeClass("A");
+    ir::MethodBuilder MB = A.method("m", "void");
+    MB.local("x", "A");
+    MB.assignNull("x");
+    ASSERT_TRUE(Builder.finish());
+    M = P.findClass("A")->findOwnMethod("m", 0);
+  }
+  NodeId var(unsigned V) { return G.getVarNode(M, V); }
+  NodeId view(unsigned I) {
+    return G.getAllocNode(M, I, P.findClass("A"), /*IsView=*/true, {});
+  }
+
+  ir::Program P;
+  DiagnosticEngine Diags;
+  const ir::MethodDecl *M = nullptr;
+  ConstraintGraph G;
+};
+
+TEST_F(SccFixture, CondensesCyclesAndLayersTheDag) {
+  // 0 -> 1 <-> 2 -> 3 -> 4, 0 -> 3: SCCs {0}, {1,2}, {3}, {4} in strata
+  // 0, 1, 2, 3.
+  for (auto [F, T] : {std::pair<unsigned, unsigned>{0, 1},
+                      {1, 2}, {2, 1}, {2, 3}, {3, 4}, {0, 3}})
+    G.addFlowEdge(var(F), var(T));
+  SccIndex Scc;
+  EXPECT_FALSE(Scc.built());
+  Scc.build(G);
+  EXPECT_TRUE(Scc.built());
+  EXPECT_EQ(Scc.maxSccSize(), 2u);
+  EXPECT_EQ(Scc.sccOf(var(1)), Scc.sccOf(var(2)));
+  EXPECT_NE(Scc.sccOf(var(0)), Scc.sccOf(var(1)));
+  EXPECT_EQ(Scc.stratumOf(var(0)), 0u);
+  EXPECT_EQ(Scc.stratumOf(var(1)), 1u);
+  EXPECT_EQ(Scc.stratumOf(var(2)), 1u);
+  EXPECT_EQ(Scc.stratumOf(var(3)), 2u);
+  EXPECT_EQ(Scc.stratumOf(var(4)), 3u);
+  EXPECT_GE(Scc.strataCount(), 4u);
+  // Every cross-SCC edge must point to a strictly higher stratum — the
+  // property wave scheduling relies on.
+  for (NodeId N = 0; N < G.size(); ++N)
+    for (NodeId S : G.flowSuccessors(N))
+      if (Scc.sccOf(N) != Scc.sccOf(S))
+        EXPECT_LT(Scc.stratumOf(N), Scc.stratumOf(S));
+}
+
+TEST_F(SccFixture, OpNodesAreSingletonStratumZero) {
+  NodeId V = var(0);
+  NodeId Op = G.makeOpNode(android::OpKind::FindView1, SourceLocation());
+  G.addFlowEdge(V, Op);
+  SccIndex Scc;
+  Scc.build(G);
+  EXPECT_EQ(Scc.stratumOf(Op), 0u);
+  EXPECT_NE(Scc.sccOf(Op), Scc.sccOf(V));
+}
+
+TEST_F(SccFixture, NoteEdgeAcceptsTopologyPreservingEdges) {
+  for (auto [F, T] : {std::pair<unsigned, unsigned>{0, 1}, {1, 2}})
+    G.addFlowEdge(var(F), var(T));
+  SccIndex Scc;
+  Scc.build(G);
+
+  // Forward edge (stratum 0 -> 2): accepted, stays clean.
+  G.addFlowEdge(var(0), var(2));
+  EXPECT_TRUE(Scc.noteEdge(var(0), var(2)));
+  EXPECT_FALSE(Scc.dirty());
+
+  // Edge into a fresh post-build sink: lifted above its source.
+  NodeId Fresh = var(9);
+  Scc.ensure(G.size());
+  G.addFlowEdge(var(2), Fresh);
+  EXPECT_TRUE(Scc.noteEdge(var(2), Fresh));
+  EXPECT_FALSE(Scc.dirty());
+  EXPECT_GT(Scc.stratumOf(Fresh), Scc.stratumOf(var(2)));
+
+  // Back edge (stratum 2 -> 0): breaks stratification, marks dirty.
+  G.addFlowEdge(var(2), var(0));
+  EXPECT_FALSE(Scc.noteEdge(var(2), var(0)));
+  EXPECT_TRUE(Scc.dirty());
+  EXPECT_TRUE(Scc.needsRebuild(G.flowEdgeCount()));
+
+  Scc.build(G);
+  EXPECT_FALSE(Scc.dirty());
+  EXPECT_EQ(Scc.recondensations(), 1u);
+  // 0 -> 1 -> 2 -> 0 collapsed into one SCC.
+  EXPECT_EQ(Scc.sccOf(var(0)), Scc.sccOf(var(2)));
+  EXPECT_EQ(Scc.maxSccSize(), 3u);
+}
+
+TEST_F(SccFixture, EnsureGrowsWithSingletonStrataZero) {
+  G.addFlowEdge(var(0), var(1));
+  SccIndex Scc;
+  Scc.build(G);
+  size_t SccsAtBuild = Scc.sccCount();
+  NodeId Late = var(7); // minted after the build
+  Scc.ensure(G.size());
+  EXPECT_EQ(Scc.stratumOf(Late), 0u);
+  EXPECT_GT(Scc.sccCount(), SccsAtBuild);
+  EXPECT_FALSE(Scc.dirty());
+}
+
+//===----------------------------------------------------------------------===//
+// Descendants cache (FlatIdMap rewrite + the prewarm split)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SccFixture, DescendantsCacheCountsHitsAndMisses) {
+  // A small view tree: 0 -> {1, 2}, 1 -> {3}.
+  NodeId V[4];
+  for (unsigned I = 0; I < 4; ++I)
+    V[I] = view(I);
+  G.addParentChildEdge(V[0], V[1]);
+  G.addParentChildEdge(V[0], V[2]);
+  G.addParentChildEdge(V[1], V[3]);
+
+  EXPECT_EQ(G.descendantsCacheMisses(), 0u);
+  const std::vector<NodeId> &First = G.descendantsOf(V[0]);
+  EXPECT_EQ(First.size(), 4u); // root + 3 descendants
+  EXPECT_EQ(G.descendantsCacheMisses(), 1u);
+  EXPECT_EQ(G.descendantsCacheHits(), 0u);
+
+  std::vector<NodeId> Snapshot = First;
+  EXPECT_EQ(G.descendantsOf(V[0]), Snapshot); // warm: same list, a hit
+  EXPECT_EQ(G.descendantsCacheHits(), 1u);
+  EXPECT_EQ(G.descendantsCacheMisses(), 1u);
+
+  // A structural edit bumps HierarchyRev: next query is a miss again.
+  G.addParentChildEdge(V[2], view(5));
+  EXPECT_EQ(G.descendantsOf(V[0]).size(), 5u);
+  EXPECT_EQ(G.descendantsCacheMisses(), 2u);
+}
+
+TEST_F(SccFixture, DescendantsProbeComputeSeedBypassCounters) {
+  NodeId Root = view(0);
+  G.addParentChildEdge(Root, view(1));
+  G.addParentChildEdge(Root, view(2));
+
+  // Probe on a cold cache: null, no counter movement.
+  EXPECT_EQ(G.descendantsCurrent(Root), nullptr);
+  EXPECT_EQ(G.descendantsCacheHits(), 0u);
+  EXPECT_EQ(G.descendantsCacheMisses(), 0u);
+
+  // Cache-free compute matches the caching walk's exact order.
+  std::vector<NodeId> Out;
+  std::vector<uint32_t> Seen;
+  uint32_t Gen = 0;
+  G.computeDescendantsInto(Root, Out, Seen, Gen);
+  EXPECT_EQ(G.descendantsCacheMisses(), 0u);
+
+  // Seeding installs the list: the probe now returns it, and the caching
+  // entry point serves it as a hit without recomputing.
+  std::vector<NodeId> Copy = Out;
+  G.seedDescendants(Root, std::move(Copy));
+  const std::vector<NodeId> *Cur = G.descendantsCurrent(Root);
+  ASSERT_NE(Cur, nullptr);
+  EXPECT_EQ(*Cur, Out);
+  EXPECT_EQ(G.descendantsOf(Root), Out);
+  EXPECT_EQ(G.descendantsCacheHits(), 1u);
+  EXPECT_EQ(G.descendantsCacheMisses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: parallel solve == serial solve, byte for byte
+//===----------------------------------------------------------------------===//
+
+/// Asserts R(Par) is an exact replay of R(Ser): same graph, same
+/// per-node flowsTo contents *in insertion order* (node-mint and
+/// value-commit order alike), and the same scheduling-independent
+/// counters. Node ids are comparable because both runs analyze *fresh*
+/// bundles generated from one spec — generation and the serial schedule
+/// the parallel engine replays are both deterministic. (solutionDigest
+/// is in-process-only — layout identity is by address — so the CLI
+/// matrix harness covers digest/dump byte-identity; this comparison is
+/// strictly stronger on the set contents.)
+void expectExactReplay(const AnalysisResult &Ser, const AnalysisResult &Par,
+                       const std::string &Context) {
+  ASSERT_EQ(Ser.Graph->size(), Par.Graph->size()) << Context;
+  EXPECT_EQ(Ser.Graph->flowEdgeCount(), Par.Graph->flowEdgeCount()) << Context;
+  for (NodeId N = 0; N < Ser.Graph->size(); ++N) {
+    const FlowSet &A = Ser.Sol->flowsToSets()[N];
+    const FlowSet &B = Par.Sol->flowsToSets()[N];
+    ASSERT_EQ(A.size(), B.size()) << Context << " node " << N;
+    for (size_t I = 0; I < A.size(); ++I)
+      ASSERT_EQ(A.begin()[I], B.begin()[I])
+          << Context << " node " << N << " slot " << I;
+  }
+  EXPECT_EQ(Ser.Stats.Propagations, Par.Stats.Propagations) << Context;
+  EXPECT_EQ(Ser.Stats.OpFirings, Par.Stats.OpFirings) << Context;
+  EXPECT_EQ(Ser.Stats.ValuesPushed, Par.Stats.ValuesPushed) << Context;
+  EXPECT_EQ(Ser.Stats.DedupHits, Par.Stats.DedupHits) << Context;
+  EXPECT_EQ(Ser.Stats.DeltaCommits, Par.Stats.DeltaCommits) << Context;
+  EXPECT_EQ(Ser.Stats.StructureRounds, Par.Stats.StructureRounds) << Context;
+  EXPECT_EQ(Ser.Stats.PeakVarWorklist, Par.Stats.PeakVarWorklist) << Context;
+  EXPECT_EQ(Ser.Stats.PeakOpWorklist, Par.Stats.PeakOpWorklist) << Context;
+  EXPECT_EQ(Ser.Stats.WorkCharged, Par.Stats.WorkCharged) << Context;
+  EXPECT_EQ(Ser.Sol->fidelity(), Par.Sol->fidelity()) << Context;
+}
+
+/// A corpus app big enough that the value worklist crosses the snapshot
+/// threshold and the engine genuinely classifies off-thread.
+corpus::AppSpec bigSpec() {
+  corpus::AppSpec Spec;
+  Spec.Name = "parwide";
+  Spec.Activities = 8;
+  Spec.ViewsPerLayout = 14;
+  Spec.IdsPerLayout = 8;
+  Spec.DirectFindsPerActivity = 3;
+  Spec.SharedFindsPerActivity = 2;
+  Spec.SharedHelperUsers = 6;
+  Spec.ListenersPerActivity = 3;
+  Spec.ProgViewsPerActivity = 2;
+  Spec.InflateItemsPerActivity = 2;
+  Spec.UseDialog = true;
+  Spec.UseFragment = true;
+  Spec.UseFlipper = true;
+  return Spec;
+}
+
+/// Generates a fresh bundle from \p Spec and analyzes it: analyzing
+/// mutates shared registry state, so comparable runs each get their own
+/// identical bundle.
+std::unique_ptr<AnalysisResult> runFresh(const corpus::AppSpec &Spec,
+                                         const AnalysisOptions &Options) {
+  corpus::GeneratedApp App = corpus::generateApp(Spec);
+  EXPECT_FALSE(App.Bundle->Diags.hasErrors());
+  return runAnalysis(*App.Bundle, Options);
+}
+
+TEST(SolveParallelTest, JobsSweepMatchesSerialOnCorpusApp) {
+  AnalysisOptions Ser;
+  auto Serial = runFresh(bigSpec(), Ser);
+  ASSERT_TRUE(Serial);
+  EXPECT_EQ(Serial->Stats.ParallelRounds, 0u);
+
+  bool Engaged = false;
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    AnalysisOptions Par;
+    Par.SolveJobs = Jobs;
+    auto Parallel = runFresh(bigSpec(), Par);
+    ASSERT_TRUE(Parallel);
+    expectExactReplay(*Serial, *Parallel,
+                      "solve-jobs " + std::to_string(Jobs));
+    Engaged |= Parallel->Stats.ParallelRounds > 0;
+    if (Parallel->Stats.ParallelRounds) {
+      EXPECT_GT(Parallel->Stats.SccCount, 0u);
+      EXPECT_GT(Parallel->Stats.BarrierWaves, 0u);
+      EXPECT_GT(Parallel->Stats.TrustedAppends + Parallel->Stats.TrustedDups,
+                0u);
+    }
+  }
+  // The sweep must not pass vacuously with the engine never engaging.
+  EXPECT_TRUE(Engaged);
+}
+
+TEST(SolveParallelTest, OptionsMatrixMatchesSerial) {
+  corpus::AppSpec Spec = bigSpec();
+  Spec.Activities = 4; // keep the 16-mask sweep quick
+  for (unsigned Mask = 0; Mask < 16; ++Mask) {
+    AnalysisOptions Ser;
+    Ser.TrackViewIds = (Mask & 1) != 0;
+    Ser.TrackHierarchy = (Mask & 2) != 0;
+    Ser.FindView3ChildOnly = (Mask & 4) != 0;
+    Ser.ModelListenerCallbacks = (Mask & 8) != 0;
+    auto Serial = runFresh(Spec, Ser);
+    ASSERT_TRUE(Serial);
+    AnalysisOptions Par = Ser;
+    Par.SolveJobs = 4;
+    auto Parallel = runFresh(Spec, Par);
+    ASSERT_TRUE(Parallel);
+    expectExactReplay(*Serial, *Parallel, "mask " + std::to_string(Mask));
+  }
+}
+
+TEST(SolveParallelTest, SerialFallbackModesNeverEngage) {
+  // Naive propagation and declared-type filtering stay on the serial
+  // reference engines; results still match their own serial runs.
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    AnalysisOptions Ser;
+    if (Mode == 0)
+      Ser.DeltaPropagation = false;
+    else
+      Ser.DeclaredTypeFilter = true;
+    auto Serial = runFresh(bigSpec(), Ser);
+    ASSERT_TRUE(Serial);
+    AnalysisOptions Par = Ser;
+    Par.SolveJobs = 4;
+    auto Parallel = runFresh(bigSpec(), Par);
+    ASSERT_TRUE(Parallel);
+    EXPECT_EQ(Parallel->Stats.ParallelRounds, 0u) << "mode " << Mode;
+    expectExactReplay(*Serial, *Parallel, "fallback mode " +
+                                              std::to_string(Mode));
+  }
+}
+
+TEST(SolveParallelTest, HostileAppsMatchSerial) {
+  corpus::AppSpec Spec = bigSpec();
+  Spec.Name = "parhostile";
+  Spec.ReflectiveViewsPerActivity = 2;
+  Spec.DynamicFindsPerActivity = 2;
+  Spec.MissingLayoutRefsPerActivity = 1;
+  AnalysisOptions Ser;
+  auto Serial = runFresh(Spec, Ser);
+  ASSERT_TRUE(Serial);
+  EXPECT_EQ(Serial->Sol->fidelity(), Fidelity::DegradedInput);
+  for (unsigned Jobs : {2u, 8u}) {
+    AnalysisOptions Par;
+    Par.SolveJobs = Jobs;
+    auto Parallel = runFresh(Spec, Par);
+    ASSERT_TRUE(Parallel);
+    expectExactReplay(*Serial, *Parallel,
+                      "hostile solve-jobs " + std::to_string(Jobs));
+  }
+}
+
+TEST(SolveParallelTest, BudgetTruncationMatchesSerial) {
+  // A budget trip mid-solve must land on the same partial solution: the
+  // charge points are identical in both engines.
+  for (unsigned long Cap : {200ul, 1000ul}) {
+    AnalysisOptions Ser;
+    Ser.Budget.MaxWorkItems = Cap;
+    auto Serial = runFresh(bigSpec(), Ser);
+    ASSERT_TRUE(Serial);
+    AnalysisOptions Par = Ser;
+    Par.SolveJobs = 4;
+    auto Parallel = runFresh(bigSpec(), Par);
+    ASSERT_TRUE(Parallel);
+    expectExactReplay(*Serial, *Parallel,
+                      "work cap " + std::to_string(Cap));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental-edit re-solve under SolveJobs > 1
+//===----------------------------------------------------------------------===//
+
+const char *IncBaseSource = R"(
+class MainActivity extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var bid: int;
+    var b: android.view.View;
+    var l: TapListener;
+    lid := @layout/main;
+    this.setContentView(lid);
+    bid := @id/action_button;
+    b := this.findViewById(bid);
+    l := new TapListener(this);
+    b.setOnClickListener(l);
+  }
+}
+class TapListener implements android.view.View.OnClickListener {
+  field owner: MainActivity;
+  method TapListener(a: MainActivity) {
+    this.owner := a;
+  }
+  method onClick(v: android.view.View) {
+  }
+}
+)";
+
+const char *IncEditedSource = R"(
+class MainActivity extends android.app.Activity {
+  method onCreate() {
+    var lid: int;
+    var tid: int;
+    var t: android.view.View;
+    var l: TapListener;
+    lid := @layout/main;
+    this.setContentView(lid);
+    tid := @id/title_text;
+    t := this.findViewById(tid);
+    l := new TapListener(this);
+    t.setOnClickListener(l);
+  }
+}
+class TapListener implements android.view.View.OnClickListener {
+  field owner: MainActivity;
+  method TapListener(a: MainActivity) {
+    this.owner := a;
+  }
+  method onClick(v: android.view.View) {
+  }
+}
+)";
+
+const char *IncMain = R"(<LinearLayout>
+  <Button android:id="@+id/action_button" />
+  <TextView android:id="@+id/title_text" />
+</LinearLayout>)";
+
+TEST(SolveParallelTest, IncrementalEditMatchesSerialScratch) {
+  auto Base = makeBundle(IncBaseSource, {{"main", IncMain}});
+  auto Edited = makeBundle(IncEditedSource, {{"main", IncMain}});
+  EditDiff Diff = diffBundles(Base->Program, Edited->Program, *Base->Layouts,
+                              *Edited->Layouts);
+  ASSERT_TRUE(Diff.Unsupported.empty());
+  ASSERT_FALSE(Diff.Methods.empty());
+
+  AnalysisOptions Options;
+  Options.SolveJobs = 4; // the whole session runs with the parallel engine
+  IncrementalAnalysis Inc(Base->Program, *Base->Layouts, Base->Android,
+                          Options, Base->Diags,
+                          IncrementalAnalysis::Engine::Fused);
+  Inc.solveInitial();
+  for (auto &[BaseMethod, EditMethod] : Diff.Methods) {
+    ASSERT_TRUE(graftMethodBody(*BaseMethod, *EditMethod));
+    ASSERT_TRUE(Inc.reanalyzeMethod(*BaseMethod));
+  }
+
+  // The incremental fixed point must equal a from-scratch *serial* solve
+  // over the grafted program: cross-engine and cross-jobs at once.
+  AnalysisOptions Scratch;
+  Scratch.RecordProvenance = false;
+  auto Ser = GuiAnalysis::run(Base->Program, *Base->Layouts, Base->Android,
+                              Scratch, Base->Diags);
+  ASSERT_TRUE(Ser);
+  EXPECT_EQ(solutionDigest(Inc.solution()), solutionDigest(*Ser->Sol));
+}
+
+} // namespace
