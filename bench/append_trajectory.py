@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Append one-line summaries of bench/BENCH_*.json to bench/TRAJECTORY.jsonl.
+
+Each checked-in BENCH_*.json is a point-in-time measurement record for one
+subsystem. This helper folds them into a single append-only trajectory file
+so regressions are visible as a time series rather than as edits to
+individual snapshots: one JSONL line per (file, content digest). Re-running
+is idempotent — a file only gains a new line when its content changes, so
+CI can run this on every build without growing the trajectory.
+
+The BENCH files are heterogeneous (each records what its experiment needed),
+so the summary extracts only the fields they share by convention: the
+benchmark name, the measurement date, the first sentence of the description,
+and the verdict when one is recorded. Everything else stays in the source
+file, which the line points back to.
+"""
+
+import glob
+import hashlib
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+TRAJECTORY = os.path.join(BENCH_DIR, "TRAJECTORY.jsonl")
+
+
+def first_sentence(text):
+    if not isinstance(text, str):
+        return ""
+    head = text.split(". ", 1)[0].strip()
+    return head if len(head) <= 240 else head[:237] + "..."
+
+
+def summarize(path):
+    raw = open(path, "rb").read()
+    digest = hashlib.sha256(raw).hexdigest()[:16]
+    doc = json.loads(raw)
+    env = doc.get("environment", {})
+    line = {
+        "file": os.path.basename(path),
+        "digest": digest,
+        "benchmark": doc.get("benchmark")
+        or os.path.basename(path)[len("BENCH_"):-len(".json")],
+        "date": env.get("date") or doc.get("date"),
+        "summary": first_sentence(doc.get("description", "")),
+    }
+    if isinstance(doc.get("verdict"), str) and doc["verdict"]:
+        line["verdict"] = first_sentence(doc["verdict"])
+    return line
+
+
+def main():
+    existing = set()
+    if os.path.exists(TRAJECTORY):
+        for raw in open(TRAJECTORY):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError:
+                sys.exit("corrupt trajectory line: %r" % raw)
+            existing.add((doc.get("file"), doc.get("digest")))
+
+    appended = 0
+    with open(TRAJECTORY, "a") as out:
+        for path in sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json"))):
+            line = summarize(path)
+            if (line["file"], line["digest"]) in existing:
+                continue
+            out.write(json.dumps(line, sort_keys=True) + "\n")
+            appended += 1
+
+    print("trajectory: %d new line(s), %s" % (appended, TRAJECTORY))
+
+
+if __name__ == "__main__":
+    main()

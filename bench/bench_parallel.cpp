@@ -16,6 +16,7 @@
 
 #include "analysis/Incremental.h"
 #include "corpus/BatchRunner.h"
+#include "corpus/FleetReport.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
@@ -23,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -85,7 +87,8 @@ struct SweepPoint {
 
 std::vector<SweepPoint> sweep(const char *Label,
                               const std::vector<AppSpec> &Specs,
-                              const std::vector<unsigned> &JobValues) {
+                              const std::vector<unsigned> &JobValues,
+                              std::vector<BatchAppResult> *KeepLast = nullptr) {
   std::printf("%s (%zu apps)\n", Label, Specs.size());
   std::printf("%6s %10s %9s %11s  %s\n", "jobs", "time(s)", "speedup",
               "efficiency", "tasks/worker");
@@ -113,6 +116,8 @@ std::vector<SweepPoint> sweep(const char *Label,
     std::printf("%6u %10.3f %8.2fx %10.0f%%  %s\n", Jobs, P.Seconds, Speedup,
                 100.0 * Speedup / Stats.WorkersUsed, Split.c_str());
     Points.push_back(std::move(P));
+    if (KeepLast)
+      *KeepLast = std::move(Batch);
   }
   bool CountersAgree = true;
   for (const SweepPoint &P : Points)
@@ -379,15 +384,22 @@ int main(int Argc, char **Argv) {
   //                wide-listener app, each solved at --jobs values of
   //                SolveJobs (docs/PARALLEL.md, "Inside one solve");
   //                results go to bench/BENCH_solve_parallel.json
+  // --ledger-out F write the fleet sweep's run ledger to F: one JSONL
+  //                wide-event record per generated app
+  //                (docs/OBSERVABILITY.md, "Run ledger & reports");
+  //                inspect with `gator_cli report F`
   unsigned FleetApps = 10000;
   bool FleetOnly = false;
   bool CacheMode = false;
   bool SolveScaling = false;
   unsigned HostilePercent = 0;
+  const char *LedgerOut = nullptr;
   std::vector<unsigned> JobValues = {1, 2, 4, 8};
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--fleet") && I + 1 < Argc)
       FleetApps = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--ledger-out") && I + 1 < Argc)
+      LedgerOut = Argv[++I];
     else if (!std::strcmp(Argv[I], "--fleet-only"))
       FleetOnly = true;
     else if (!std::strcmp(Argv[I], "--cache"))
@@ -492,15 +504,32 @@ int main(int Argc, char **Argv) {
     FS.ReflectivePercent = HostilePercent;
     FS.DynamicIdPercent = HostilePercent;
     FS.MissingLayoutPercent = HostilePercent;
+    const std::vector<AppSpec> FleetSpecs = makeFleet(FS);
+    std::vector<BatchAppResult> LastBatch;
     Fleet = sweep(HostilePercent ? "generated fleet (hostile)"
                                  : "generated fleet",
-                  makeFleet(FS), JobValues);
+                  FleetSpecs, JobValues, LedgerOut ? &LastBatch : nullptr);
     const SweepPoint &P0 = Fleet.front();
     std::printf("fleet throughput at -j%u: %.1f apps/s, peak RSS %.1f MiB "
                 "(%.1f KiB/app)\n\n",
                 P0.Jobs, FleetApps / P0.Seconds,
                 P0.PeakRssBytes / (1024.0 * 1024.0),
                 P0.PeakRssBytes / 1024.0 / FleetApps);
+    if (LedgerOut) {
+      // The ledger of the sweep's last pass: an inspectable artifact per
+      // bench run (`gator_cli report <file>` renders the health summary).
+      std::ofstream OS(LedgerOut);
+      if (!OS) {
+        std::fprintf(stderr, "error: cannot write %s\n", LedgerOut);
+        return 2;
+      }
+      const support::Ledger L = corpus::fleetLedger(
+          FleetSpecs, AnalysisOptions(), LastBatch,
+          /*CacheEnabled=*/false, /*NoTimes=*/false);
+      support::writeLedger(OS, L.Header, L.Events);
+      std::printf("fleet ledger written to %s (%zu records)\n\n", LedgerOut,
+                  L.Events.size());
+    }
   }
 
   // Machine-readable tail for bench/BENCH_parallel.json and

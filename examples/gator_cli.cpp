@@ -13,8 +13,11 @@
 //             [--max-seconds <s>] [--max-work <n>]
 //             [--max-nodes <n>] [--max-edges <n>]
 //             [--trace-out <file>] [--metrics-out <file>]
-//             [--metrics-format json|prom] [--explain <substr>]
-//             [--diag-format text|json] [--help]
+//             [--metrics-format json|prom] [--ledger-out <file>]
+//             [--explain <substr>] [--diag-format text|json] [--help]
+//   gator_cli report <ledger> [--report-format json|text]
+//   gator_cli report --diff <old> <new> [--threshold <pct>]
+//             [--report-format json|text]
 //
 // Value flags accept both `--flag value` and `--flag=value`.
 //
@@ -33,7 +36,9 @@
 // Observability (docs/OBSERVABILITY.md): `--trace-out` writes a Chrome
 // trace-event JSON of the run's phase spans (Perfetto-loadable);
 // `--metrics-out` writes the metrics registry as JSON or, with
-// `--metrics-format prom`, Prometheus text; `--explain <substr>` records
+// `--metrics-format prom`, Prometheus text; `--ledger-out` appends one
+// wide-event record per analyzed app to a JSONL run ledger that the
+// `report` subcommand aggregates and diffs; `--explain <substr>` records
 // fact provenance during the solve and prints the derivation tree of
 // every flow fact at nodes whose label contains <substr> (single-app
 // mode only). `--no-times` also suppresses wall-clock instruments from
@@ -56,6 +61,7 @@
 #include "analysis/SolutionCache.h"
 #include "android/Manifest.h"
 #include "corpus/AppBundle.h"
+#include "corpus/FleetReport.h"
 #include "dex/DexLite.h"
 #include "guimodel/GuiModel.h"
 #include "guimodel/JsonExport.h"
@@ -65,6 +71,7 @@
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "support/WideEvent.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -99,9 +106,13 @@ void printUsage(std::ostream &OS) {
         "[--max-seconds <s>] [--max-work <n>] "
         "[--max-nodes <n>] [--max-edges <n>] [--trace-out <file>] "
         "[--metrics-out <file>] [--metrics-format json|prom] "
+        "[--ledger-out <file>] "
         "[--explain <substr>] [--diag-format text|json] "
         "[--no-unknown-sources] [--unknown-fanout <n>] "
         "[--cache-dir <dir>] [--incremental-edit <dir2>] [--help]\n"
+        "       gator_cli report <ledger> [--report-format json|text]\n"
+        "       gator_cli report --diff <old> <new> [--threshold <pct>] "
+        "[--report-format json|text]\n"
         "  --batch        analyze every immediate subdirectory of <dir> "
         "as one app\n"
         "  -j, --jobs <n> batch worker threads; 0 = hardware concurrency "
@@ -128,6 +139,13 @@ void printUsage(std::ostream &OS) {
         "  --metrics-out  write the metrics registry (JSON, or "
         "Prometheus text with\n"
         "                 --metrics-format prom)\n"
+        "  --ledger-out   write a JSONL run ledger: a header line, then "
+        "one wide-event\n"
+        "                 record per analyzed app in input order "
+        "(byte-identical for\n"
+        "                 every -j / --solve-jobs value under --no-times); "
+        "aggregate or\n"
+        "                 diff ledgers with `gator_cli report`\n"
         "  --explain      record provenance and print the derivation "
         "tree of every\n"
         "                 flow fact at nodes whose label contains "
@@ -188,6 +206,7 @@ struct CliConfig {
   bool DiagJson = false;    ///< --diag-format json
   std::string CacheDir; ///< --cache-dir: content-addressed solution cache
   std::string EditDir;  ///< --incremental-edit: edited copy of the app
+  std::string LedgerFile; ///< --ledger-out: JSONL run ledger
   /// Where per-app stats are recorded when --metrics-out is given. The
   /// batch driver points each task's copy at a thread-confined registry.
   support::MetricsRegistry *Metrics = nullptr;
@@ -195,6 +214,11 @@ struct CliConfig {
   /// (stats, precision row, flowset histogram) after a completed
   /// analysis; the cache wrapper adds exit code and captured text.
   analysis::CachedAnalysis *CacheCapture = nullptr;
+  /// When non-null (--ledger-out), the run fills this app's wide-event
+  /// record: counters from the completed analysis (or replayed from a
+  /// cache hit), the cache flag from the cache wrapper; identity and the
+  /// exit code are stamped by the driver. Null = ledger off = no cost.
+  support::WideEvent *Ledger = nullptr;
   analysis::AnalysisOptions Options;
 };
 
@@ -316,11 +340,13 @@ int runOneAppUnguarded(const std::string &InputDir, const CliConfig &Cfg,
     return 2; // the facade contract is "always a result"
   }
 
-  if (Cfg.Metrics || Cfg.CacheCapture) {
+  if (Cfg.Metrics || Cfg.CacheCapture || Cfg.Ledger) {
     analysis::AppStats Stats = analysis::collectAppStats(
         fs::path(InputDir).filename().string(), App.Program, *Result);
     if (Cfg.Metrics)
       analysis::recordAppMetrics(*Cfg.Metrics, Stats, Result->Sol.get());
+    if (Cfg.Ledger)
+      analysis::fillWideEvent(*Cfg.Ledger, Stats);
     if (Cfg.CacheCapture) {
       Cfg.CacheCapture->Stats = std::move(Stats);
       Cfg.CacheCapture->Precision = Result->metrics();
@@ -535,11 +561,19 @@ int runOneAppCached(const std::string &InputDir, const CliConfig &Cfg,
     Err << Entry.ErrText;
     if (Cfg.Metrics)
       analysis::replayAppMetrics(*Cfg.Metrics, Entry);
+    if (Cfg.Ledger) {
+      // Replay the ledger record from the cached stats — same counters
+      // the cold run would have produced, marked as a hit.
+      analysis::fillWideEvent(*Cfg.Ledger, Entry.Stats);
+      Cfg.Ledger->Cache = "hit";
+    }
     return Entry.ExitCode;
   }
   if (Found == analysis::SolutionCache::Outcome::Corrupt)
     Err << "warning: corrupt cache entry for '" << InputDir
         << "' ignored; re-analyzing\n";
+  if (Cfg.Ledger)
+    Cfg.Ledger->Cache = "miss";
 
   std::ostringstream CapOut, CapErr;
   analysis::CachedAnalysis Fresh;
@@ -748,6 +782,133 @@ bool writeTelemetry(const CliConfig &Cfg, const support::TraceSink &Trace,
   return true;
 }
 
+/// Writes the --ledger-out file (a no-op when the flag was not given).
+/// The header stamps the canonical options digest and the --no-times
+/// flag, so `report --diff` can refuse ledgers measured under different
+/// analysis semantics. Returns false on an I/O failure.
+bool writeLedgerFile(const CliConfig &Cfg,
+                     const std::vector<support::WideEvent> &Events) {
+  if (Cfg.LedgerFile.empty())
+    return true;
+  std::ofstream OS(Cfg.LedgerFile);
+  if (!OS) {
+    std::cerr << "error: cannot write " << Cfg.LedgerFile << "\n";
+    return false;
+  }
+  support::LedgerHeader H;
+  H.OptionsDigest = analysis::hashAnalysisOptions(Cfg.Options).hex();
+  H.NoTimes = Cfg.NoTimes;
+  support::writeLedger(OS, H, Events);
+  return true;
+}
+
+/// `gator_cli report`: aggregate one ledger into a corpus health report,
+/// or diff two ledgers of the same configuration. Exit codes: 0 = report
+/// rendered / diff empty, 1 = diff non-empty, 2 = unreadable input,
+/// incomparable ledgers, or a usage error — scriptable as "did this run
+/// regress against the baseline?".
+int runReportMode(int argc, char **argv) {
+  bool Diff = false;
+  bool Json = false;
+  double ThresholdPct = 0;
+  std::vector<std::string> Paths;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg.resize(Eq);
+        HasInline = true;
+      }
+    }
+    auto NextValue = [&](std::string &Out) {
+      if (HasInline) {
+        Out = Inline;
+        return true;
+      }
+      if (++I >= argc)
+        return false;
+      Out = argv[I];
+      return true;
+    };
+    std::string Val;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (Arg == "--diff") {
+      Diff = true;
+    } else if (Arg == "--report-format") {
+      if (!NextValue(Val))
+        return usage();
+      if (Val == "json") {
+        Json = true;
+      } else if (Val == "text") {
+        Json = false;
+      } else {
+        std::cerr << "error: unknown report format '" << Val
+                  << "' (expected json or text)\n";
+        return 2;
+      }
+    } else if (Arg == "--threshold") {
+      if (!NextValue(Val))
+        return usage();
+      try {
+        ThresholdPct = std::stod(Val);
+      } catch (const std::exception &) {
+        return usage();
+      }
+      if (ThresholdPct < 0)
+        return usage();
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.size() != (Diff ? 2u : 1u))
+    return usage();
+
+  std::string Error;
+  if (!Diff) {
+    support::Ledger L;
+    if (!support::readLedgerFile(Paths[0], L, Error)) {
+      std::cerr << "error: cannot read ledger '" << Paths[0]
+                << "': " << Error << "\n";
+      return 2;
+    }
+    const corpus::FleetReport R = corpus::buildFleetReport(L);
+    if (Json)
+      corpus::writeFleetReportJson(std::cout, R);
+    else
+      corpus::writeFleetReportText(std::cout, R);
+    return 0;
+  }
+
+  support::Ledger OldLedger, NewLedger;
+  if (!support::readLedgerFile(Paths[0], OldLedger, Error)) {
+    std::cerr << "error: cannot read ledger '" << Paths[0] << "': " << Error
+              << "\n";
+    return 2;
+  }
+  if (!support::readLedgerFile(Paths[1], NewLedger, Error)) {
+    std::cerr << "error: cannot read ledger '" << Paths[1] << "': " << Error
+              << "\n";
+    return 2;
+  }
+  const corpus::LedgerDiff D =
+      corpus::diffLedgers(OldLedger, NewLedger, ThresholdPct);
+  if (Json)
+    corpus::writeLedgerDiffJson(std::cout, D);
+  else
+    corpus::writeLedgerDiffText(std::cout, D);
+  if (!D.Incomparable.empty())
+    return 2;
+  return D.empty() ? 0 : 1;
+}
+
 /// Parses a jobs knob. Accepts 0 (hardware concurrency) through
 /// support::MaxReasonableJobs; anything else — negative, non-numeric,
 /// absurdly large — is rejected with a diagnostic, never silently
@@ -769,6 +930,8 @@ bool parseJobs(const std::string &Text, const char *Origin, unsigned &Jobs) {
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
+  if (std::string(argv[1]) == "report")
+    return runReportMode(argc, argv);
 
   std::string InputDir;
   CliConfig Cfg;
@@ -835,6 +998,9 @@ int main(int argc, char **argv) {
         return usage();
     } else if (Arg == "--metrics-out") {
       if (!NextValue(Cfg.MetricsFile))
+        return usage();
+    } else if (Arg == "--ledger-out") {
+      if (!NextValue(Cfg.LedgerFile) || Cfg.LedgerFile.empty())
         return usage();
     } else if (Arg == "--metrics-format") {
       if (!NextValue(Val))
@@ -944,6 +1110,13 @@ int main(int argc, char **argv) {
                    "cannot be combined with --batch\n";
       return 2;
     }
+    if (!Cfg.LedgerFile.empty()) {
+      // The edit session analyzes two program states; there is no single
+      // per-app record that describes it.
+      std::cerr << "error: --ledger-out cannot be combined with "
+                   "--incremental-edit\n";
+      return 2;
+    }
     if (WantTrace)
       Cfg.Options.Trace = &Trace;
     if (WantMetrics)
@@ -973,10 +1146,20 @@ int main(int argc, char **argv) {
       Cfg.Options.Trace = &Trace;
     if (WantMetrics)
       Cfg.Metrics = &Metrics;
+    support::WideEvent Event;
+    if (!Cfg.LedgerFile.empty())
+      Cfg.Ledger = &Event;
     int Code = runOneAppCached(InputDir, Cfg, Cache.get(), std::cout,
                                std::cerr);
     if (Cache && WantMetrics)
       Cache->recordMetrics(Metrics);
+    if (Cfg.Ledger) {
+      Event.App = fs::path(InputDir).filename().string();
+      Event.ContentKey = analysis::hashAppDir(InputDir).hex();
+      Event.ExitCode = Code;
+      if (!writeLedgerFile(Cfg, {Event}))
+        return 2;
+    }
     if (!writeTelemetry(Cfg, Trace, Metrics))
       return 2;
     return Code;
@@ -1028,7 +1211,9 @@ int main(int argc, char **argv) {
     int Code = 0;
     std::unique_ptr<support::TraceSink> Trace;
     support::MetricsRegistry Metrics;
+    support::WideEvent Event; ///< --ledger-out record (unused otherwise)
   };
+  const bool WantLedger = !Cfg.LedgerFile.empty();
   std::vector<AppRecord> Records = support::parallelMap<AppRecord>(
       Cfg.Options.Jobs, AppDirs.size(), [&](size_t I) {
         AppRecord R;
@@ -1040,11 +1225,19 @@ int main(int argc, char **argv) {
         }
         if (WantMetrics)
           AppCfg.Metrics = &R.Metrics;
+        if (WantLedger)
+          AppCfg.Ledger = &R.Event;
         {
           support::TraceSpan AppSpan(AppCfg.Options.Trace, "analyze-app");
           AppSpan.arg("index", I);
           R.Code = runOneAppCached(AppDirs[I].string(), AppCfg, Cache.get(),
                                    Out, Err);
+        }
+        if (WantLedger) {
+          R.Event.Index = I;
+          R.Event.App = AppDirs[I].filename().string();
+          R.Event.ContentKey = analysis::hashAppDir(AppDirs[I].string()).hex();
+          R.Event.ExitCode = R.Code;
         }
         R.OutText = Out.str();
         R.ErrText = Err.str();
@@ -1069,6 +1262,16 @@ int main(int argc, char **argv) {
   }
   if (Cache && WantMetrics)
     Cache->recordMetrics(Metrics);
+  if (WantLedger) {
+    // Same ordered merge as stdout/metrics: events fold in input order,
+    // so the ledger is byte-identical at every -j value.
+    std::vector<support::WideEvent> Events;
+    Events.reserve(Records.size());
+    for (AppRecord &R : Records)
+      Events.push_back(std::move(R.Event));
+    if (!writeLedgerFile(Cfg, Events))
+      Worst = std::max(Worst, 2);
+  }
   if (!writeTelemetry(Cfg, Trace, Metrics))
     Worst = std::max(Worst, 2);
   return Worst;

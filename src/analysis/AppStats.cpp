@@ -3,6 +3,7 @@
 #include "analysis/AppStats.h"
 
 #include "support/Metrics.h"
+#include "support/WideEvent.h"
 
 #include <algorithm>
 #include <iomanip>
@@ -397,4 +398,43 @@ void gator::analysis::printSolverStatsRow(std::ostream &OS,
      << S.HierarchyRevisions << std::setw(18)
      << fidelityName(S.SolutionFidelity) << std::setw(11) << S.UnresolvedOps
      << '\n';
+}
+
+void gator::analysis::fillWideEvent(support::WideEvent &Event,
+                                    const AppStats &Stats) {
+  Event.App = Stats.Name;
+  Event.Fidelity = fidelityName(Stats.SolutionFidelity);
+  Event.Classes = Stats.Classes;
+  Event.Methods = Stats.Methods;
+  Event.LayoutIds = Stats.LayoutIds;
+  Event.ViewIds = Stats.ViewIds;
+  Event.InflViews = Stats.InflViews;
+  Event.AllocViews = Stats.AllocViews;
+  Event.Listeners = Stats.Listeners;
+  Event.GraphNodes = Stats.GraphNodes;
+  Event.FlowEdges = Stats.FlowEdges;
+  Event.ParentChildEdges = Stats.ParentChildEdges;
+  Event.Propagations = Stats.Propagations;
+  Event.OpFirings = Stats.OpFirings;
+  Event.ValuesPushed = Stats.ValuesPushed;
+  Event.DedupHits = Stats.DedupHits;
+  Event.PeakSetSize = Stats.PeakSetSize;
+  Event.UnresolvedOps = Stats.UnresolvedOps;
+  Event.WorkCharged = Stats.WorkCharged;
+  Event.UnknownViews = Stats.UnknownViews;
+  Event.UnknownIds = Stats.UnknownIds;
+  Event.UnknownByReason.clear();
+  for (size_t R = 1; R < graph::NumUnknownReasons; ++R)
+    if (Stats.UnknownByReason[R])
+      Event.UnknownByReason.emplace_back(
+          graph::unknownReasonSlug(static_cast<graph::UnknownReason>(R)),
+          Stats.UnknownByReason[R]);
+  Event.ArenaBytes = Stats.ArenaBytes;
+  Event.BuildSeconds = Stats.BuildSeconds;
+  Event.SolveSeconds = Stats.SolveSeconds;
+  Event.PeakRssBytes = Stats.PeakRssBytes;
+  Event.SccCount = Stats.SccCount;
+  Event.SccStrata = Stats.SccStrata;
+  Event.BarrierWaves = Stats.BarrierWaves;
+  Event.ParallelRounds = Stats.ParallelRounds;
 }

@@ -26,6 +26,7 @@
 namespace gator {
 namespace support {
 class MetricsRegistry;
+struct WideEvent;
 } // namespace support
 
 namespace analysis {
@@ -154,6 +155,15 @@ void printSolverStatsRow(std::ostream &OS, const AppStats &Stats);
 /// them — both yield the same document.
 void recordAppMetrics(support::MetricsRegistry &Metrics, const AppStats &Stats,
                       const Solution *Sol = nullptr);
+
+/// Copies \p Stats into a run-ledger wide event (docs/OBSERVABILITY.md,
+/// "Run ledger & reports"): counters verbatim, the fidelity as its
+/// fidelityName() slug, and the unknown-source breakdown as (reason slug,
+/// count) pairs for nonzero reasons. Identity and outcome fields the
+/// stats row does not know (content key, exit code, cache state) are the
+/// caller's to fill. The support-layer WideEvent stays free of analysis
+/// types; this is the one conversion point.
+void fillWideEvent(support::WideEvent &Event, const AppStats &Stats);
 
 } // namespace analysis
 } // namespace gator

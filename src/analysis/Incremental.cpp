@@ -8,6 +8,7 @@
 #include "analysis/Incremental.h"
 
 #include "analysis/GraphBuilder.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -725,6 +726,7 @@ void IncrementalAnalysis::rederive(const RetractionResult &R,
                                    const std::vector<NodeId> &ExtraTouched,
                                    const std::vector<uint32_t> &DeadOps,
                                    const std::vector<NodeId> &DirtyLayoutNodes) {
+  support::TraceSpan Span(Options.Trace, "incremental.rederive");
   LastRetracted = R.FactsRetracted;
   Sol->pruneUnresolvedDeadOps();
 
@@ -733,6 +735,8 @@ void IncrementalAnalysis::rederive(const RetractionResult &R,
   std::sort(Touched.begin(), Touched.end());
   Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
   LastTouched = Touched.size();
+  Span.arg("touched", LastTouched);
+  Span.arg("facts_retracted", LastRetracted);
 
   if (Eng == Engine::Fused) {
     // Memo hygiene before re-deriving (docs/INCREMENTAL.md).
@@ -928,7 +932,13 @@ bool IncrementalAnalysis::reanalyzeMethod(ir::MethodDecl &M) {
   indexRetLinks(M, New);
   Footprints[&M] = std::move(New);
 
-  RetractionResult R = retractAndClose(*G, *Sol, *Prov, In);
+  RetractionResult R;
+  {
+    support::TraceSpan Span(Options.Trace, "incremental.retract");
+    R = retractAndClose(*G, *Sol, *Prov, In);
+    Span.arg("facts_retracted", R.FactsRetracted);
+    Span.arg("retired_nodes", R.RetiredNodes.size());
+  }
   rederive(R, ExtraTouched, In.DeadOps, {});
   return true;
 }
@@ -973,7 +983,13 @@ bool IncrementalAnalysis::reanalyzeLayout(
       NewStack.push_back(C.get());
   }
 
-  RetractionResult R = retractAndClose(*G, *Sol, *Prov, In);
+  RetractionResult R;
+  {
+    support::TraceSpan Span(Options.Trace, "incremental.retract");
+    R = retractAndClose(*G, *Sol, *Prov, In);
+    Span.arg("facts_retracted", R.FactsRetracted);
+    Span.arg("retired_nodes", R.RetiredNodes.size());
+  }
 
   // Null dangling layout-node pointers before the old tree is freed.
   for (NodeId V : R.RetiredNodes)

@@ -350,45 +350,54 @@ void SolutionCache::insertMem(const std::string &Hex,
 }
 
 SolutionCache::Outcome SolutionCache::lookup(const support::Hash128 &Key,
-                                             CachedAnalysis &Out) {
+                                             CachedAnalysis &Out,
+                                             support::TraceSink *Trace) {
+  support::TraceSpan Span(Trace, "cache.lookup");
   const std::string Hex = Key.hex();
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Mem.find(Hex);
-    if (It != Mem.end()) {
-      Out = It->second;
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return Outcome::Hit;
+  const Outcome R = [&] {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Mem.find(Hex);
+      if (It != Mem.end()) {
+        Out = It->second;
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return Outcome::Hit;
+      }
     }
-  }
-  if (Dir.empty()) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    return Outcome::Miss;
-  }
-  const fs::path File = fs::path(Dir) / (Hex + ".gsc");
-  std::ifstream In(File, std::ios::binary);
-  if (!In) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    return Outcome::Miss;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  const std::string Bytes = Buf.str();
-  if (!deserialize(Bytes, Out)) {
-    Corrupt.fetch_add(1, std::memory_order_relaxed);
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    return Outcome::Corrupt;
-  }
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    insertMem(Hex, Out);
-  }
-  Hits.fetch_add(1, std::memory_order_relaxed);
-  return Outcome::Hit;
+    if (Dir.empty()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::Miss;
+    }
+    const fs::path File = fs::path(Dir) / (Hex + ".gsc");
+    std::ifstream In(File, std::ios::binary);
+    if (!In) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::Miss;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    const std::string Bytes = Buf.str();
+    if (!deserialize(Bytes, Out)) {
+      Corrupt.fetch_add(1, std::memory_order_relaxed);
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::Corrupt;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      insertMem(Hex, Out);
+    }
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::Hit;
+  }();
+  Span.arg("hit", R == Outcome::Hit ? 1 : 0);
+  Span.arg("corrupt", R == Outcome::Corrupt ? 1 : 0);
+  return R;
 }
 
 void SolutionCache::store(const support::Hash128 &Key,
-                          const CachedAnalysis &Entry) {
+                          const CachedAnalysis &Entry,
+                          support::TraceSink *Trace) {
+  support::TraceSpan Span(Trace, "cache.store");
   const std::string Hex = Key.hex();
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -398,6 +407,7 @@ void SolutionCache::store(const support::Hash128 &Key,
     return;
   std::string Bytes;
   serialize(Entry, Bytes);
+  Span.arg("bytes", Bytes.size());
   // Atomic publish: concurrent writers of the same key write identical
   // bytes, so last-rename-wins is harmless; readers never see a partial
   // file. The tmp name is keyed so distinct keys never collide.

@@ -37,6 +37,7 @@
 #include "analysis/Options.h"
 #include "support/Hash.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -93,8 +94,15 @@ public:
   explicit SolutionCache(std::string DiskDir = std::string(),
                          size_t MemCapacity = 512);
 
-  Outcome lookup(const support::Hash128 &Key, CachedAnalysis &Out);
-  void store(const support::Hash128 &Key, const CachedAnalysis &Entry);
+  /// \p Trace, when non-null, records a `cache.lookup` span annotated
+  /// with hit/corrupt flags (docs/OBSERVABILITY.md span taxonomy); the
+  /// sink must be the caller's thread-confined sink.
+  Outcome lookup(const support::Hash128 &Key, CachedAnalysis &Out,
+                 support::TraceSink *Trace = nullptr);
+  /// \p Trace, when non-null, records a `cache.store` span annotated with
+  /// the serialized entry size.
+  void store(const support::Hash128 &Key, const CachedAnalysis &Entry,
+             support::TraceSink *Trace = nullptr);
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }

@@ -424,6 +424,12 @@ void Solver::classifyRound() {
              Scc->stratumOf(ClsSorted[End]) == Stratum);
     }
     size_t Count = End - Begin;
+    if (Options.Trace) {
+      support::TraceSink::Event &E = Options.Trace->instant("solve.wave");
+      E.Args.emplace_back("wave", Stats.BarrierWaves);
+      E.Args.emplace_back("targets", Count);
+      E.Args.emplace_back("stratum", Scc->stratumOf(ClsSorted[Begin]));
+    }
     support::parallelForGrained(
         *SolvePool, Count, ClassifyGrain, [this, Begin](size_t B, size_t E) {
           for (size_t I = B; I < E; ++I)

@@ -36,12 +36,26 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
         R.Index = I;
         R.Name = Specs[I].Name;
 
+        // Tracing is thread-confined: each task records into its own sink
+        // and the caller merges them in spec order. The shared sink from
+        // the options is never touched inside the fan-out. The sink exists
+        // before the cache consult so warm hits still record their
+        // cache.lookup span inside the analyze-app envelope.
+        analysis::AnalysisOptions AppOptions = TaskOptions;
+        if (Options.Trace) {
+          R.Trace = std::make_unique<support::TraceSink>();
+          AppOptions.Trace = R.Trace.get();
+        }
+        support::TraceSpan AppSpan(AppOptions.Trace, "analyze-app");
+        AppSpan.arg("index", I);
+
         support::Hash128 Key{};
         if (Cache) {
           Key = analysis::combineCacheKey(hashAppSpec(Specs[I]), OptionsKey);
           analysis::CachedAnalysis Entry;
-          if (Cache->lookup(Key, Entry) ==
+          if (Cache->lookup(Key, Entry, AppOptions.Trace) ==
               analysis::SolutionCache::Outcome::Hit) {
+            R.CacheHit = true;
             R.Stats = Entry.Stats;
             R.Metrics = Entry.Precision;
             R.BuildSeconds = Entry.Stats.BuildSeconds;
@@ -51,16 +65,6 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
           // Corrupt degrades to a miss: fall through to the full solve.
         }
 
-        // Tracing is thread-confined: each task records into its own sink
-        // and the caller merges them in spec order. The shared sink from
-        // the options is never touched inside the fan-out.
-        analysis::AnalysisOptions AppOptions = TaskOptions;
-        if (Options.Trace) {
-          R.Trace = std::make_unique<support::TraceSink>();
-          AppOptions.Trace = R.Trace.get();
-        }
-        support::TraceSpan AppSpan(AppOptions.Trace, "analyze-app");
-        AppSpan.arg("index", I);
         R.App = generateApp(Specs[I]);
         if (R.App.Bundle->Diags.hasErrors()) {
           R.GenerationFailed = true;
@@ -82,7 +86,7 @@ gator::corpus::analyzeCorpus(const std::vector<AppSpec> &Specs,
                                             Entry.FlowHistCounts,
                                             Entry.FlowHistSum,
                                             Entry.FlowHistCount);
-          Cache->store(Key, Entry);
+          Cache->store(Key, Entry, AppOptions.Trace);
         }
         if (!KeepArtifacts) {
           // All per-app ownership (IR decls, graph adjacency, flow sets)

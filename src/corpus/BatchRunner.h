@@ -48,6 +48,10 @@ struct BatchAppResult {
   double BuildSeconds = 0.0; ///< graph-construction time of the analysis
   double SolveSeconds = 0.0; ///< fixed-point time of the analysis
   bool GenerationFailed = false;
+  /// True when the record replayed from the solution cache instead of a
+  /// full solve. Feeds the run ledger's per-app cache flag
+  /// (corpus::fleetLedger); field-identical to a cold record otherwise.
+  bool CacheHit = false;
   /// Thread-confined trace of this task (an "analyze-app" span wrapping
   /// the per-phase spans), recorded only when the batch options carry a
   /// trace sink. The driver appends these into its sink in spec order —

@@ -1,0 +1,369 @@
+//===- JsonParse.cpp - Minimal JSON DOM parser ------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace gator {
+namespace support {
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+double JsonValue::numberOr(std::string_view Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+uint64_t JsonValue::u64Or(std::string_view Key, uint64_t Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isNumber() ? V->asU64() : Default;
+}
+
+bool JsonValue::boolOr(std::string_view Key, bool Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isBool() ? V->asBool() : Default;
+}
+
+std::string JsonValue::stringOr(std::string_view Key,
+                                std::string Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+JsonValue JsonValue::makeBool(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::makeNumber(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+
+JsonValue JsonValue::makeString(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Obj = std::move(V);
+  return J;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-capped so hostile
+/// input cannot blow the stack (ledger documents nest three levels).
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  bool fail(const char *Why) {
+    Error = "offset " + std::to_string(Pos) + ": " + Why;
+    return false;
+  }
+
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!eof()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+        ++Pos;
+      else
+        break;
+    }
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out = JsonValue::makeBool(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out = JsonValue::makeNull();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, JsonValue>> Members;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      Out = JsonValue::makeObject(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (eof() || peek() != ':')
+        return fail("expected ':' after key");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (eof())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        Out = JsonValue::makeObject(std::move(Members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    ++Pos; // '['
+    std::vector<JsonValue> Items;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      Out = JsonValue::makeArray(std::move(Items));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Items.push_back(std::move(V));
+      skipWs();
+      if (eof())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        Out = JsonValue::makeArray(std::move(Items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (eof())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (eof())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point. The writer only ever emits
+          // \u00xx control escapes; surrogate pairs decode as two
+          // replacement-free code units, good enough for diagnostics.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        continue;
+      }
+      Out += C;
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    bool SawDigit = false;
+    while (!eof() && peek() >= '0' && peek() <= '9') {
+      ++Pos;
+      SawDigit = true;
+    }
+    if (!eof() && peek() == '.') {
+      ++Pos;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++Pos;
+        SawDigit = true;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!SawDigit) {
+      Pos = Start;
+      return fail("expected a value");
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Token.c_str(), &End);
+    if (!End || *End != '\0' || !std::isfinite(V)) {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    Out = JsonValue::makeNumber(V);
+    return true;
+  }
+};
+
+} // namespace
+
+bool JsonValue::parse(std::string_view Text, JsonValue &Out,
+                      std::string &Error) {
+  Error.clear();
+  Parser P(Text, Error);
+  return P.run(Out);
+}
+
+} // namespace support
+} // namespace gator

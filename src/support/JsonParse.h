@@ -1,0 +1,111 @@
+//===- JsonParse.h - Minimal JSON DOM parser --------------------*- C++ -*-===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read-side counterpart of support/Json.h: a small recursive-descent
+/// JSON parser producing an owned DOM. It exists for the run-ledger tools
+/// (docs/OBSERVABILITY.md, "Run ledger & reports") — `gator_cli report`
+/// must read back the JSONL ledgers the analysis drivers write — and is
+/// deliberately minimal: no streaming, no SAX, no number formats beyond
+/// what JsonWriter emits (integers, fixed-precision decimals, exponents
+/// accepted for robustness).
+///
+/// Numbers are held as double; every counter the ledger stores fits in the
+/// 2^53 exact-integer range with orders of magnitude to spare. Object
+/// members preserve insertion order (the ledger writer emits a fixed key
+/// order, and diffs of re-serialized documents stay stable).
+///
+/// Parsing is fail-soft in the same spirit as the GSC1 cache codec:
+/// malformed input returns false with a position-annotated error string,
+/// never throws, and never reads past the input view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GATOR_SUPPORT_JSONPARSE_H
+#define GATOR_SUPPORT_JSONPARSE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gator {
+namespace support {
+
+/// One parsed JSON value. A tagged union over the seven JSON kinds, with
+/// owned children; cheap to move, deliberately not cheap to copy.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  uint64_t asU64() const {
+    return Num <= 0 ? 0 : static_cast<uint64_t>(Num + 0.5);
+  }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &array() const { return Arr; }
+  /// Members in document order.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Object member lookup; null when absent or when this is not an
+  /// object. Linear scan — ledger records carry a few dozen keys.
+  const JsonValue *find(std::string_view Key) const;
+
+  /// Typed member accessors with defaults, for tolerant readers.
+  double numberOr(std::string_view Key, double Default) const;
+  uint64_t u64Or(std::string_view Key, uint64_t Default) const;
+  bool boolOr(std::string_view Key, bool Default) const;
+  std::string stringOr(std::string_view Key, std::string Default) const;
+
+  /// True when the object carries \p Key (any kind).
+  bool has(std::string_view Key) const { return find(Key) != nullptr; }
+
+  /// Parses \p Text (one complete JSON document; trailing whitespace
+  /// allowed, trailing garbage is an error). On failure returns false and
+  /// sets \p Error to "offset N: reason".
+  static bool parse(std::string_view Text, JsonValue &Out,
+                    std::string &Error);
+
+  // Builder hooks used by the parser; exposed so tests can assemble
+  // values directly.
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue
+  makeObject(std::vector<std::pair<std::string, JsonValue>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+} // namespace support
+} // namespace gator
+
+#endif // GATOR_SUPPORT_JSONPARSE_H

@@ -43,6 +43,32 @@ void Histogram::merge(const Histogram &Other) {
   Count += Other.Count;
 }
 
+double Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  const double Rank = Q * static_cast<double>(Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    const double Prev = static_cast<double>(Cum);
+    Cum += Counts[I];
+    if (static_cast<double>(Cum) < Rank)
+      continue;
+    if (I >= Bounds.size()) // +Inf bucket: clamp to the last finite bound
+      return Bounds.empty() ? 0 : static_cast<double>(Bounds.back());
+    const double Upper = static_cast<double>(Bounds[I]);
+    if (Counts[I] == 0) // only reachable at Rank == 0
+      return Upper;
+    const double Lower = I == 0 ? 0.0 : static_cast<double>(Bounds[I - 1]);
+    return Lower + (Upper - Lower) * (Rank - Prev) /
+                       static_cast<double>(Counts[I]);
+  }
+  return Bounds.empty() ? 0 : static_cast<double>(Bounds.back());
+}
+
 bool Histogram::addRaw(const std::vector<uint64_t> &RawCounts, uint64_t RawSum,
                        uint64_t RawCount) {
   if (RawCounts.size() != Counts.size())
@@ -263,6 +289,23 @@ void MetricsRegistry::writePrometheus(std::ostream &OS,
       }
       OS << I.Name << "_sum " << I.H.sum() << '\n';
       OS << I.Name << "_count " << I.H.count() << '\n';
+      // Derived quantile gauges (docs/OBSERVABILITY.md): interpolated
+      // from the fixed buckets, rendered only when the histogram saw
+      // observations so an idle export stays its historical shape.
+      if (I.H.count() > 0) {
+        static const struct {
+          const char *Suffix;
+          double Q;
+        } Quantiles[] = {{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+        for (const auto &QS : Quantiles) {
+          const std::string QName = I.Name + QS.Suffix;
+          OS << "# HELP " << QName << ' ' << I.Help
+             << " (quantile estimate from fixed buckets)" << '\n';
+          OS << "# TYPE " << QName << " gauge" << '\n';
+          OS << QName << ' ' << formatDouble(I.H.quantile(QS.Q)) << '\n';
+        }
+        LastHeader.clear(); // the next instrument re-emits its header
+      }
       break;
     }
     }

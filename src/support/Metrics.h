@@ -110,6 +110,15 @@ public:
   /// Bucket-wise addition; both histograms must share bounds.
   void merge(const Histogram &Other);
 
+  /// Quantile estimate from the fixed buckets, Prometheus
+  /// histogram_quantile style: find the bucket where the cumulative count
+  /// crosses Q * count, then interpolate linearly inside it. The +Inf
+  /// bucket clamps to the highest finite bound (the honest answer a
+  /// bounded histogram can give). Deterministic: derived purely from the
+  /// merged bucket counts, so a parallel batch's quantiles equal the
+  /// serial run's. Returns 0 on an empty histogram.
+  double quantile(double Q) const;
+
   /// Folds previously captured raw bucket data back in — the cache-replay
   /// path (docs/INCREMENTAL.md): a warm hit re-contributes the cold run's
   /// observations without a Solution to observe. Returns false and leaves

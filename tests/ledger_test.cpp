@@ -1,0 +1,520 @@
+//===- ledger_test.cpp - Run ledger, fleet reports, and diffs -------------===//
+//
+// Part of gator-cpp, a reproduction of "Static Reference Analysis for GUI
+// Objects in Android Software" (Rountev and Yan, CGO 2014).
+//
+// The run-ledger stack (docs/OBSERVABILITY.md, "Run ledger & reports"):
+// the JSON DOM parser, wide-event JSONL round-trips, fleet-report
+// aggregation and outlier ranking, ledger diffs, and the composition
+// contract — a hostile fleet's ledger is field-identical at every job
+// count, cold or warm, with the cache and fidelity flags telling the
+// truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SolutionCache.h"
+#include "corpus/BatchRunner.h"
+#include "corpus/FleetReport.h"
+#include "support/JsonParse.h"
+#include "support/Metrics.h"
+#include "support/WideEvent.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace gator;
+using namespace gator::support;
+using namespace gator::corpus;
+
+//===----------------------------------------------------------------------===//
+// JsonValue parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(JsonValue::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse(Text, V, Error)) << "parsed: " << Text;
+  return Error;
+}
+
+} // namespace
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseOk("-3.5").asNumber(), -3.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e3").asNumber(), 1000.0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_EQ(parseOk("  7  ").asU64(), 7u);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\nb\"").asString(), "a\nb");
+  EXPECT_EQ(parseOk("\"q\\\"q\"").asString(), "q\"q");
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9"); // é in UTF-8
+  EXPECT_EQ(parseOk("\"\\\\\\/\"").asString(), "\\/");
+}
+
+TEST(JsonParseTest, ObjectMembersKeepDocumentOrder) {
+  JsonValue V = parseOk("{\"z\": 1, \"a\": [true, null], \"m\": {\"k\": 2}}");
+  ASSERT_TRUE(V.isObject());
+  ASSERT_EQ(V.members().size(), 3u);
+  EXPECT_EQ(V.members()[0].first, "z");
+  EXPECT_EQ(V.members()[1].first, "a");
+  EXPECT_EQ(V.members()[2].first, "m");
+  ASSERT_NE(V.find("a"), nullptr);
+  ASSERT_EQ(V.find("a")->array().size(), 2u);
+  EXPECT_TRUE(V.find("a")->array()[0].asBool());
+  EXPECT_EQ(V.find("m")->u64Or("k", 0), 2u);
+  EXPECT_EQ(V.find("missing"), nullptr);
+  EXPECT_EQ(V.u64Or("z", 9), 1u);
+  EXPECT_EQ(V.u64Or("nope", 9), 9u);
+  EXPECT_EQ(V.stringOr("nope", "d"), "d");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_NE(parseErr("{").find("offset"), std::string::npos);
+  parseErr("\"unterminated");
+  parseErr("{\"a\": 1,}");
+  parseErr("[1 2]");
+  parseErr("tru");
+  parseErr("1 trailing");
+  parseErr("");
+  // Depth guard: 70 nested arrays exceed the 64-level limit.
+  std::string Deep(70, '[');
+  Deep += std::string(70, ']');
+  EXPECT_NE(parseErr(Deep).find("nesting too deep"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// WideEvent JSONL round-trip
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+WideEvent sampleEvent() {
+  WideEvent E;
+  E.Index = 3;
+  E.App = "App3";
+  E.ContentKey = "0123456789abcdef0123456789abcdef";
+  E.ExitCode = 1;
+  E.Fidelity = "degraded-input";
+  E.Cache = "hit";
+  E.Classes = 12;
+  E.Methods = 40;
+  E.GraphNodes = 500;
+  E.FlowEdges = 900;
+  E.Propagations = 12345;
+  E.PeakSetSize = 7;
+  E.UnknownViews = 2;
+  E.UnknownByReason.emplace_back("reflective_new", 2);
+  E.UnknownByReason.emplace_back("dynamic_id", 1);
+  E.ArenaBytes = 65536;
+  E.BuildSeconds = 0.25;
+  E.SolveSeconds = 1.5;
+  E.SccCount = 9;
+  E.BarrierWaves = 4;
+  return E;
+}
+
+std::string ledgerText(const LedgerHeader &H,
+                       const std::vector<WideEvent> &Events) {
+  std::ostringstream OS;
+  writeLedger(OS, H, Events);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(WideEventTest, RoundTripsThroughJsonl) {
+  LedgerHeader H;
+  H.OptionsDigest = "ffff0000ffff0000ffff0000ffff0000";
+  const std::string Text = ledgerText(H, {sampleEvent()});
+
+  Ledger L;
+  std::string Error;
+  ASSERT_TRUE(readLedger(Text, L, Error)) << Error;
+  EXPECT_EQ(L.Header.Format, LedgerHeader::FormatVersion);
+  EXPECT_EQ(L.Header.OptionsDigest, H.OptionsDigest);
+  EXPECT_EQ(L.Header.Apps, 1u);
+  EXPECT_FALSE(L.Header.NoTimes);
+  ASSERT_EQ(L.Events.size(), 1u);
+  const WideEvent &E = L.Events[0];
+  EXPECT_EQ(E.Index, 3u);
+  EXPECT_EQ(E.App, "App3");
+  EXPECT_EQ(E.ContentKey, "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(E.ExitCode, 1);
+  EXPECT_EQ(E.Fidelity, "degraded-input");
+  EXPECT_EQ(E.Cache, "hit");
+  EXPECT_EQ(E.Propagations, 12345u);
+  EXPECT_EQ(E.unknownTotal(), 3u);
+  ASSERT_EQ(E.UnknownByReason.size(), 2u);
+  EXPECT_EQ(E.UnknownByReason[0].first, "reflective_new");
+  EXPECT_EQ(E.UnknownByReason[1].second, 1u);
+  EXPECT_DOUBLE_EQ(E.SolveSeconds, 1.5);
+  EXPECT_EQ(E.SccCount, 9u);
+
+  // Re-serialization is byte-stable: write(read(write(E))) == write(E).
+  EXPECT_EQ(ledgerText(L.Header, L.Events), Text);
+}
+
+TEST(WideEventTest, NoTimesSuppressesVolatileFields) {
+  LedgerHeader H;
+  H.NoTimes = true;
+  const std::string Text = ledgerText(H, {sampleEvent()});
+  EXPECT_EQ(Text.find("solve_seconds"), std::string::npos);
+  EXPECT_EQ(Text.find("build_seconds"), std::string::npos);
+  EXPECT_EQ(Text.find("peak_rss_bytes"), std::string::npos);
+  EXPECT_EQ(Text.find("scc_count"), std::string::npos);
+  EXPECT_EQ(Text.find("barrier_waves"), std::string::npos);
+  EXPECT_NE(Text.find("propagations"), std::string::npos);
+
+  Ledger L;
+  std::string Error;
+  ASSERT_TRUE(readLedger(Text, L, Error)) << Error;
+  EXPECT_TRUE(L.Header.NoTimes);
+  ASSERT_EQ(L.Events.size(), 1u);
+  EXPECT_DOUBLE_EQ(L.Events[0].SolveSeconds, 0.0);
+  EXPECT_EQ(L.Events[0].SccCount, 0u);
+  EXPECT_EQ(L.Events[0].Propagations, 12345u);
+}
+
+TEST(WideEventTest, ReadLedgerRefusesBadHeaders) {
+  Ledger L;
+  std::string Error;
+  EXPECT_FALSE(readLedger("", L, Error));
+  EXPECT_FALSE(readLedger("{\"index\":0,\"app\":\"x\"}", L, Error));
+  // Version skew must refuse, not mis-parse.
+  EXPECT_FALSE(readLedger(
+      "{\"ledger_format\":99,\"tool\":\"gator-cpp\",\"options_digest\":\"a\","
+      "\"no_times\":false,\"apps\":0}",
+      L, Error));
+  EXPECT_NE(Error.find("format"), std::string::npos);
+  // Blank lines are tolerated.
+  LedgerHeader H;
+  EXPECT_TRUE(readLedger(ledgerText(H, {}) + "\n\n", L, Error)) << Error;
+  EXPECT_TRUE(L.Events.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram quantiles
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  Histogram H({10, 20});
+  H.observe(5);  // bucket (0, 10]
+  H.observe(15); // bucket (10, 20]
+  H.observe(15);
+  H.observe(99); // +Inf bucket
+  // p50: rank 2 lands in the second bucket, halfway through its 2 counts.
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 15.0);
+  // p99: rank 3.96 lands in the +Inf bucket, clamped to the last bound.
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 20.0);
+  // p25: rank 1 is exactly the first bucket's cumulative count — the
+  // bucket's upper bound.
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 0.0); // rank 0: the lower edge
+  EXPECT_DOUBLE_EQ(Histogram({10}).quantile(0.5), 0.0); // empty
+}
+
+//===----------------------------------------------------------------------===//
+// FleetReport aggregation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A five-app ledger with one degraded app, one cache miss, and spread-out
+/// propagation counts for percentile/outlier checks.
+Ledger syntheticLedger() {
+  Ledger L;
+  L.Header.OptionsDigest = "aaaa0000aaaa0000aaaa0000aaaa0000";
+  L.Header.NoTimes = true;
+  for (uint64_t I = 0; I < 5; ++I) {
+    WideEvent E;
+    E.Index = I;
+    E.App = "App" + std::to_string(I);
+    E.ContentKey = std::string(31, 'b') + static_cast<char>('0' + I);
+    E.Propagations = (I + 1) * 100; // 100..500
+    E.PeakSetSize = 4;              // constant: outlier ties
+    E.Cache = I == 2 ? "miss" : "hit";
+    if (I == 4) {
+      E.Fidelity = "degraded-input";
+      E.ExitCode = 1;
+      E.UnknownByReason.emplace_back("dynamic_id", 3);
+    }
+    L.Events.push_back(std::move(E));
+  }
+  L.Header.Apps = L.Events.size();
+  return L;
+}
+
+const FieldSummary *findSummary(const FleetReport &R,
+                                const std::string &Name) {
+  for (const FieldSummary &F : R.Fields)
+    if (F.Field == Name)
+      return &F;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(FleetReportTest, AggregatesCountsAndPercentiles) {
+  const FleetReport R = buildFleetReport(syntheticLedger());
+  EXPECT_EQ(R.Apps, 5u);
+  EXPECT_EQ(R.Degraded, 1u);
+  EXPECT_EQ(R.CacheHits, 4u);
+  EXPECT_EQ(R.CacheMisses, 1u);
+  EXPECT_EQ(R.CacheOff, 0u);
+  ASSERT_EQ(R.ByFidelity.size(), 2u);
+  EXPECT_EQ(R.ByFidelity[0].first, "complete");
+  EXPECT_EQ(R.ByFidelity[0].second, 4u);
+  ASSERT_EQ(R.UnknownByReason.size(), 1u);
+  EXPECT_EQ(R.UnknownByReason[0].first, "dynamic_id");
+  EXPECT_EQ(R.UnknownByReason[0].second, 3u);
+
+  const FieldSummary *P = findSummary(R, "propagations");
+  ASSERT_NE(P, nullptr);
+  EXPECT_DOUBLE_EQ(P->Sum, 1500.0);
+  // Nearest-rank percentiles over {100..500}: exact data values, never
+  // interpolations.
+  EXPECT_DOUBLE_EQ(P->P50, 300.0);
+  EXPECT_DOUBLE_EQ(P->P90, 500.0);
+  EXPECT_DOUBLE_EQ(P->Max, 500.0);
+  // Volatile fields are absent from a --no-times ledger's report.
+  EXPECT_EQ(findSummary(R, "solve_seconds"), nullptr);
+}
+
+TEST(FleetReportTest, OutliersRankByValueThenIndex) {
+  const FleetReport R = buildFleetReport(syntheticLedger());
+  const FleetReport::Dimension *Props = nullptr, *Peaks = nullptr;
+  for (const FleetReport::Dimension &D : R.Outliers) {
+    if (D.Name == "propagations")
+      Props = &D;
+    if (D.Name == "peak_set_size")
+      Peaks = &D;
+  }
+  ASSERT_NE(Props, nullptr);
+  ASSERT_EQ(Props->Top.size(), 5u);
+  EXPECT_EQ(Props->Top[0].App, "App4"); // 500 first
+  EXPECT_DOUBLE_EQ(Props->Top[0].Value, 500.0);
+  EXPECT_EQ(Props->Top[4].App, "App0");
+  // All-equal dimension: ties break toward the lower input index.
+  ASSERT_NE(Peaks, nullptr);
+  EXPECT_EQ(Peaks->Top[0].Index, 0u);
+  EXPECT_EQ(Peaks->Top[1].Index, 1u);
+}
+
+TEST(FleetReportTest, RendersDeterministically) {
+  const Ledger L = syntheticLedger();
+  std::ostringstream A, B;
+  writeFleetReportJson(A, buildFleetReport(L));
+  writeFleetReportJson(B, buildFleetReport(L));
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_NE(A.str().find("\"report_format\":1"), std::string::npos);
+  EXPECT_NE(A.str().find("\"options_digest\""), std::string::npos);
+
+  // The JSON report re-parses with our own parser (schema smoke test).
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(A.str(), V, Error)) << Error;
+  EXPECT_EQ(V.u64Or("apps", 0), 5u);
+  ASSERT_NE(V.find("fields"), nullptr);
+  EXPECT_FALSE(V.find("fields")->array().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Ledger diffs
+//===----------------------------------------------------------------------===//
+
+TEST(LedgerDiffTest, SelfDiffIsEmpty) {
+  const Ledger L = syntheticLedger();
+  const LedgerDiff D = diffLedgers(L, L);
+  EXPECT_TRUE(D.empty());
+  std::ostringstream OS;
+  writeLedgerDiffText(OS, D);
+  EXPECT_NE(OS.str().find("no differences"), std::string::npos);
+}
+
+TEST(LedgerDiffTest, FlagsRegressionsAndRespectsThreshold) {
+  const Ledger Old = syntheticLedger();
+  Ledger New = syntheticLedger();
+  New.Events[0].Fidelity = "truncated-budget"; // newly degraded
+  New.Events[1].Cache = "miss";                // newly cache-missed
+  New.Events[2].Propagations += 400;           // 300 -> 700
+  New.Events[3].Propagations += 10;            // 400 -> 410 (2.5%)
+  // Volatile fields must never flag.
+  New.Events[3].SolveSeconds = 123.0;
+
+  const LedgerDiff Any = diffLedgers(Old, New, /*ThresholdPct=*/0);
+  ASSERT_EQ(Any.Apps.size(), 4u);
+  EXPECT_TRUE(Any.Apps[0].NewlyDegraded);
+  EXPECT_EQ(Any.Apps[0].NewFidelity, "truncated-budget");
+  EXPECT_TRUE(Any.Apps[1].NewlyCacheMissed);
+  ASSERT_EQ(Any.Apps[2].Counters.size(), 1u);
+  EXPECT_EQ(Any.Apps[2].Counters[0].Field, "propagations");
+  EXPECT_DOUBLE_EQ(Any.Apps[2].Counters[0].New, 700.0);
+
+  // At 50% the small counter drift drops out; the flags survive.
+  const LedgerDiff Thresh = diffLedgers(Old, New, /*ThresholdPct=*/50);
+  ASSERT_EQ(Thresh.Apps.size(), 3u);
+  for (const AppDelta &A : Thresh.Apps)
+    for (const FieldDelta &C : A.Counters)
+      EXPECT_EQ(C.Field, "propagations");
+}
+
+TEST(LedgerDiffTest, TracksMembershipByContentKey) {
+  const Ledger Old = syntheticLedger();
+  Ledger New = syntheticLedger();
+  New.Events.erase(New.Events.begin()); // App0 vanished
+  WideEvent Fresh;
+  Fresh.Index = 9;
+  Fresh.App = "AppNew";
+  Fresh.ContentKey = std::string(32, 'f');
+  New.Events.push_back(std::move(Fresh));
+
+  const LedgerDiff D = diffLedgers(Old, New);
+  ASSERT_EQ(D.OnlyInOld.size(), 1u);
+  EXPECT_NE(D.OnlyInOld[0].find("App0"), std::string::npos);
+  ASSERT_EQ(D.OnlyInNew.size(), 1u);
+  EXPECT_NE(D.OnlyInNew[0].find("AppNew"), std::string::npos);
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(LedgerDiffTest, RefusesIncomparableLedgers) {
+  const Ledger Old = syntheticLedger();
+  Ledger New = syntheticLedger();
+  New.Header.OptionsDigest = "cccc0000cccc0000cccc0000cccc0000";
+  const LedgerDiff D = diffLedgers(Old, New);
+  EXPECT_FALSE(D.Incomparable.empty());
+  EXPECT_FALSE(D.empty());
+  EXPECT_TRUE(D.Apps.empty());
+  std::ostringstream OS;
+  writeLedgerDiffText(OS, D);
+  EXPECT_NE(OS.str().find("diff refused"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Composition: hostile fleet x cache x jobs x solve-jobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A small hostile fleet: every fourth app draws a reflective
+/// constructor, a dynamic find id, or a missing layout, so the ledger
+/// carries both complete and degraded records.
+std::vector<AppSpec> hostileFleet() {
+  FleetSpec FS;
+  FS.Apps = 16;
+  FS.ReflectivePercent = 25;
+  FS.DynamicIdPercent = 25;
+  FS.MissingLayoutPercent = 25;
+  return makeFleet(FS);
+}
+
+std::string noTimesLedgerText(const support::Ledger &L) {
+  support::LedgerHeader H = L.Header;
+  H.NoTimes = true;
+  std::ostringstream OS;
+  writeLedger(OS, H, L.Events);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(LedgerCompositionTest, HostileFleetLedgerIdenticalAtEveryJobCount) {
+  const std::vector<AppSpec> Specs = hostileFleet();
+
+  // Cold reference at the all-serial point.
+  analysis::AnalysisOptions Ref;
+  std::vector<BatchAppResult> RefBatch =
+      analyzeCorpus(Specs, Ref, nullptr, /*KeepArtifacts=*/false);
+  const support::Ledger RefLedger =
+      fleetLedger(Specs, Ref, RefBatch, /*CacheEnabled=*/false,
+                  /*NoTimes=*/true);
+  const std::string RefText = noTimesLedgerText(RefLedger);
+
+  size_t Degraded = 0;
+  for (const support::WideEvent &E : RefLedger.Events) {
+    EXPECT_EQ(E.Cache, "off");
+    if (E.Fidelity != "complete") {
+      ++Degraded;
+      EXPECT_EQ(E.ExitCode, 1);
+      EXPECT_GT(E.unknownTotal(), 0u);
+    } else {
+      EXPECT_EQ(E.ExitCode, 0);
+    }
+  }
+  EXPECT_GT(Degraded, 0u);
+  EXPECT_LT(Degraded, RefLedger.Events.size());
+
+  // Every (batch jobs, solve jobs) combination reproduces the reference
+  // text byte for byte — the determinism contract of the ledger.
+  for (unsigned Jobs : {1u, 4u})
+    for (unsigned SolveJobs : {1u, 4u}) {
+      analysis::AnalysisOptions Options;
+      Options.Jobs = Jobs;
+      Options.SolveJobs = SolveJobs;
+      std::vector<BatchAppResult> Batch =
+          analyzeCorpus(Specs, Options, nullptr, /*KeepArtifacts=*/false);
+      const support::Ledger L = fleetLedger(Specs, Options, Batch,
+                                            /*CacheEnabled=*/false,
+                                            /*NoTimes=*/true);
+      EXPECT_EQ(noTimesLedgerText(L), RefText)
+          << "jobs=" << Jobs << " solve-jobs=" << SolveJobs;
+    }
+}
+
+TEST(LedgerCompositionTest, WarmCacheLedgerMatchesColdWithHitFlags) {
+  const std::vector<AppSpec> Specs = hostileFleet();
+  analysis::AnalysisOptions Options;
+  analysis::SolutionCache Cache("", Specs.size() + 8);
+
+  std::vector<BatchAppResult> Cold = analyzeCorpus(
+      Specs, Options, nullptr, /*KeepArtifacts=*/false, &Cache);
+  const support::Ledger ColdLedger =
+      fleetLedger(Specs, Options, Cold, /*CacheEnabled=*/true,
+                  /*NoTimes=*/true);
+  for (const support::WideEvent &E : ColdLedger.Events)
+    EXPECT_EQ(E.Cache, "miss");
+
+  // Warm passes at every job combination replay hits whose ledgers are
+  // byte-identical to each other and field-identical to the cold pass.
+  std::string WarmText;
+  for (unsigned Jobs : {1u, 4u})
+    for (unsigned SolveJobs : {1u, 4u}) {
+      analysis::AnalysisOptions WarmOptions;
+      WarmOptions.Jobs = Jobs;
+      WarmOptions.SolveJobs = SolveJobs;
+      std::vector<BatchAppResult> Warm = analyzeCorpus(
+          Specs, WarmOptions, nullptr, /*KeepArtifacts=*/false, &Cache);
+      const support::Ledger L = fleetLedger(Specs, WarmOptions, Warm,
+                                            /*CacheEnabled=*/true,
+                                            /*NoTimes=*/true);
+      for (const support::WideEvent &E : L.Events)
+        EXPECT_EQ(E.Cache, "hit") << E.App;
+      const std::string Text = noTimesLedgerText(L);
+      if (WarmText.empty())
+        WarmText = Text;
+      else
+        EXPECT_EQ(Text, WarmText)
+            << "jobs=" << Jobs << " solve-jobs=" << SolveJobs;
+
+      // Cold-vs-warm diff: only the cache flag moved (miss -> hit is not
+      // a regression), so the diff must be empty.
+      const LedgerDiff D = diffLedgers(ColdLedger, L);
+      EXPECT_TRUE(D.empty());
+    }
+}

@@ -185,6 +185,53 @@ TEST(MetricsTest, PrometheusExportIsWellFormed) {
   EXPECT_NE(Text.find("sizes_count 3"), std::string::npos);
 }
 
+/// Pins the full rendered text of a histogram export, quantile series
+/// included — the exposition-format conformance contract for
+/// gator_flowset_size and friends (docs/OBSERVABILITY.md): cumulative
+/// _bucket series ending at +Inf, _sum/_count, then derived _p50/_p90/_p99
+/// gauges interpolated from the fixed buckets.
+TEST(MetricsTest, PrometheusHistogramQuantileSeriesPinned) {
+  MetricsRegistry M;
+  Histogram &H =
+      M.histogram("gator_flowset_size", "flow-set sizes", {1, 4, 16});
+  H.observe(1);
+  H.observe(2);
+  H.observe(3);
+  H.observe(9);
+
+  std::ostringstream OS;
+  M.writePrometheus(OS);
+  EXPECT_EQ(OS.str(),
+            "# HELP gator_flowset_size flow-set sizes\n"
+            "# TYPE gator_flowset_size histogram\n"
+            "gator_flowset_size_bucket{le=\"1\"} 1\n"
+            "gator_flowset_size_bucket{le=\"4\"} 3\n"
+            "gator_flowset_size_bucket{le=\"16\"} 4\n"
+            "gator_flowset_size_bucket{le=\"+Inf\"} 4\n"
+            "gator_flowset_size_sum 15\n"
+            "gator_flowset_size_count 4\n"
+            "# HELP gator_flowset_size_p50 flow-set sizes "
+            "(quantile estimate from fixed buckets)\n"
+            "# TYPE gator_flowset_size_p50 gauge\n"
+            "gator_flowset_size_p50 2.500000\n"
+            "# HELP gator_flowset_size_p90 flow-set sizes "
+            "(quantile estimate from fixed buckets)\n"
+            "# TYPE gator_flowset_size_p90 gauge\n"
+            "gator_flowset_size_p90 11.200000\n"
+            "# HELP gator_flowset_size_p99 flow-set sizes "
+            "(quantile estimate from fixed buckets)\n"
+            "# TYPE gator_flowset_size_p99 gauge\n"
+            "gator_flowset_size_p99 15.520000\n");
+
+  // An idle histogram exports no quantile series — its document keeps the
+  // historical shape.
+  MetricsRegistry Idle;
+  Idle.histogram("gator_flowset_size", "flow-set sizes", {1, 4, 16});
+  std::ostringstream IdleOS;
+  Idle.writePrometheus(IdleOS);
+  EXPECT_EQ(IdleOS.str().find("_p50"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // Provenance
 //===----------------------------------------------------------------------===//
